@@ -1,0 +1,52 @@
+//===- bench/BenchUtil.h - Shared bench helpers -----------------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_BENCH_BENCHUTIL_H
+#define VIF_BENCH_BENCHUTIL_H
+
+#include "parse/Parser.h"
+#include "sema/Elaborator.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace vif {
+namespace bench {
+
+/// Parses + elaborates a statement program; aborts on any diagnostic.
+inline ElaboratedProgram mustElaborateStatements(const std::string &Source) {
+  DiagnosticEngine Diags;
+  StatementProgram Prog = parseStatementProgram(Source, Diags);
+  std::optional<ElaboratedProgram> P =
+      Diags.hasErrors() ? std::nullopt
+                        : elaborateStatements(*Prog.Body, Diags, &Prog.Decls);
+  if (!P) {
+    std::fprintf(stderr, "bench workload failed to elaborate:\n%s\n",
+                 Diags.str().c_str());
+    std::abort();
+  }
+  return std::move(*P);
+}
+
+/// Parses + elaborates a design; aborts on any diagnostic.
+inline ElaboratedProgram mustElaborateDesign(const std::string &Source) {
+  DiagnosticEngine Diags;
+  DesignFile F = parseDesign(Source, Diags);
+  std::optional<ElaboratedProgram> P =
+      Diags.hasErrors() ? std::nullopt : elaborateDesign(F, Diags);
+  if (!P) {
+    std::fprintf(stderr, "bench workload failed to elaborate:\n%s\n",
+                 Diags.str().c_str());
+    std::abort();
+  }
+  return std::move(*P);
+}
+
+} // namespace bench
+} // namespace vif
+
+#endif // VIF_BENCH_BENCHUTIL_H

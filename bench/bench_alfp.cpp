@@ -1,0 +1,117 @@
+//===- bench/bench_alfp.cpp - ABL-SOLVER: native vs ALFP closure ----------===//
+//
+// Part of the vif project; see DESIGN.md (experiment ABL-SOLVER).
+//
+// The paper implemented its constraint systems in the Succinct Solver
+// (ALFP). This bench runs our ALFP engine on the Table 7-9 encoding and
+// compares it against the specialized native closure, reporting derived
+// tuple counts and the (identical) results.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "alfp/Alfp.h"
+#include "cfg/CFG.h"
+#include "ifa/AlfpClosure.h"
+#include "ifa/InformationFlow.h"
+#include "workloads/AesVhdl.h"
+#include "workloads/Synthetic.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace vif;
+using vif::bench::mustElaborateDesign;
+using vif::bench::mustElaborateStatements;
+
+namespace {
+
+void regenerateTable() {
+  std::printf("== ABL-SOLVER: native closure vs ALFP encoding\n");
+  struct Row {
+    const char *Name;
+    ElaboratedProgram P;
+  };
+  std::vector<Row> Rows;
+  Rows.push_back({"shiftrows",
+                  mustElaborateStatements(workloads::shiftRowsStatements())});
+  Rows.push_back({"pipeline(4)",
+                  mustElaborateDesign(workloads::pipelineDesign(4))});
+  Rows.push_back({"leaky-core",
+                  mustElaborateDesign(workloads::leakyCoreDesign())});
+  for (Row &R : Rows) {
+    ProgramCFG CFG = ProgramCFG::build(R.P);
+    IFAOptions Opts;
+    IFAResult Native = analyzeInformationFlow(R.P, CFG, Opts);
+    AlfpClosureResult Alfp = closeWithAlfp(R.P, CFG, Native, Opts);
+    std::printf("  %-12s RMgl=%5zu entries  alfp-derived=%6zu tuples  "
+                "agree=%s\n",
+                R.Name, Native.RMgl.size(), Alfp.DerivedTuples,
+                Alfp.Solved && Alfp.RMgl == Native.RMgl ? "yes" : "NO");
+  }
+  std::printf("\n");
+}
+
+void BM_Closure_Native(benchmark::State &State) {
+  ElaboratedProgram P =
+      mustElaborateStatements(workloads::shiftRowsStatements());
+  ProgramCFG CFG = ProgramCFG::build(P);
+  for (auto _ : State) {
+    IFAResult R = analyzeInformationFlow(P, CFG);
+    benchmark::DoNotOptimize(R.RMgl.size());
+  }
+}
+BENCHMARK(BM_Closure_Native);
+
+void BM_Closure_Alfp(benchmark::State &State) {
+  ElaboratedProgram P =
+      mustElaborateStatements(workloads::shiftRowsStatements());
+  ProgramCFG CFG = ProgramCFG::build(P);
+  IFAOptions Opts;
+  IFAResult Native = analyzeInformationFlow(P, CFG, Opts);
+  for (auto _ : State) {
+    AlfpClosureResult R = closeWithAlfp(P, CFG, Native, Opts);
+    benchmark::DoNotOptimize(R.RMgl.size());
+  }
+}
+BENCHMARK(BM_Closure_Alfp)->Unit(benchmark::kMillisecond);
+
+void BM_Alfp_TransitiveClosure(benchmark::State &State) {
+  // Raw engine speed on the classic path query over a cycle of N nodes.
+  unsigned N = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    alfp::Program P;
+    alfp::RelId Edge = P.relation("edge", 2);
+    alfp::RelId Path = P.relation("path", 2);
+    std::vector<alfp::Atom> Nodes;
+    for (unsigned I = 0; I < N; ++I)
+      Nodes.push_back(P.atoms().intern("n" + std::to_string(I)));
+    for (unsigned I = 0; I < N; ++I)
+      P.fact(Edge, {Nodes[I], Nodes[(I + 1) % N]});
+    alfp::Term X = alfp::Term::var(0), Y = alfp::Term::var(1),
+               Z = alfp::Term::var(2);
+    P.clause({alfp::Literal{Path, false, {X, Y}},
+              {alfp::Literal{Edge, false, {X, Y}}}});
+    P.clause({alfp::Literal{Path, false, {X, Z}},
+              {alfp::Literal{Path, false, {X, Y}},
+               alfp::Literal{Edge, false, {Y, Z}}}});
+    bool Ok = P.solve();
+    benchmark::DoNotOptimize(Ok);
+    benchmark::DoNotOptimize(P.tuples(Path).size());
+  }
+  State.SetComplexityN(N);
+}
+BENCHMARK(BM_Alfp_TransitiveClosure)
+    ->RangeMultiplier(2)
+    ->Range(4, 32)
+    ->Complexity();
+
+} // namespace
+
+int main(int argc, char **argv) {
+  regenerateTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

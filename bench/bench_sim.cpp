@@ -1,0 +1,149 @@
+//===- bench/bench_sim.cpp - SIM: simulator throughput --------------------===//
+//
+// Part of the vif project; see DESIGN.md (experiment SIM).
+//
+// Substrate validation: the VHDL1 AES-128 core under the SOS simulator
+// reproduces FIPS-197 (checked in tests/integration_test.cpp); this bench
+// measures the simulator itself — full AES blocks per second, delta-cycle
+// rate on a ping-pong design, and statement interpretation rate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "aesref/Aes128.h"
+#include "sim/Simulator.h"
+#include "workloads/AesVhdl.h"
+#include "workloads/Synthetic.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace vif;
+using vif::bench::mustElaborateDesign;
+
+namespace {
+
+unsigned sigId(const ElaboratedProgram &P, const std::string &Name) {
+  for (const ElabSignal &S : P.Signals)
+    if (S.Name == Name)
+      return S.Id;
+  std::abort();
+}
+
+void regenerateTable() {
+  std::printf("== SIM: one AES-128 block under the SOS simulator\n");
+  ElaboratedProgram P = mustElaborateDesign(workloads::aesCoreDesign(10));
+  aes::Block Plain = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                      0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+  aes::Key Key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                  0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  Simulator Sim(P);
+  for (int I = 0; I < 16; ++I) {
+    Sim.driveSignal(sigId(P, "pt_" + std::to_string(I)),
+                    Value::vector(LogicVector::fromUInt(Plain[I], 8)));
+    Sim.driveSignal(sigId(P, "key_" + std::to_string(I)),
+                    Value::vector(LogicVector::fromUInt(Key[I], 8)));
+  }
+  Sim.driveSignal(sigId(P, "go"), Value::scalar(StdLogic::One));
+  SimStatus St = Sim.run();
+  aes::Block Expected = aes::encrypt(Plain, Key);
+  bool Match = true;
+  for (int I = 0; I < 16; ++I) {
+    auto B = Sim.presentValue(sigId(P, "ct_" + std::to_string(I)))
+                 .asVector()
+                 .toUInt();
+    Match &= B && *B == Expected[I];
+  }
+  std::printf("  status=%s deltas=%u fips197-match=%s\n\n",
+              simStatusName(St), Sim.deltasExecuted(),
+              Match ? "yes" : "NO");
+}
+
+void BM_Sim_AesBlock(benchmark::State &State) {
+  ElaboratedProgram P = mustElaborateDesign(workloads::aesCoreDesign(10));
+  aes::Block Plain{};
+  aes::Key Key{};
+  unsigned Counter = 0;
+  for (auto _ : State) {
+    // Fresh simulator per block (new plaintext each time).
+    Simulator Sim(P);
+    Plain[0] = static_cast<uint8_t>(++Counter);
+    for (int I = 0; I < 16; ++I) {
+      Sim.driveSignal(sigId(P, "pt_" + std::to_string(I)),
+                      Value::vector(LogicVector::fromUInt(Plain[I], 8)));
+      Sim.driveSignal(sigId(P, "key_" + std::to_string(I)),
+                      Value::vector(LogicVector::fromUInt(Key[I], 8)));
+    }
+    Sim.driveSignal(sigId(P, "go"), Value::scalar(StdLogic::One));
+    Sim.run();
+    benchmark::DoNotOptimize(Sim.deltasExecuted());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_Sim_AesBlock)->Unit(benchmark::kMillisecond);
+
+void BM_Sim_DeltaCycleRate(benchmark::State &State) {
+  // Two processes ping-ponging: every run(N) executes N delta cycles.
+  // Both signals start at '0' so the cross-coupled inverters oscillate
+  // forever; run(1000) then really executes 1000 delta cycles.
+  ElaboratedProgram P = mustElaborateDesign(R"(
+    entity ping is port(go : in std_logic); end ping;
+    architecture rtl of ping is
+      signal a : std_logic := '0';
+      signal b : std_logic := '0';
+    begin
+      p1 : process begin a <= not b; wait on b; end process p1;
+      p2 : process begin b <= not a; wait on a; end process p2;
+    end rtl;)");
+  for (auto _ : State) {
+    Simulator Sim(P);
+    Sim.run(1000);
+    benchmark::DoNotOptimize(Sim.deltasExecuted());
+  }
+  State.SetItemsProcessed(State.iterations() * 1000);
+}
+BENCHMARK(BM_Sim_DeltaCycleRate);
+
+void BM_Sim_PipelinePropagation(benchmark::State &State) {
+  unsigned Stages = static_cast<unsigned>(State.range(0));
+  ElaboratedProgram P =
+      mustElaborateDesign(workloads::pipelineDesign(Stages));
+  for (auto _ : State) {
+    Simulator Sim(P);
+    Sim.run();
+    Sim.driveSignal(sigId(P, "s_0"), Value::scalar(StdLogic::One));
+    Sim.run();
+    benchmark::DoNotOptimize(Sim.deltasExecuted());
+  }
+  State.SetComplexityN(Stages);
+}
+BENCHMARK(BM_Sim_PipelinePropagation)
+    ->RangeMultiplier(2)
+    ->Range(2, 32)
+    ->Complexity();
+
+void BM_Sim_WhileLoopInterpretation(benchmark::State &State) {
+  // Pure statement interpretation rate: an 8-bit counter loop, 256
+  // iterations of while + add per run.
+  ElaboratedProgram P = vif::bench::mustElaborateStatements(
+      "variable c : std_logic_vector(7 downto 0) := \"00000000\";\n"
+      "variable n : std_logic_vector(7 downto 0) := \"11111111\";\n"
+      "while c < n loop c := c + \"00000001\"; end loop;");
+  for (auto _ : State) {
+    Simulator Sim(P);
+    SimStatus St = Sim.run();
+    benchmark::DoNotOptimize(St);
+  }
+  State.SetItemsProcessed(State.iterations() * 255);
+}
+BENCHMARK(BM_Sim_WhileLoopInterpretation);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  regenerateTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

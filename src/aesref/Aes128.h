@@ -1,0 +1,54 @@
+//===- aesref/Aes128.h - Software AES-128 reference -------------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A straightforward FIPS-197 AES-128 implementation. The paper's evaluation
+/// ran on the NSA AES reference VHDL [17], which is not public; we rebuild
+/// the hardware description in VHDL1 (src/workloads) and use this software
+/// implementation as the oracle the simulator's outputs are checked against
+/// (FIPS-197 Appendix B/C test vectors in the test suite).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_AESREF_AES128_H
+#define VIF_AESREF_AES128_H
+
+#include <array>
+#include <cstdint>
+
+namespace vif {
+namespace aes {
+
+using Block = std::array<uint8_t, 16>;
+using Key = std::array<uint8_t, 16>;
+/// 11 round keys of 16 bytes each.
+using KeySchedule = std::array<uint8_t, 176>;
+
+/// The AES S-box.
+extern const uint8_t SBox[256];
+
+/// GF(2^8) xtime (multiplication by {02}).
+uint8_t xtime(uint8_t X);
+
+/// FIPS-197 key expansion.
+KeySchedule expandKey(const Key &K);
+
+/// Single-round building blocks, exposed so the simulator tests can check
+/// each VHDL1 component (SubBytes, ShiftRows, MixColumns, AddRoundKey)
+/// against its software counterpart. State layout is column-major as in
+/// FIPS-197: State[r + 4*c] is row r, column c.
+void subBytes(Block &State);
+void shiftRows(Block &State);
+void mixColumns(Block &State);
+void addRoundKey(Block &State, const uint8_t *RoundKey);
+
+/// Full encryption of one block.
+Block encrypt(const Block &Plain, const Key &K);
+
+} // namespace aes
+} // namespace vif
+
+#endif // VIF_AESREF_AES128_H

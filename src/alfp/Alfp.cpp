@@ -1,0 +1,256 @@
+//===- alfp/Alfp.cpp ------------------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alfp/Alfp.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace vif;
+using namespace vif::alfp;
+
+Atom Interner::intern(const std::string &S) {
+  auto It = Ids.find(S);
+  if (It != Ids.end())
+    return It->second;
+  Atom A = static_cast<Atom>(Names.size());
+  Names.push_back(S);
+  Ids.emplace(S, A);
+  return A;
+}
+
+const std::string &Interner::name(Atom A) const {
+  assert(A < Names.size() && "atom out of range");
+  return Names[A];
+}
+
+RelId Program::relation(const std::string &Name, unsigned Arity) {
+  auto It = RelIds.find(Name);
+  if (It != RelIds.end()) {
+    assert(Relations[It->second].Arity == Arity &&
+           "relation redeclared with different arity");
+    return It->second;
+  }
+  RelId R = static_cast<RelId>(Relations.size());
+  Relations.push_back(Relation{Name, Arity, {}});
+  RelIds.emplace(Name, R);
+  return R;
+}
+
+std::optional<RelId> Program::findRelation(const std::string &Name) const {
+  auto It = RelIds.find(Name);
+  if (It == RelIds.end())
+    return std::nullopt;
+  return It->second;
+}
+
+const std::string &Program::relationName(RelId R) const {
+  assert(R < Relations.size() && "unknown relation");
+  return Relations[R].Name;
+}
+
+unsigned Program::relationArity(RelId R) const {
+  assert(R < Relations.size() && "unknown relation");
+  return Relations[R].Arity;
+}
+
+void Program::fact(RelId R, Tuple T) {
+  assert(R < Relations.size() && "unknown relation");
+  assert(T.size() == Relations[R].Arity && "fact arity mismatch");
+  Relations[R].Facts.insert(std::move(T));
+}
+
+const std::set<Tuple> &Program::tuples(RelId R) const {
+  assert(R < Relations.size() && "unknown relation");
+  return Relations[R].Facts;
+}
+
+bool Program::contains(RelId R, const Tuple &T) const {
+  return tuples(R).count(T) != 0;
+}
+
+bool Program::checkSafety(const Clause &C, std::string *Error) const {
+  std::set<uint32_t> Bound;
+  for (const Literal &L : C.Body) {
+    if (L.Negated)
+      continue;
+    for (const Term &T : L.Args)
+      if (T.IsVar)
+        Bound.insert(T.Id);
+  }
+  auto CheckLiteral = [&](const Literal &L, const char *Role) {
+    for (const Term &T : L.Args)
+      if (T.IsVar && !Bound.count(T.Id)) {
+        if (Error)
+          *Error = std::string("unsafe clause: variable in ") + Role +
+                   " of '" + Relations[L.Rel].Name +
+                   "' is not bound by a positive body literal";
+        return false;
+      }
+    return true;
+  };
+  if (!CheckLiteral(C.Head, "head"))
+    return false;
+  for (const Literal &L : C.Body)
+    if (L.Negated && !CheckLiteral(L, "negated literal"))
+      return false;
+  return true;
+}
+
+bool Program::stratify(std::vector<std::vector<size_t>> &ClausesByStratum,
+                       std::string *Error) const {
+  // Assign strata by iterating Bellman-Ford style:
+  //   stratum(head) >= stratum(positive body rel)
+  //   stratum(head) >= stratum(negated body rel) + 1
+  // Failure to converge within |relations| rounds means negation occurs in
+  // a cycle.
+  size_t N = Relations.size();
+  std::vector<unsigned> Stratum(N, 0);
+  for (size_t Round = 0; Round <= N + 1; ++Round) {
+    bool Changed = false;
+    for (const Clause &C : Clauses) {
+      unsigned &H = Stratum[C.Head.Rel];
+      for (const Literal &L : C.Body) {
+        unsigned Need = Stratum[L.Rel] + (L.Negated ? 1 : 0);
+        if (H < Need) {
+          H = Need;
+          Changed = true;
+        }
+      }
+    }
+    if (!Changed)
+      break;
+    if (Round == N + 1) {
+      if (Error)
+        *Error = "program is not stratifiable: negation through recursion";
+      return false;
+    }
+  }
+  unsigned MaxStratum = 0;
+  for (unsigned S : Stratum)
+    MaxStratum = std::max(MaxStratum, S);
+  ClausesByStratum.assign(MaxStratum + 1, {});
+  for (size_t I = 0; I < Clauses.size(); ++I)
+    ClausesByStratum[Stratum[Clauses[I].Head.Rel]].push_back(I);
+  return true;
+}
+
+void Program::matchFrom(const Clause &C, size_t LitIdx, int DeltaPos,
+                        const std::vector<std::set<Tuple>> &Delta,
+                        std::map<uint32_t, Atom> &Bindings,
+                        std::set<Tuple> &NewTuples) {
+  if (LitIdx == C.Body.size()) {
+    // Instantiate the head.
+    Tuple T;
+    T.reserve(C.Head.Args.size());
+    for (const Term &A : C.Head.Args)
+      T.push_back(A.IsVar ? Bindings.at(A.Id) : A.Id);
+    if (!Relations[C.Head.Rel].Facts.count(T))
+      NewTuples.insert(std::move(T));
+    return;
+  }
+
+  const Literal &L = C.Body[LitIdx];
+  ++Applications;
+
+  if (L.Negated) {
+    Tuple T;
+    T.reserve(L.Args.size());
+    for (const Term &A : L.Args)
+      T.push_back(A.IsVar ? Bindings.at(A.Id) : A.Id);
+    if (!Relations[L.Rel].Facts.count(T))
+      matchFrom(C, LitIdx + 1, DeltaPos, Delta, Bindings, NewTuples);
+    return;
+  }
+
+  const std::set<Tuple> &Source = (static_cast<int>(LitIdx) == DeltaPos)
+                                      ? Delta[L.Rel]
+                                      : Relations[L.Rel].Facts;
+  for (const Tuple &T : Source) {
+    // Unify T against L.Args under the current bindings.
+    std::vector<uint32_t> NewlyBound;
+    bool Ok = true;
+    for (size_t I = 0; I < L.Args.size() && Ok; ++I) {
+      const Term &A = L.Args[I];
+      if (!A.IsVar) {
+        Ok = A.Id == T[I];
+        continue;
+      }
+      auto It = Bindings.find(A.Id);
+      if (It == Bindings.end()) {
+        Bindings.emplace(A.Id, T[I]);
+        NewlyBound.push_back(A.Id);
+      } else {
+        Ok = It->second == T[I];
+      }
+    }
+    if (Ok)
+      matchFrom(C, LitIdx + 1, DeltaPos, Delta, Bindings, NewTuples);
+    for (uint32_t V : NewlyBound)
+      Bindings.erase(V);
+  }
+}
+
+void Program::applyClause(const Clause &C, int DeltaPos,
+                          const std::vector<std::set<Tuple>> &Delta,
+                          std::set<Tuple> &NewTuples) {
+  std::map<uint32_t, Atom> Bindings;
+  matchFrom(C, 0, DeltaPos, Delta, Bindings, NewTuples);
+}
+
+bool Program::solve(std::string *Error) {
+  for (const Clause &C : Clauses)
+    if (!checkSafety(C, Error))
+      return false;
+
+  std::vector<std::vector<size_t>> ByStratum;
+  if (!stratify(ByStratum, Error))
+    return false;
+
+  for (const std::vector<size_t> &Stratum : ByStratum) {
+    // Naive first round (all-full evaluation) seeds the deltas.
+    std::vector<std::set<Tuple>> Delta(Relations.size());
+    for (size_t CI : Stratum) {
+      std::set<Tuple> New;
+      applyClause(Clauses[CI], -1, Delta, New);
+      for (const Tuple &T : New)
+        if (Relations[Clauses[CI].Head.Rel].Facts.insert(T).second) {
+          Delta[Clauses[CI].Head.Rel].insert(T);
+          ++Derived;
+        }
+    }
+    // Semi-naive iteration: at least one same-stratum positive literal is
+    // bound to the delta of the previous round.
+    std::set<RelId> StratumRels;
+    for (size_t CI : Stratum)
+      StratumRels.insert(Clauses[CI].Head.Rel);
+    while (true) {
+      std::vector<std::set<Tuple>> NewDelta(Relations.size());
+      bool Any = false;
+      for (size_t CI : Stratum) {
+        const Clause &C = Clauses[CI];
+        for (size_t LI = 0; LI < C.Body.size(); ++LI) {
+          const Literal &L = C.Body[LI];
+          if (L.Negated || !StratumRels.count(L.Rel) ||
+              Delta[L.Rel].empty())
+            continue;
+          std::set<Tuple> New;
+          applyClause(C, static_cast<int>(LI), Delta, New);
+          for (const Tuple &T : New)
+            if (Relations[C.Head.Rel].Facts.insert(T).second) {
+              NewDelta[C.Head.Rel].insert(T);
+              ++Derived;
+              Any = true;
+            }
+        }
+      }
+      if (!Any)
+        break;
+      Delta = std::move(NewDelta);
+    }
+  }
+  return true;
+}

@@ -1,0 +1,152 @@
+//===- alfp/Alfp.h - ALFP/Datalog fixpoint engine ---------------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small solver for Alternation-free Least Fixed Point logic in the style
+/// of the Succinct Solver [Nielson, Nielson, Seidl 2002], which is the
+/// engine the paper's authors implemented their analysis in. The fragment
+/// supported here is Datalog with stratified negation:
+///
+///   clause ::= R(t...) :- L1, ..., Ln.
+///   Li     ::= S(t...) | not S(t...)
+///
+/// Clauses must be safe (every head or negated variable is bound by a
+/// positive body literal) and negation must be stratified (no negative
+/// dependency inside a recursive component). Evaluation is semi-naive per
+/// stratum.
+///
+/// The ifa module encodes the closure rules of paper Tables 7-9 as clauses
+/// (ifa/AlfpClosure.h); tests assert that the engine reproduces the native
+/// closure exactly, validating both implementations against each other —
+/// the same cross-checking methodology the paper's authors used between
+/// their specification and their Succinct Solver encoding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_ALFP_ALFP_H
+#define VIF_ALFP_ALFP_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vif {
+namespace alfp {
+
+/// An interned constant.
+using Atom = uint32_t;
+/// A relation handle.
+using RelId = unsigned;
+/// A ground tuple.
+using Tuple = std::vector<Atom>;
+
+/// Interns strings as dense Atom ids.
+class Interner {
+public:
+  Atom intern(const std::string &S);
+  const std::string &name(Atom A) const;
+  size_t size() const { return Names.size(); }
+
+private:
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, Atom> Ids;
+};
+
+/// A term: either a clause-local variable or a constant atom.
+struct Term {
+  bool IsVar = false;
+  uint32_t Id = 0;
+
+  static Term var(uint32_t V) { return Term{true, V}; }
+  static Term atom(Atom A) { return Term{false, A}; }
+};
+
+/// A (possibly negated) relation application.
+struct Literal {
+  RelId Rel = 0;
+  bool Negated = false;
+  std::vector<Term> Args;
+};
+
+/// Head :- Body. An empty body is a fact schema (ground head required).
+struct Clause {
+  Literal Head;
+  std::vector<Literal> Body;
+};
+
+/// A Datalog program with stratified negation.
+class Program {
+public:
+  /// Declares (or retrieves) a relation.
+  RelId relation(const std::string &Name, unsigned Arity);
+
+  /// Looks a relation up by name without declaring it.
+  std::optional<RelId> findRelation(const std::string &Name) const;
+
+  /// Name and arity of a declared relation.
+  const std::string &relationName(RelId R) const;
+  unsigned relationArity(RelId R) const;
+
+  /// Number of declared relations (ids are dense, 0..count-1).
+  size_t relationCount() const { return Relations.size(); }
+
+  /// Adds a ground fact.
+  void fact(RelId R, Tuple T);
+
+  /// Adds a clause; safety is checked at solve() time.
+  void clause(Clause C) { Clauses.push_back(std::move(C)); }
+
+  /// Runs the fixpoint. Returns false (with \p Error filled in) on safety
+  /// or stratification violations.
+  bool solve(std::string *Error = nullptr);
+
+  const std::set<Tuple> &tuples(RelId R) const;
+  bool contains(RelId R, const Tuple &T) const;
+
+  /// Total number of tuples derived by solve() beyond the base facts.
+  size_t derivedCount() const { return Derived; }
+  /// Number of rule applications attempted (for the complexity benches).
+  size_t applications() const { return Applications; }
+
+  Interner &atoms() { return Atoms; }
+  const Interner &atoms() const { return Atoms; }
+
+private:
+  struct Relation {
+    std::string Name;
+    unsigned Arity;
+    std::set<Tuple> Facts;
+  };
+
+  bool checkSafety(const Clause &C, std::string *Error) const;
+  bool stratify(std::vector<std::vector<size_t>> &ClausesByStratum,
+                std::string *Error) const;
+  /// Evaluates \p C with body literal \p DeltaPos restricted to \p Delta;
+  /// DeltaPos == -1 means evaluate against full relations only.
+  void applyClause(const Clause &C, int DeltaPos,
+                   const std::vector<std::set<Tuple>> &Delta,
+                   std::set<Tuple> &NewTuples);
+  void matchFrom(const Clause &C, size_t LitIdx, int DeltaPos,
+                 const std::vector<std::set<Tuple>> &Delta,
+                 std::map<uint32_t, Atom> &Bindings,
+                 std::set<Tuple> &NewTuples);
+
+  Interner Atoms;
+  std::vector<Relation> Relations;
+  std::unordered_map<std::string, RelId> RelIds;
+  std::vector<Clause> Clauses;
+  size_t Derived = 0;
+  size_t Applications = 0;
+};
+
+} // namespace alfp
+} // namespace vif
+
+#endif // VIF_ALFP_ALFP_H

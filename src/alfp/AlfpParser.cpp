@@ -1,0 +1,256 @@
+//===- alfp/AlfpParser.cpp ------------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alfp/AlfpParser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+using namespace vif;
+using namespace vif::alfp;
+
+namespace {
+
+/// Character-level cursor with line/column tracking.
+class Cursor {
+public:
+  Cursor(const std::string &Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  void skipTrivia() {
+    while (!atEnd()) {
+      char C = peek();
+      if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+        advance();
+        continue;
+      }
+      if (C == '-' && Pos + 1 < Source.size() && Source[Pos + 1] == '-') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  bool atEnd() const { return Pos >= Source.size(); }
+  char peek() const { return atEnd() ? '\0' : Source[Pos]; }
+
+  char advance() {
+    char C = Source[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  bool accept(char C) {
+    skipTrivia();
+    if (peek() != C)
+      return false;
+    advance();
+    return true;
+  }
+
+  bool expect(char C, const char *Context) {
+    if (accept(C))
+      return true;
+    Diags.error(loc(), std::string("expected '") + C + "' in " + Context);
+    return false;
+  }
+
+  /// Reads an identifier ([A-Za-z_][A-Za-z0-9_']*); empty on failure.
+  std::string ident() {
+    skipTrivia();
+    std::string S;
+    if (!atEnd() &&
+        (std::isalpha(static_cast<unsigned char>(peek())) || peek() == '_'))
+      S.push_back(advance());
+    while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                        peek() == '_' || peek() == '\''))
+      S.push_back(advance());
+    return S;
+  }
+
+  SourceLoc loc() const { return SourceLoc(Line, Col); }
+
+private:
+  const std::string &Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+};
+
+class AlfpParser {
+public:
+  AlfpParser(const std::string &Source, DiagnosticEngine &Diags)
+      : C(Source, Diags), Diags(Diags) {}
+
+  ParsedProgram run() {
+    for (;;) {
+      C.skipTrivia();
+      if (C.atEnd())
+        return std::move(Result);
+      if (C.accept('?')) {
+        std::string Name = C.ident();
+        if (Name.empty()) {
+          Diags.error(C.loc(), "expected relation name after '?'");
+          return std::move(Result);
+        }
+        PendingQueries.push_back(Name);
+        continue;
+      }
+      parseClause();
+      if (Diags.hasErrors())
+        return std::move(Result);
+    }
+  }
+
+private:
+  struct ParsedLiteral {
+    std::string Rel;
+    bool Negated = false;
+    std::vector<Term> Args;
+    SourceLoc Loc;
+    bool Ground = true;
+  };
+
+  /// Variables are clause-local; this maps their names to dense ids.
+  std::map<std::string, uint32_t> VarIds;
+
+  std::optional<ParsedLiteral> parseLiteral() {
+    ParsedLiteral L;
+    L.Loc = C.loc();
+    L.Negated = C.accept('!');
+    L.Rel = C.ident();
+    if (L.Rel.empty()) {
+      Diags.error(C.loc(), "expected relation name");
+      return std::nullopt;
+    }
+    if (!C.expect('(', "literal"))
+      return std::nullopt;
+    for (;;) {
+      std::string Arg = C.ident();
+      if (Arg.empty()) {
+        Diags.error(C.loc(), "expected argument");
+        return std::nullopt;
+      }
+      if (std::isupper(static_cast<unsigned char>(Arg[0]))) {
+        auto [It, New] = VarIds.try_emplace(
+            Arg, static_cast<uint32_t>(VarIds.size()));
+        (void)New;
+        L.Args.push_back(Term::var(It->second));
+        L.Ground = false;
+      } else {
+        L.Args.push_back(Term::atom(Result.P.atoms().intern(Arg)));
+      }
+      if (C.accept(','))
+        continue;
+      if (!C.expect(')', "literal"))
+        return std::nullopt;
+      return L;
+    }
+  }
+
+  RelId relationFor(const ParsedLiteral &L) {
+    return Result.P.relation(L.Rel, static_cast<unsigned>(L.Args.size()));
+  }
+
+  void parseClause() {
+    VarIds.clear();
+    std::optional<ParsedLiteral> Head = parseLiteral();
+    if (!Head)
+      return;
+    if (Head->Negated) {
+      Diags.error(Head->Loc, "clause head must not be negated");
+      return;
+    }
+    Clause Cl;
+    Cl.Head = Literal{relationFor(*Head), false, Head->Args};
+    bool HeadGround = Head->Ground;
+
+    C.skipTrivia();
+    if (C.accept('.')) {
+      if (!HeadGround) {
+        Diags.error(Head->Loc, "facts must be ground");
+        return;
+      }
+      Tuple T;
+      for (const Term &A : Head->Args)
+        T.push_back(A.Id);
+      Result.P.fact(Cl.Head.Rel, std::move(T));
+      return;
+    }
+    // ":-" body.
+    if (!C.accept(':') || !C.accept('-')) {
+      Diags.error(C.loc(), "expected '.' or ':-' after clause head");
+      return;
+    }
+    for (;;) {
+      std::optional<ParsedLiteral> Lit = parseLiteral();
+      if (!Lit)
+        return;
+      Cl.Body.push_back(Literal{relationFor(*Lit), Lit->Negated, Lit->Args});
+      if (C.accept(','))
+        continue;
+      if (!C.expect('.', "clause"))
+        return;
+      break;
+    }
+    Result.P.clause(std::move(Cl));
+  }
+
+  Cursor C;
+  DiagnosticEngine &Diags;
+  ParsedProgram Result;
+
+public:
+  std::vector<std::string> PendingQueries;
+};
+
+} // namespace
+
+ParsedProgram vif::alfp::parseAlfp(const std::string &Source,
+                                   DiagnosticEngine &Diags) {
+  AlfpParser Parser(Source, Diags);
+  ParsedProgram Result = Parser.run();
+  // Resolve `?rel` directives once every relation has been declared.
+  for (const std::string &Name : Parser.PendingQueries) {
+    std::optional<RelId> Rel = Result.P.findRelation(Name);
+    if (!Rel) {
+      Diags.error(SourceLoc(), "query of unknown relation '" + Name + "'");
+      continue;
+    }
+    Result.Queries.push_back(*Rel);
+  }
+  return Result;
+}
+
+std::string vif::alfp::dumpRelation(const Program &P, RelId Rel) {
+  // Tuples print in the set's lexicographic atom-id order, which is
+  // deterministic; sort the rendered lines so output is stable even across
+  // interner orderings.
+  std::vector<std::string> Lines;
+  for (const Tuple &T : P.tuples(Rel)) {
+    std::ostringstream OS;
+    OS << P.relationName(Rel) << '(';
+    for (size_t I = 0; I < T.size(); ++I)
+      OS << (I ? ", " : "") << P.atoms().name(T[I]);
+    OS << ").";
+    Lines.push_back(OS.str());
+  }
+  std::sort(Lines.begin(), Lines.end());
+  std::ostringstream OS;
+  for (const std::string &L : Lines)
+    OS << L << '\n';
+  return OS.str();
+}

@@ -1,0 +1,51 @@
+//===- alfp/AlfpParser.h - Text syntax for ALFP programs --------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A concrete syntax for the ALFP/Datalog engine, in the tradition of the
+/// Succinct Solver's clause input:
+///
+///   path(X, Y) :- edge(X, Y).
+///   path(X, Z) :- path(X, Y), edge(Y, Z).
+///   unreach(X) :- node(X), !reach(X).
+///   edge(a, b).                      -- facts are clauses without body
+///   ?path                           -- marks a relation for output
+///
+/// Identifiers starting with an uppercase letter are variables; everything
+/// else is a constant atom. `--` starts a line comment. Negation is `!`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_ALFP_ALFPPARSER_H
+#define VIF_ALFP_ALFPPARSER_H
+
+#include "alfp/Alfp.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace vif {
+namespace alfp {
+
+/// Result of parsing: the populated program plus the relations flagged for
+/// output with `?rel` directives (in source order).
+struct ParsedProgram {
+  Program P;
+  std::vector<RelId> Queries;
+};
+
+/// Parses \p Source into a program; reports problems to \p Diags. The
+/// program is usable iff !Diags.hasErrors().
+ParsedProgram parseAlfp(const std::string &Source, DiagnosticEngine &Diags);
+
+/// Renders all tuples of \p Rel as "rel(a, b).\n" lines, sorted.
+std::string dumpRelation(const Program &P, RelId Rel);
+
+} // namespace alfp
+} // namespace vif
+
+#endif // VIF_ALFP_ALFPPARSER_H

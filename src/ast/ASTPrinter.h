@@ -1,0 +1,38 @@
+//===- ast/ASTPrinter.h - VHDL1 pretty printer ------------------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders AST nodes back to VHDL1 concrete syntax. The printer is exact
+/// enough to round-trip: parse(print(ast)) is structurally identical to ast,
+/// which the parser tests exploit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_AST_ASTPRINTER_H
+#define VIF_AST_ASTPRINTER_H
+
+#include "ast/Design.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace vif {
+
+void printExpr(std::ostream &OS, const Expr &E);
+void printStmt(std::ostream &OS, const Stmt &S, unsigned Indent = 0);
+void printDecl(std::ostream &OS, const Decl &D, unsigned Indent = 0);
+void printConcStmt(std::ostream &OS, const ConcStmt &S, unsigned Indent = 0);
+void printEntity(std::ostream &OS, const Entity &E);
+void printArchitecture(std::ostream &OS, const Architecture &A);
+void printDesignFile(std::ostream &OS, const DesignFile &D);
+
+std::string exprToString(const Expr &E);
+std::string stmtToString(const Stmt &S);
+std::string designToString(const DesignFile &D);
+
+} // namespace vif
+
+#endif // VIF_AST_ASTPRINTER_H

@@ -1,0 +1,39 @@
+//===- ast/Design.cpp -----------------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Design.h"
+
+using namespace vif;
+
+// Out-of-line virtual anchor.
+ConcStmt::~ConcStmt() = default;
+
+const char *vif::portModeSpelling(PortMode Mode) {
+  switch (Mode) {
+  case PortMode::In:
+    return "in";
+  case PortMode::Out:
+    return "out";
+  case PortMode::InOut:
+    return "inout";
+  }
+  return "?";
+}
+
+const Entity *DesignFile::findEntity(const std::string &Name) const {
+  for (const Entity &E : Entities)
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
+const Architecture *
+DesignFile::findArchitecture(const std::string &Name) const {
+  for (const Architecture &A : Architectures)
+    if (A.Name == Name)
+      return &A;
+  return nullptr;
+}

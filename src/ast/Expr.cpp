@@ -1,0 +1,125 @@
+//===- ast/Expr.cpp -------------------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Expr.h"
+
+#include "support/Casting.h"
+
+using namespace vif;
+
+// Out-of-line virtual anchor.
+Expr::~Expr() = default;
+
+const char *vif::unaryOpSpelling(UnaryOpKind Op) {
+  switch (Op) {
+  case UnaryOpKind::Not:
+    return "not";
+  }
+  return "?";
+}
+
+const char *vif::binaryOpSpelling(BinaryOpKind Op) {
+  switch (Op) {
+  case BinaryOpKind::And:
+    return "and";
+  case BinaryOpKind::Or:
+    return "or";
+  case BinaryOpKind::Nand:
+    return "nand";
+  case BinaryOpKind::Nor:
+    return "nor";
+  case BinaryOpKind::Xor:
+    return "xor";
+  case BinaryOpKind::Xnor:
+    return "xnor";
+  case BinaryOpKind::Eq:
+    return "=";
+  case BinaryOpKind::Ne:
+    return "/=";
+  case BinaryOpKind::Lt:
+    return "<";
+  case BinaryOpKind::Le:
+    return "<=";
+  case BinaryOpKind::Gt:
+    return ">";
+  case BinaryOpKind::Ge:
+    return ">=";
+  case BinaryOpKind::Add:
+    return "+";
+  case BinaryOpKind::Sub:
+    return "-";
+  case BinaryOpKind::Mul:
+    return "*";
+  case BinaryOpKind::Concat:
+    return "&";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Copies the sema annotations (type) shared by all nodes.
+template <typename NodeT> ExprPtr annotated(std::unique_ptr<NodeT> Node,
+                                            const Expr &Original) {
+  if (Original.hasType())
+    Node->setType(Original.type());
+  return Node;
+}
+
+} // namespace
+
+ExprPtr LogicLiteralExpr::clone() const {
+  return annotated(std::make_unique<LogicLiteralExpr>(Value, range()), *this);
+}
+
+ExprPtr VectorLiteralExpr::clone() const {
+  return annotated(std::make_unique<VectorLiteralExpr>(Value, range()), *this);
+}
+
+ExprPtr NameExpr::clone() const {
+  auto Node = std::make_unique<NameExpr>(Name, range());
+  Node->setRef(Ref);
+  return annotated(std::move(Node), *this);
+}
+
+ExprPtr SliceExpr::clone() const {
+  auto Node = std::make_unique<SliceExpr>(Name, Slice, range());
+  Node->setRef(Ref);
+  return annotated(std::move(Node), *this);
+}
+
+ExprPtr UnaryExpr::clone() const {
+  return annotated(
+      std::make_unique<UnaryExpr>(Op, Sub->clone(), range()), *this);
+}
+
+ExprPtr BinaryExpr::clone() const {
+  return annotated(
+      std::make_unique<BinaryExpr>(Op, LHS->clone(), RHS->clone(), range()),
+      *this);
+}
+
+void vif::forEachNameUse(const Expr &E,
+                         const std::function<void(const Expr &)> &Fn) {
+  switch (E.kind()) {
+  case Expr::Kind::LogicLiteral:
+  case Expr::Kind::VectorLiteral:
+    return;
+  case Expr::Kind::Name:
+  case Expr::Kind::Slice:
+    Fn(E);
+    return;
+  case Expr::Kind::Unary:
+    forEachNameUse(cast<UnaryExpr>(&E)->sub(), Fn);
+    return;
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(&E);
+    forEachNameUse(B->lhs(), Fn);
+    forEachNameUse(B->rhs(), Fn);
+    return;
+  }
+  }
+}

@@ -1,0 +1,257 @@
+//===- ast/Expr.h - VHDL1 expressions ---------------------------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The VHDL1 expression grammar (paper Figure 1):
+///
+///   e ::= m | a | x | x(z1 downto z2) | x(z1 to z2) | s | s(z1 downto z2)
+///       | s(z1 to z2) | opum e | e1 opbm e2 | e1 opa e2
+///
+/// Variables and signals are syntactically identical identifiers; the parser
+/// produces NameExpr/SliceExpr nodes and the elaborator resolves each to a
+/// variable or a signal (ObjectRef). All analyses require resolved trees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_AST_EXPR_H
+#define VIF_AST_EXPR_H
+
+#include "ast/Type.h"
+#include "stdlogic/LogicVector.h"
+#include "stdlogic/StdLogic.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace vif {
+
+/// Resolution of an identifier to the elaborated object it denotes.
+/// Variable ids index ElaboratedProgram::Variables, signal ids
+/// ElaboratedProgram::Signals.
+struct ObjectRef {
+  enum class Kind : uint8_t { Unresolved, Variable, Signal };
+
+  Kind K = Kind::Unresolved;
+  unsigned Id = 0;
+
+  bool isResolved() const { return K != Kind::Unresolved; }
+  bool isVariable() const { return K == Kind::Variable; }
+  bool isSignal() const { return K == Kind::Signal; }
+
+  static ObjectRef variable(unsigned Id) {
+    return ObjectRef{Kind::Variable, Id};
+  }
+  static ObjectRef signal(unsigned Id) { return ObjectRef{Kind::Signal, Id}; }
+};
+
+/// A static slice designator (z1 downto z2) or (z1 to z2).
+struct SliceSpec {
+  int Z1 = 0;
+  int Z2 = 0;
+  bool Downto = true;
+
+  unsigned width() const {
+    return static_cast<unsigned>(Z1 > Z2 ? Z1 - Z2 : Z2 - Z1) + 1;
+  }
+  std::string str() const {
+    return std::to_string(Z1) + (Downto ? " downto " : " to ") +
+           std::to_string(Z2);
+  }
+};
+
+enum class UnaryOpKind : uint8_t { Not };
+
+enum class BinaryOpKind : uint8_t {
+  // opbm: logical operators, element-wise on equal-width vectors.
+  And,
+  Or,
+  Nand,
+  Nor,
+  Xor,
+  Xnor,
+  // Relational operators; result is std_logic (the fragment folds booleans
+  // into std_logic, conditions test for '1').
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  // opa: arithmetic on equal-width vectors (numeric_std unsigned, mod 2^n).
+  Add,
+  Sub,
+  Mul,
+  // Concatenation.
+  Concat,
+};
+
+/// VHDL spelling of an operator ("and", "/=", "&", ...).
+const char *unaryOpSpelling(UnaryOpKind Op);
+const char *binaryOpSpelling(BinaryOpKind Op);
+
+/// Base class of all VHDL1 expressions.
+class Expr {
+public:
+  enum class Kind : uint8_t {
+    LogicLiteral,
+    VectorLiteral,
+    Name,
+    Slice,
+    Unary,
+    Binary,
+  };
+
+  virtual ~Expr();
+
+  Kind kind() const { return K; }
+  SourceRange range() const { return Range; }
+
+  /// The static type, filled in by the elaborator.
+  bool hasType() const { return Ty.has_value(); }
+  const Type &type() const {
+    assert(Ty && "expression has not been type-checked");
+    return *Ty;
+  }
+  void setType(Type T) { Ty = T; }
+
+  /// Deep copy, preserving resolution and type annotations.
+  virtual std::unique_ptr<Expr> clone() const = 0;
+
+protected:
+  Expr(Kind K, SourceRange Range) : K(K), Range(Range) {}
+  Expr(const Expr &) = default;
+
+private:
+  Kind K;
+  SourceRange Range;
+  std::optional<Type> Ty;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// A logic-value literal, e.g. '1'.
+class LogicLiteralExpr : public Expr {
+public:
+  LogicLiteralExpr(StdLogic Value, SourceRange Range)
+      : Expr(Kind::LogicLiteral, Range), Value(Value) {}
+
+  StdLogic value() const { return Value; }
+
+  ExprPtr clone() const override;
+  static bool classof(const Expr *E) {
+    return E->kind() == Kind::LogicLiteral;
+  }
+
+private:
+  StdLogic Value;
+};
+
+/// A vector literal, e.g. "0101".
+class VectorLiteralExpr : public Expr {
+public:
+  VectorLiteralExpr(LogicVector Value, SourceRange Range)
+      : Expr(Kind::VectorLiteral, Range), Value(std::move(Value)) {}
+
+  const LogicVector &value() const { return Value; }
+
+  ExprPtr clone() const override;
+  static bool classof(const Expr *E) {
+    return E->kind() == Kind::VectorLiteral;
+  }
+
+private:
+  LogicVector Value;
+};
+
+/// A whole-object reference: x or s.
+class NameExpr : public Expr {
+public:
+  NameExpr(std::string Name, SourceRange Range)
+      : Expr(Kind::Name, Range), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  ObjectRef ref() const { return Ref; }
+  void setRef(ObjectRef R) { Ref = R; }
+
+  ExprPtr clone() const override;
+  static bool classof(const Expr *E) { return E->kind() == Kind::Name; }
+
+private:
+  std::string Name;
+  ObjectRef Ref;
+};
+
+/// A static slice of an object: x(z1 downto z2) or s(z1 to z2).
+class SliceExpr : public Expr {
+public:
+  SliceExpr(std::string Name, SliceSpec Slice, SourceRange Range)
+      : Expr(Kind::Slice, Range), Name(std::move(Name)), Slice(Slice) {}
+
+  const std::string &name() const { return Name; }
+  const SliceSpec &slice() const { return Slice; }
+  ObjectRef ref() const { return Ref; }
+  void setRef(ObjectRef R) { Ref = R; }
+
+  ExprPtr clone() const override;
+  static bool classof(const Expr *E) { return E->kind() == Kind::Slice; }
+
+private:
+  std::string Name;
+  SliceSpec Slice;
+  ObjectRef Ref;
+};
+
+/// opum e.
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOpKind Op, ExprPtr Sub, SourceRange Range)
+      : Expr(Kind::Unary, Range), Op(Op), Sub(std::move(Sub)) {}
+
+  UnaryOpKind op() const { return Op; }
+  const Expr &sub() const { return *Sub; }
+  Expr &sub() { return *Sub; }
+
+  ExprPtr clone() const override;
+  static bool classof(const Expr *E) { return E->kind() == Kind::Unary; }
+
+private:
+  UnaryOpKind Op;
+  ExprPtr Sub;
+};
+
+/// e1 opbm e2 and e1 opa e2.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOpKind Op, ExprPtr LHS, ExprPtr RHS, SourceRange Range)
+      : Expr(Kind::Binary, Range), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+
+  BinaryOpKind op() const { return Op; }
+  const Expr &lhs() const { return *LHS; }
+  const Expr &rhs() const { return *RHS; }
+  Expr &lhs() { return *LHS; }
+  Expr &rhs() { return *RHS; }
+
+  ExprPtr clone() const override;
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+
+private:
+  BinaryOpKind Op;
+  ExprPtr LHS;
+  ExprPtr RHS;
+};
+
+/// Invokes \p Fn on every NameExpr/SliceExpr in \p E (pre-order).
+void forEachNameUse(const Expr &E,
+                    const std::function<void(const Expr &)> &Fn);
+
+} // namespace vif
+
+#endif // VIF_AST_EXPR_H

@@ -1,0 +1,59 @@
+//===- ast/Stmt.cpp -------------------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Stmt.h"
+
+using namespace vif;
+
+// Out-of-line virtual anchor.
+Stmt::~Stmt() = default;
+
+StmtPtr NullStmt::clone() const {
+  return std::make_unique<NullStmt>(range());
+}
+
+StmtPtr VarAssignStmt::clone() const {
+  auto Node = std::make_unique<VarAssignStmt>(
+      targetName(), hasSlice() ? std::optional<SliceSpec>(slice())
+                               : std::nullopt,
+      value().clone(), range());
+  Node->setTargetRef(targetRef());
+  return Node;
+}
+
+StmtPtr SignalAssignStmt::clone() const {
+  auto Node = std::make_unique<SignalAssignStmt>(
+      targetName(), hasSlice() ? std::optional<SliceSpec>(slice())
+                               : std::nullopt,
+      value().clone(), range());
+  Node->setTargetRef(targetRef());
+  return Node;
+}
+
+StmtPtr WaitStmt::clone() const {
+  auto Node = std::make_unique<WaitStmt>(
+      onNames(), hasExplicitOn(), hasUntil() ? until().clone() : nullptr,
+      range());
+  Node->setOnSignals(onSignals());
+  return Node;
+}
+
+StmtPtr CompoundStmt::clone() const {
+  std::vector<StmtPtr> Cloned;
+  Cloned.reserve(Stmts.size());
+  for (const StmtPtr &S : Stmts)
+    Cloned.push_back(S->clone());
+  return std::make_unique<CompoundStmt>(std::move(Cloned), range());
+}
+
+StmtPtr IfStmt::clone() const {
+  return std::make_unique<IfStmt>(Cond->clone(), Then->clone(),
+                                  Else->clone(), range());
+}
+
+StmtPtr WhileStmt::clone() const {
+  return std::make_unique<WhileStmt>(Cond->clone(), Body->clone(), range());
+}

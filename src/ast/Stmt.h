@@ -1,0 +1,236 @@
+//===- ast/Stmt.h - VHDL1 sequential statements -----------------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The VHDL1 statement grammar (paper Figure 1):
+///
+///   ss ::= null | x := e | x(z1 downto z2) := e | x(z1 to z2) := e
+///        | s <= e | s(z1 downto z2) <= e | s(z1 to z2) <= e
+///        | wait on S until e | ss1; ss2 | if e then ss1 else ss2
+///        | while e do ss
+///
+/// The binary sequencing ss1; ss2 is represented as an n-ary CompoundStmt,
+/// which is equivalent up to associativity and more convenient for a parser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_AST_STMT_H
+#define VIF_AST_STMT_H
+
+#include "ast/Expr.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vif {
+
+/// Base class of all VHDL1 sequential statements.
+class Stmt {
+public:
+  enum class Kind : uint8_t {
+    Null,
+    VarAssign,
+    SignalAssign,
+    Wait,
+    Compound,
+    If,
+    While,
+  };
+
+  virtual ~Stmt();
+
+  Kind kind() const { return K; }
+  SourceRange range() const { return Range; }
+
+  /// Deep copy, preserving resolution and type annotations.
+  virtual std::unique_ptr<Stmt> clone() const = 0;
+
+protected:
+  Stmt(Kind K, SourceRange Range) : K(K), Range(Range) {}
+
+private:
+  Kind K;
+  SourceRange Range;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// null.
+class NullStmt : public Stmt {
+public:
+  explicit NullStmt(SourceRange Range = SourceRange())
+      : Stmt(Kind::Null, Range) {}
+
+  StmtPtr clone() const override;
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Null; }
+};
+
+/// Common shape of the two assignment statements: a target name with an
+/// optional static slice and a value expression.
+class AssignStmtBase : public Stmt {
+public:
+  const std::string &targetName() const { return Target; }
+  bool hasSlice() const { return Slice.has_value(); }
+  const SliceSpec &slice() const {
+    assert(Slice && "assignment has no slice");
+    return *Slice;
+  }
+  const Expr &value() const { return *Value; }
+  Expr &value() { return *Value; }
+
+  ObjectRef targetRef() const { return Ref; }
+  void setTargetRef(ObjectRef R) { Ref = R; }
+
+  static bool classof(const Stmt *S) {
+    return S->kind() == Kind::VarAssign || S->kind() == Kind::SignalAssign;
+  }
+
+protected:
+  AssignStmtBase(Kind K, std::string Target, std::optional<SliceSpec> Slice,
+                 ExprPtr Value, SourceRange Range)
+      : Stmt(K, Range), Target(std::move(Target)), Slice(Slice),
+        Value(std::move(Value)) {}
+
+private:
+  std::string Target;
+  std::optional<SliceSpec> Slice;
+  ExprPtr Value;
+  ObjectRef Ref;
+};
+
+/// x := e and x(z1 downto z2) := e. The parser cannot distinguish variable
+/// from signal targets by name, but it can by operator: ":=" always targets
+/// a variable, "<=" always a signal.
+class VarAssignStmt : public AssignStmtBase {
+public:
+  VarAssignStmt(std::string Target, std::optional<SliceSpec> Slice,
+                ExprPtr Value, SourceRange Range)
+      : AssignStmtBase(Kind::VarAssign, std::move(Target), Slice,
+                       std::move(Value), Range) {}
+
+  StmtPtr clone() const override;
+  static bool classof(const Stmt *S) { return S->kind() == Kind::VarAssign; }
+};
+
+/// s <= e and s(z1 downto z2) <= e. Assigns the *active* value (available
+/// after the next delta-cycle); the present value is untouched.
+class SignalAssignStmt : public AssignStmtBase {
+public:
+  SignalAssignStmt(std::string Target, std::optional<SliceSpec> Slice,
+                   ExprPtr Value, SourceRange Range)
+      : AssignStmtBase(Kind::SignalAssign, std::move(Target), Slice,
+                       std::move(Value), Range) {}
+
+  StmtPtr clone() const override;
+  static bool classof(const Stmt *S) {
+    return S->kind() == Kind::SignalAssign;
+  }
+};
+
+/// wait on S until e. Both components are optional in the source: the
+/// defaults are S = FS(e) and e = true (paper Section 2); the elaborator
+/// materializes them so analyses always see both.
+class WaitStmt : public Stmt {
+public:
+  WaitStmt(std::vector<std::string> OnNames, bool HasOn, ExprPtr Until,
+           SourceRange Range)
+      : Stmt(Kind::Wait, Range), OnNames(std::move(OnNames)), HasOn(HasOn),
+        Until(std::move(Until)) {}
+
+  /// Signal names in the `on` clause as written (possibly empty).
+  const std::vector<std::string> &onNames() const { return OnNames; }
+  bool hasExplicitOn() const { return HasOn; }
+
+  bool hasUntil() const { return Until != nullptr; }
+  const Expr &until() const {
+    assert(Until && "wait has no until condition");
+    return *Until;
+  }
+  Expr &until() {
+    assert(Until && "wait has no until condition");
+    return *Until;
+  }
+
+  /// Resolved ids of the signals waited on (filled by the elaborator,
+  /// including defaulted `on` sets).
+  const std::vector<unsigned> &onSignals() const { return OnSignals; }
+  void setOnSignals(std::vector<unsigned> Sigs) {
+    OnSignals = std::move(Sigs);
+  }
+
+  StmtPtr clone() const override;
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Wait; }
+
+private:
+  std::vector<std::string> OnNames;
+  bool HasOn;
+  ExprPtr Until;
+  std::vector<unsigned> OnSignals;
+};
+
+/// ss1; ss2; ...; ssn.
+class CompoundStmt : public Stmt {
+public:
+  CompoundStmt(std::vector<StmtPtr> Stmts, SourceRange Range)
+      : Stmt(Kind::Compound, Range), Stmts(std::move(Stmts)) {}
+
+  const std::vector<StmtPtr> &stmts() const { return Stmts; }
+  std::vector<StmtPtr> &stmts() { return Stmts; }
+
+  StmtPtr clone() const override;
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Compound; }
+
+private:
+  std::vector<StmtPtr> Stmts;
+};
+
+/// if e then ss1 else ss2. A missing else branch parses as NullStmt, so
+/// Else is never null.
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else, SourceRange Range)
+      : Stmt(Kind::If, Range), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {
+    assert(this->Then && this->Else && "if branches must be non-null");
+  }
+
+  const Expr &cond() const { return *Cond; }
+  Expr &cond() { return *Cond; }
+  const Stmt &thenStmt() const { return *Then; }
+  const Stmt &elseStmt() const { return *Else; }
+
+  StmtPtr clone() const override;
+  static bool classof(const Stmt *S) { return S->kind() == Kind::If; }
+
+private:
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else;
+};
+
+/// while e do ss.
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(ExprPtr Cond, StmtPtr Body, SourceRange Range)
+      : Stmt(Kind::While, Range), Cond(std::move(Cond)),
+        Body(std::move(Body)) {}
+
+  const Expr &cond() const { return *Cond; }
+  Expr &cond() { return *Cond; }
+  const Stmt &body() const { return *Body; }
+
+  StmtPtr clone() const override;
+  static bool classof(const Stmt *S) { return S->kind() == Kind::While; }
+
+private:
+  ExprPtr Cond;
+  StmtPtr Body;
+};
+
+} // namespace vif
+
+#endif // VIF_AST_STMT_H

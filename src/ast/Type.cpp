@@ -1,0 +1,16 @@
+//===- ast/Type.cpp -------------------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Type.h"
+
+using namespace vif;
+
+std::string Type::str() const {
+  if (!IsVector)
+    return "std_logic";
+  return "std_logic_vector(" + std::to_string(Left) +
+         (Downto ? " downto " : " to ") + std::to_string(Right) + ")";
+}

@@ -1,0 +1,40 @@
+//===- ifa/AlfpClosure.h - Closure via the ALFP engine ----------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Encodes the closure constraint systems of paper Tables 7-9 as an ALFP
+/// (Datalog) program and solves them with the alfp engine — the same route
+/// the paper's implementation took through the Succinct Solver. The
+/// resulting RMgl must coincide with the native closure of
+/// ifa/InformationFlow.h; tests and the ABL-SOLVER bench rely on that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_IFA_ALFPCLOSURE_H
+#define VIF_IFA_ALFPCLOSURE_H
+
+#include "ifa/InformationFlow.h"
+
+namespace vif {
+
+struct AlfpClosureResult {
+  bool Solved = false;
+  std::string Error;
+  ResourceMatrix RMgl;
+  size_t DerivedTuples = 0;
+  size_t Applications = 0;
+};
+
+/// Re-derives \p Native.RMgl through the ALFP engine. \p Opts must be the
+/// options the native result was computed with.
+AlfpClosureResult closeWithAlfp(const ElaboratedProgram &Program,
+                                const ProgramCFG &CFG,
+                                const IFAResult &Native,
+                                const IFAOptions &Opts);
+
+} // namespace vif
+
+#endif // VIF_IFA_ALFPCLOSURE_H

@@ -1,0 +1,268 @@
+//===- ifa/InformationFlow.cpp --------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ifa/InformationFlow.h"
+
+#include "ifa/LocalDeps.h"
+
+#include <deque>
+
+using namespace vif;
+
+Digraph IFAResult::interfaceGraph() const {
+  return Graph.inducedSubgraph([](const std::string &Name) {
+    // Interface nodes carry the ◦ / • suffix (see Resource::name).
+    auto EndsWith = [&](const char *Suffix) {
+      size_t N = std::string(Suffix).size();
+      return Name.size() >= N && Name.compare(Name.size() - N, N, Suffix) == 0;
+    };
+    return EndsWith("◦") || EndsWith("•");
+  });
+}
+
+Digraph vif::extractFlowGraph(const ResourceMatrix &RM,
+                              const ElaboratedProgram &Program) {
+  Digraph G;
+  for (LabelId L : RM.labels()) {
+    std::vector<Resource> Reads = RM.resourcesAt(L, Access::R0);
+    if (Reads.empty())
+      continue;
+    std::vector<Resource> Mods = RM.resourcesAt(L, Access::M0);
+    std::vector<Resource> M1 = RM.resourcesAt(L, Access::M1);
+    Mods.insert(Mods.end(), M1.begin(), M1.end());
+    for (Resource M : Mods)
+      for (Resource R : Reads)
+        G.addEdge(R.name(Program), M.name(Program));
+  }
+  return G;
+}
+
+namespace {
+
+/// Builds the static copy graph described in the header: an edge
+/// (Src -> Dst) means every (n, Src, R0) entry of RMgl induces
+/// (n, Dst, R0).
+struct CopyGraph {
+  /// Adjacency: for each source label, the labels it feeds.
+  std::map<LabelId, std::vector<LabelId>> Succs;
+
+  void addEdge(LabelId Src, LabelId Dst) {
+    if (Src == Dst)
+      return;
+    std::vector<LabelId> &V = Succs[Src];
+    for (LabelId Existing : V)
+      if (Existing == Dst)
+        return;
+    V.push_back(Dst);
+  }
+};
+
+} // namespace
+
+IFAResult vif::analyzeInformationFlow(const ElaboratedProgram &Program,
+                                      const ProgramCFG &CFG,
+                                      const IFAOptions &Opts) {
+  IFAResult R;
+  R.RMlo = computeLocalDeps(Program, CFG);
+  R.Active = analyzeActiveSignals(Program, CFG);
+  R.RD = analyzeReachingDefs(Program, CFG, R.Active, Opts.RD);
+
+  size_t NumLabels = CFG.numLabels();
+  R.RDDagger.resize(NumLabels + 1);
+  R.RDDaggerPhi.resize(NumLabels + 1);
+
+  // Table 7: specialize the RD results to actual uses.
+  for (LabelId L = 1; L <= NumLabels; ++L) {
+    for (const DefPair &P : R.RD.Entry[L])
+      if (R.RMlo.contains(P.N, L, Access::R0))
+        R.RDDagger[L].insert(P);
+    if (CFG.isWaitLabel(L))
+      for (const DefPair &P : R.Active.MayEntry[L])
+        if (R.RMlo.contains(P.N, L, Access::R1))
+          R.RDDaggerPhi[L].insert(P);
+  }
+
+  // [Initialization].
+  R.RMgl = R.RMlo;
+
+  bool Improved = Opts.Improved || Opts.ProgramEndOutgoing;
+
+  // Allocate the outgoing pseudo-labels l_{n•} (Table 9) above all real
+  // labels.
+  LabelId NextLabel = static_cast<LabelId>(NumLabels) + 1;
+  auto outgoingLabel = [&](Resource N) -> LabelId {
+    auto [It, New] = R.OutgoingLabels.try_emplace(N, NextLabel);
+    if (New)
+      ++NextLabel;
+    return It->second;
+  };
+
+  CopyGraph Copies;
+
+  // [Present values and local variables]: copy edge l' -> l for every
+  // (n', l') ∈ RD†(l) with l' a real label.
+  for (LabelId L = 1; L <= NumLabels; ++L)
+    for (const DefPair &P : R.RDDagger[L])
+      if (P.L != InitialLabel)
+        Copies.addEdge(P.L, L);
+
+  // [Synchronized values]: for (s', l_i) ∈ RD†(l) with l_i a wait label,
+  // and any cf-compatible wait l_j with (s', l'') ∈ RD†ϕ(l_j): copy edge
+  // l'' -> l. Under the Hsieh-Levitan emulation (ABL-HL), definitions of
+  // other processes are only visible at their final synchronization, so
+  // l_j is then restricted to each foreign process's last wait.
+  std::vector<LabelId> WaitLabels = CFG.allWaitLabels();
+  std::vector<LabelId> LastWaitOf(CFG.processes().size(), InitialLabel);
+  for (const ProcessCFG &Proc : CFG.processes())
+    if (!Proc.WaitLabels.empty())
+      LastWaitOf[Proc.ProcessId] = Proc.WaitLabels.back();
+  for (LabelId L = 1; L <= NumLabels; ++L)
+    for (const DefPair &P : R.RDDagger[L]) {
+      if (P.L == InitialLabel || !CFG.isWaitLabel(P.L))
+        continue;
+      for (LabelId LJ : WaitLabels) {
+        if (!CFG.cfCompatible(P.L, LJ))
+          continue;
+        if (Opts.RD.HsiehLevitanCrossFlow &&
+            CFG.processOf(LJ) != CFG.processOf(P.L) &&
+            LJ != LastWaitOf[CFG.processOf(LJ)])
+          continue;
+        for (const DefPair &Phi : R.RDDaggerPhi[LJ].pairsFor(P.N))
+          Copies.addEdge(Phi.L, L);
+      }
+    }
+
+  if (Improved) {
+    // [Initial values]: (n, ?) ∈ RD†(l) ⟹ (n◦, l, R0).
+    for (LabelId L = 1; L <= NumLabels; ++L)
+      for (const DefPair &P : R.RDDagger[L])
+        if (P.L == InitialLabel)
+          R.RMgl.insert(P.N.incoming(), L, Access::R0);
+
+    // [Incoming values]: a present value defined at a synchronization point
+    // may have been driven by the environment — for input ports, which are
+    // exactly the signals the π process feeds (n, l') ∈ RD†(l), l' ∈ WS
+    // ⟹ (n◦, l, R0).
+    for (LabelId L = 1; L <= NumLabels; ++L)
+      for (const DefPair &P : R.RDDagger[L]) {
+        if (P.L == InitialLabel || !CFG.isWaitLabel(P.L))
+          continue;
+        if (P.N.isSignal() && Program.signal(P.N.id()).isInput())
+          R.RMgl.insert(P.N.incoming(), L, Access::R0);
+      }
+
+    // [Outgoing values] and [Outcoming values]: per out-port n, a pseudo
+    // label l_{n•} with (n•, l_{n•}, M1); every active definition of n
+    // reaching any wait feeds its reads into l_{n•}.
+    for (unsigned Sig : Program.outputSignals()) {
+      Resource N = Resource::signal(Sig);
+      LabelId LOut = outgoingLabel(N);
+      R.RMgl.insert(N.outgoing(), LOut, Access::M1);
+      for (LabelId L : WaitLabels)
+        for (const DefPair &Phi : R.RDDaggerPhi[L].pairsFor(N))
+          Copies.addEdge(Phi.L, LOut);
+    }
+  }
+
+  if (Opts.ProgramEndOutgoing) {
+    // Figure 4(b) extension: the end of a non-looped process is an
+    // outgoing synchronization point for all its variables and signals.
+    for (const ProcessCFG &P : CFG.processes()) {
+      if (Program.process(P.ProcessId).Looped)
+        continue;
+      PairSet EndDefs = R.RD.atProcessEnd(P);
+      std::vector<Resource> All;
+      for (unsigned V : P.FreeVars)
+        All.push_back(Resource::variable(V));
+      for (unsigned S : P.FreeSigs)
+        All.push_back(Resource::signal(S));
+      for (Resource N : All) {
+        LabelId LOut = outgoingLabel(N);
+        R.RMgl.insert(N.outgoing(), LOut,
+                      N.isVariable() ? Access::M0 : Access::M1);
+        for (const DefPair &D : EndDefs.pairsFor(N)) {
+          if (D.L == InitialLabel)
+            R.RMgl.insert(N.incoming(), LOut, Access::R0);
+          else
+            Copies.addEdge(D.L, LOut);
+        }
+      }
+    }
+  }
+
+  // Fixpoint: propagate R0 sets along the copy graph. Since each edge
+  // copies the entire R0 set, this is a union-dataflow over labels.
+  std::map<LabelId, std::set<Resource>> R0;
+  for (const RMEntry &E : R.RMgl)
+    if (E.A == Access::R0)
+      R0[E.L].insert(E.N);
+
+  std::deque<LabelId> Work;
+  std::set<LabelId> InWork;
+  for (const auto &[Src, _] : Copies.Succs) {
+    Work.push_back(Src);
+    InWork.insert(Src);
+  }
+  while (!Work.empty()) {
+    LabelId Src = Work.front();
+    Work.pop_front();
+    InWork.erase(Src);
+    auto SrcIt = R0.find(Src);
+    if (SrcIt == R0.end() || SrcIt->second.empty())
+      continue;
+    auto SuccIt = Copies.Succs.find(Src);
+    if (SuccIt == Copies.Succs.end())
+      continue;
+    for (LabelId Dst : SuccIt->second) {
+      std::set<Resource> &DstSet = R0[Dst];
+      size_t Before = DstSet.size();
+      DstSet.insert(SrcIt->second.begin(), SrcIt->second.end());
+      if (DstSet.size() != Before && !InWork.count(Dst) &&
+          Copies.Succs.count(Dst)) {
+        Work.push_back(Dst);
+        InWork.insert(Dst);
+      }
+    }
+  }
+
+  for (const auto &[L, Set] : R0)
+    for (Resource N : Set)
+      R.RMgl.insert(N, L, Access::R0);
+
+  // Graph extraction.
+  R.Graph = extractFlowGraph(R.RMgl, Program);
+
+  // Ensure every resource appears as a node even when isolated, matching
+  // the paper's figures which show unconnected nodes.
+  for (const ElabVariable &V : Program.Variables)
+    R.Graph.addNode(V.UniqueName);
+  for (const ElabSignal &S : Program.Signals)
+    R.Graph.addNode(S.UniqueName);
+  if (Improved) {
+    auto AddInterfaceNodes = [&](Resource N) {
+      R.Graph.addNode(N.incoming().name(Program));
+      R.Graph.addNode(N.outgoing().name(Program));
+    };
+    if (Opts.ProgramEndOutgoing) {
+      for (const ProcessCFG &P : CFG.processes()) {
+        if (Program.process(P.ProcessId).Looped)
+          continue;
+        for (unsigned V : P.FreeVars)
+          AddInterfaceNodes(Resource::variable(V));
+        for (unsigned S : P.FreeSigs)
+          AddInterfaceNodes(Resource::signal(S));
+      }
+    }
+    if (Opts.Improved) {
+      for (unsigned Sig : Program.inputSignals())
+        R.Graph.addNode(Resource::signal(Sig).incoming().name(Program));
+      for (unsigned Sig : Program.outputSignals())
+        R.Graph.addNode(Resource::signal(Sig).outgoing().name(Program));
+    }
+  }
+
+  return R;
+}

@@ -1,0 +1,27 @@
+//===- ifa/Kemmerer.cpp ---------------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ifa/Kemmerer.h"
+
+#include "ifa/InformationFlow.h"
+#include "ifa/LocalDeps.h"
+
+using namespace vif;
+
+KemmererResult vif::analyzeKemmerer(const ElaboratedProgram &Program,
+                                    const ProgramCFG &CFG) {
+  KemmererResult R;
+  R.RMlo = computeLocalDeps(Program, CFG);
+  R.LocalGraph = extractFlowGraph(R.RMlo, Program);
+  // Show every resource, even isolated ones, for comparability with the
+  // RD-guided analysis.
+  for (const ElabVariable &V : Program.Variables)
+    R.LocalGraph.addNode(V.UniqueName);
+  for (const ElabSignal &S : Program.Signals)
+    R.LocalGraph.addNode(S.UniqueName);
+  R.Graph = R.LocalGraph.transitiveClosure();
+  return R;
+}

@@ -1,0 +1,38 @@
+//===- ifa/Kemmerer.h - Kemmerer's covert-channel baseline ------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline the paper compares against (Section 5.2): Kemmerer's Shared
+/// Resource Matrix methodology constructs local read/modify facts per
+/// operation and then closes them *flow-insensitively* — "one way to do
+/// this is to take the transitive closure of the local dependencies". Both
+/// methods share the same local matrix (Table 6) and the same edge
+/// extraction; the only difference is the closure, which is exactly what
+/// the precision experiments (Figures 3 and 5) isolate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_IFA_KEMMERER_H
+#define VIF_IFA_KEMMERER_H
+
+#include "ifa/ResourceMatrix.h"
+#include "support/Graph.h"
+
+namespace vif {
+
+struct KemmererResult {
+  ResourceMatrix RMlo;
+  Digraph LocalGraph; ///< edges before closure
+  Digraph Graph;      ///< transitive closure — the method's result
+};
+
+/// Runs Kemmerer's method on \p Program.
+KemmererResult analyzeKemmerer(const ElaboratedProgram &Program,
+                               const ProgramCFG &CFG);
+
+} // namespace vif
+
+#endif // VIF_IFA_KEMMERER_H

@@ -1,0 +1,31 @@
+//===- ifa/LocalDeps.h - Local dependency inference (Table 6) ---*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The first step of the Information Flow analysis (paper Section 5.1): the
+/// structural inference system B ⊢ ss : RM that collects, per labeled block,
+/// which resources may be modified (M0/M1) and read (R0/R1). The block set
+/// B carries the variables and signals of enclosing if/while conditions, so
+/// implicit flows through control dependences are accounted for at each
+/// assignment in a branch. The result over all processes is the paper's
+/// RMlo = ⋃_i RM_i with ∅ ⊢ ss_i : RM_i.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_IFA_LOCALDEPS_H
+#define VIF_IFA_LOCALDEPS_H
+
+#include "ifa/ResourceMatrix.h"
+
+namespace vif {
+
+/// Computes RMlo for every process of \p Program.
+ResourceMatrix computeLocalDeps(const ElaboratedProgram &Program,
+                                const ProgramCFG &CFG);
+
+} // namespace vif
+
+#endif // VIF_IFA_LOCALDEPS_H

@@ -1,0 +1,23 @@
+//===- ifa/Policy.cpp -----------------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ifa/Policy.h"
+
+using namespace vif;
+
+std::vector<PolicyViolation> vif::checkFlowPolicy(const Digraph &Graph,
+                                                  const FlowPolicy &Policy) {
+  std::vector<PolicyViolation> Violations;
+  for (const FlowPolicy::Rule &R : Policy.Forbidden) {
+    if (Graph.hasEdge(R.From, R.To)) {
+      Violations.push_back(PolicyViolation{R.From, R.To, false});
+      continue;
+    }
+    if (Policy.ConservativeReachability && Graph.reachable(R.From, R.To))
+      Violations.push_back(PolicyViolation{R.From, R.To, true});
+  }
+  return Violations;
+}

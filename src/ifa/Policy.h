@@ -1,0 +1,57 @@
+//===- ifa/Policy.h - Covert-channel flow policies --------------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Common Criteria use-case the paper motivates (Section 1): the
+/// analysis result "is then followed by a further step where the designer
+/// argues that all information flows are permissible — or where an
+/// independent code evaluator asks for further clarification". FlowPolicy
+/// captures the permissible-flow declarations; checkFlowPolicy reports every
+/// graph edge the policy does not cover.
+///
+/// Because the information-flow graph is intentionally non-transitive, a
+/// *flow* from a to b is an edge a -> b, not mere reachability. A
+/// conservative auditor may still opt into reachability semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_IFA_POLICY_H
+#define VIF_IFA_POLICY_H
+
+#include "support/Graph.h"
+
+#include <string>
+#include <vector>
+
+namespace vif {
+
+struct FlowPolicy {
+  /// Flows that must not occur (e.g. key -> public output).
+  struct Rule {
+    std::string From;
+    std::string To;
+  };
+  std::vector<Rule> Forbidden;
+
+  /// When true, a forbidden pair is violated already when To is reachable
+  /// from From through any path, not only by a direct flow edge.
+  bool ConservativeReachability = false;
+};
+
+struct PolicyViolation {
+  std::string From;
+  std::string To;
+  bool ViaPath = false; ///< true if flagged by reachability, not by an edge
+};
+
+/// Checks \p Graph against \p Policy; the result is empty iff the policy
+/// holds.
+std::vector<PolicyViolation> checkFlowPolicy(const Digraph &Graph,
+                                             const FlowPolicy &Policy);
+
+} // namespace vif
+
+#endif // VIF_IFA_POLICY_H

@@ -1,0 +1,139 @@
+//===- ifa/Report.cpp -----------------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ifa/Report.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+using namespace vif;
+
+namespace {
+
+struct NodeStats {
+  size_t FanIn = 0;
+  size_t FanOut = 0;
+};
+
+/// True for the interface decorations n◦ / n•.
+bool isIncomingNode(const std::string &N) {
+  return N.size() >= 3 && N.compare(N.size() - 3, 3, "◦") == 0;
+}
+bool isOutgoingNode(const std::string &N) {
+  return N.size() >= 3 && N.compare(N.size() - 3, 3, "•") == 0;
+}
+
+} // namespace
+
+void vif::writeAuditReport(std::ostream &OS,
+                           const ElaboratedProgram &Program,
+                           const IFAResult &Result,
+                           const ReportOptions &Opts) {
+  const Digraph &G = Result.Graph;
+  OS << "=== Information Flow Audit Report ===\n";
+  OS << "design: " << Program.Processes.size() << " process(es), "
+     << Program.Signals.size() << " signal(s), "
+     << Program.Variables.size() << " variable(s)\n";
+  OS << "graph: " << G.numNodes() << " node(s), " << G.numEdges()
+     << " flow edge(s), " << (G.isTransitive() ? "transitive"
+                                               : "non-transitive")
+     << "\n\n";
+
+  // Per-node fan-in/out.
+  std::map<std::string, NodeStats> Stats;
+  for (const std::string &N : G.sortedNodes())
+    Stats[N];
+  for (const auto &[From, To] : G.sortedEdges()) {
+    ++Stats[From].FanOut;
+    ++Stats[To].FanIn;
+  }
+  OS << "-- resources (fan-in / fan-out)\n";
+  for (const auto &[Name, S] : Stats) {
+    OS << "  " << Name;
+    // Annotate port roles where applicable.
+    for (const ElabSignal &Sig : Program.Signals)
+      if (Sig.UniqueName == Name && Sig.Class != SignalClass::Internal)
+        OS << " [" << signalClassName(Sig.Class) << " port]";
+    OS << ": in=" << S.FanIn << " out=" << S.FanOut;
+    if (S.FanIn == 0 && S.FanOut == 0)
+      OS << " (isolated)";
+    OS << '\n';
+  }
+
+  // Interface summary: which inputs reach which outputs. Uses ports when
+  // the design has them; falls back to ◦/• nodes for statement programs.
+  std::vector<std::string> Ins, Outs;
+  for (const ElabSignal &S : Program.Signals) {
+    if (S.isInput())
+      Ins.push_back(S.UniqueName);
+    if (S.isOutput())
+      Outs.push_back(S.UniqueName);
+  }
+  if (Ins.empty() && Outs.empty()) {
+    for (const std::string &N : G.sortedNodes()) {
+      if (isIncomingNode(N))
+        Ins.push_back(N);
+      if (isOutgoingNode(N))
+        Outs.push_back(N);
+    }
+  }
+  if (!Ins.empty() && !Outs.empty()) {
+    OS << "\n-- interface flows (input -> outputs it may reach)\n";
+    for (const std::string &In : Ins) {
+      OS << "  " << In << " ->";
+      bool Any = false;
+      for (const std::string &Out : Outs)
+        if (G.hasEdge(In, Out)) {
+          OS << ' ' << Out;
+          Any = true;
+        }
+      if (!Any)
+        OS << " (nothing)";
+      OS << '\n';
+    }
+  }
+
+  if (Opts.ListEdges) {
+    OS << "\n-- all flows\n";
+    for (const auto &[From, To] : G.sortedEdges())
+      OS << "  " << From << " -> " << To << '\n';
+  }
+
+  if (!Opts.Policy.Forbidden.empty()) {
+    std::vector<PolicyViolation> Violations =
+        checkFlowPolicy(G, Opts.Policy);
+    OS << "\n-- policy: " << Opts.Policy.Forbidden.size()
+       << " forbidden flow(s), " << Violations.size() << " violation(s)\n";
+    for (const FlowPolicy::Rule &R : Opts.Policy.Forbidden) {
+      bool Violated = false;
+      bool ViaPath = false;
+      for (const PolicyViolation &V : Violations)
+        if (V.From == R.From && V.To == R.To) {
+          Violated = true;
+          ViaPath = V.ViaPath;
+        }
+      OS << "  " << (Violated ? "VIOLATED " : "ok       ") << R.From
+         << " -> " << R.To;
+      if (ViaPath)
+        OS << " (via path)";
+      OS << '\n';
+    }
+    OS << "verdict: "
+       << (Violations.empty() ? "PASS — all flows permissible"
+                              : "FAIL — impermissible flows present")
+       << '\n';
+  }
+}
+
+std::string vif::auditReport(const ElaboratedProgram &Program,
+                             const IFAResult &Result,
+                             const ReportOptions &Opts) {
+  std::ostringstream OS;
+  writeAuditReport(OS, Program, Result, Opts);
+  return OS.str();
+}

@@ -1,0 +1,45 @@
+//===- ifa/Report.h - Covert-channel audit reports --------------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the analysis result as the artifact a Common Criteria evaluation
+/// consumes (paper Section 1): per-resource fan-in/fan-out, the interface
+/// flows (which inputs reach which outputs), and the verdicts of a flow
+/// policy. Plain text, deterministic, diff-friendly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_IFA_REPORT_H
+#define VIF_IFA_REPORT_H
+
+#include "ifa/InformationFlow.h"
+#include "ifa/Policy.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace vif {
+
+struct ReportOptions {
+  /// Include the full edge list (can be long).
+  bool ListEdges = true;
+  /// Policy to evaluate; empty policy sections are omitted.
+  FlowPolicy Policy;
+};
+
+/// Writes the audit report for \p Result to \p OS.
+void writeAuditReport(std::ostream &OS, const ElaboratedProgram &Program,
+                      const IFAResult &Result,
+                      const ReportOptions &Opts = ReportOptions());
+
+/// Convenience string form.
+std::string auditReport(const ElaboratedProgram &Program,
+                        const IFAResult &Result,
+                        const ReportOptions &Opts = ReportOptions());
+
+} // namespace vif
+
+#endif // VIF_IFA_REPORT_H

@@ -1,0 +1,47 @@
+//===- ifa/ResourceMatrix.cpp ---------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ifa/ResourceMatrix.h"
+
+#include <ostream>
+
+using namespace vif;
+
+const char *vif::accessName(Access A) {
+  switch (A) {
+  case Access::M0:
+    return "M0";
+  case Access::M1:
+    return "M1";
+  case Access::R0:
+    return "R0";
+  case Access::R1:
+    return "R1";
+  }
+  return "?";
+}
+
+std::vector<Resource> ResourceMatrix::resourcesAt(LabelId L, Access A) const {
+  std::vector<Resource> Result;
+  auto It = Entries.lower_bound(RMEntry{L, A, Resource()});
+  for (; It != Entries.end() && It->L == L && It->A == A; ++It)
+    Result.push_back(It->N);
+  return Result;
+}
+
+std::vector<LabelId> ResourceMatrix::labels() const {
+  std::vector<LabelId> Result;
+  for (const RMEntry &E : Entries)
+    if (Result.empty() || Result.back() != E.L)
+      Result.push_back(E.L);
+  return Result;
+}
+
+void ResourceMatrix::print(std::ostream &OS,
+                           const ElaboratedProgram &Program) const {
+  for (const RMEntry &E : Entries)
+    OS << E.N.name(Program) << "@" << E.L << ":" << accessName(E.A) << '\n';
+}

@@ -1,0 +1,88 @@
+//===- ifa/ResourceMatrix.h - (resource, label, access) matrices -*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Resource Matrix of paper Section 5: a set of entries (n, l, A) where
+/// A ∈ {M0, M1, R0, R1}:
+///
+///   M0 — n (a variable or present signal value) may be modified at l
+///   M1 — n's active signal value may be modified at l
+///   R0 — n (variable or present value) may be read at l
+///   R1 — n's active value is consumed by the synchronization at l
+///
+/// Entries are ordered (label, access, resource) so the closure can scan
+/// all entries of one access kind at one label as a contiguous range.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_IFA_RESOURCEMATRIX_H
+#define VIF_IFA_RESOURCEMATRIX_H
+
+#include "rd/PairSet.h"
+
+#include <iosfwd>
+#include <set>
+
+namespace vif {
+
+enum class Access : uint8_t { M0, M1, R0, R1 };
+
+const char *accessName(Access A);
+
+struct RMEntry {
+  LabelId L = InitialLabel;
+  Access A = Access::R0;
+  Resource N;
+
+  bool operator==(const RMEntry &O) const {
+    return L == O.L && A == O.A && N == O.N;
+  }
+  bool operator<(const RMEntry &O) const {
+    if (L != O.L)
+      return L < O.L;
+    if (A != O.A)
+      return A < O.A;
+    return N < O.N;
+  }
+};
+
+/// A deterministic set of Resource Matrix entries.
+class ResourceMatrix {
+public:
+  /// Returns true if the entry was new.
+  bool insert(Resource N, LabelId L, Access A) {
+    return Entries.insert(RMEntry{L, A, N}).second;
+  }
+  bool contains(Resource N, LabelId L, Access A) const {
+    return Entries.count(RMEntry{L, A, N}) != 0;
+  }
+
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+
+  /// All resources with an (n, l, A) entry, ascending.
+  std::vector<Resource> resourcesAt(LabelId L, Access A) const;
+
+  /// All labels that carry at least one entry, ascending.
+  std::vector<LabelId> labels() const;
+
+  std::set<RMEntry>::const_iterator begin() const { return Entries.begin(); }
+  std::set<RMEntry>::const_iterator end() const { return Entries.end(); }
+
+  bool operator==(const ResourceMatrix &O) const {
+    return Entries == O.Entries;
+  }
+
+  /// Debug rendering, one "name@label:access" per line, sorted.
+  void print(std::ostream &OS, const ElaboratedProgram &Program) const;
+
+private:
+  std::set<RMEntry> Entries;
+};
+
+} // namespace vif
+
+#endif // VIF_IFA_RESOURCEMATRIX_H

@@ -1,0 +1,338 @@
+//===- parse/Lexer.cpp ----------------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parse/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace vif;
+
+const char *vif::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::CharLiteral:
+    return "character literal";
+  case TokenKind::StringLiteral:
+    return "string literal";
+  case TokenKind::KwArchitecture:
+    return "'architecture'";
+  case TokenKind::KwAnd:
+    return "'and'";
+  case TokenKind::KwBegin:
+    return "'begin'";
+  case TokenKind::KwBlock:
+    return "'block'";
+  case TokenKind::KwDownto:
+    return "'downto'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwElsif:
+    return "'elsif'";
+  case TokenKind::KwEnd:
+    return "'end'";
+  case TokenKind::KwEntity:
+    return "'entity'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwIn:
+    return "'in'";
+  case TokenKind::KwInout:
+    return "'inout'";
+  case TokenKind::KwIs:
+    return "'is'";
+  case TokenKind::KwLoop:
+    return "'loop'";
+  case TokenKind::KwNand:
+    return "'nand'";
+  case TokenKind::KwNor:
+    return "'nor'";
+  case TokenKind::KwNot:
+    return "'not'";
+  case TokenKind::KwNull:
+    return "'null'";
+  case TokenKind::KwOf:
+    return "'of'";
+  case TokenKind::KwOn:
+    return "'on'";
+  case TokenKind::KwOr:
+    return "'or'";
+  case TokenKind::KwOut:
+    return "'out'";
+  case TokenKind::KwPort:
+    return "'port'";
+  case TokenKind::KwProcess:
+    return "'process'";
+  case TokenKind::KwSignal:
+    return "'signal'";
+  case TokenKind::KwStdLogic:
+    return "'std_logic'";
+  case TokenKind::KwStdLogicVector:
+    return "'std_logic_vector'";
+  case TokenKind::KwThen:
+    return "'then'";
+  case TokenKind::KwTo:
+    return "'to'";
+  case TokenKind::KwUntil:
+    return "'until'";
+  case TokenKind::KwVariable:
+    return "'variable'";
+  case TokenKind::KwWait:
+    return "'wait'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwXnor:
+    return "'xnor'";
+  case TokenKind::KwXor:
+    return "'xor'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::ColonEq:
+    return "':='";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::Eq:
+    return "'='";
+  case TokenKind::NotEq:
+    return "'/='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Amp:
+    return "'&'";
+  }
+  return "token";
+}
+
+namespace {
+
+const std::unordered_map<std::string, TokenKind> &keywordTable() {
+  static const std::unordered_map<std::string, TokenKind> Table = {
+      {"architecture", TokenKind::KwArchitecture},
+      {"and", TokenKind::KwAnd},
+      {"begin", TokenKind::KwBegin},
+      {"block", TokenKind::KwBlock},
+      {"downto", TokenKind::KwDownto},
+      {"else", TokenKind::KwElse},
+      {"elsif", TokenKind::KwElsif},
+      {"end", TokenKind::KwEnd},
+      {"entity", TokenKind::KwEntity},
+      {"if", TokenKind::KwIf},
+      {"in", TokenKind::KwIn},
+      {"inout", TokenKind::KwInout},
+      {"is", TokenKind::KwIs},
+      {"loop", TokenKind::KwLoop},
+      {"nand", TokenKind::KwNand},
+      {"nor", TokenKind::KwNor},
+      {"not", TokenKind::KwNot},
+      {"null", TokenKind::KwNull},
+      {"of", TokenKind::KwOf},
+      {"on", TokenKind::KwOn},
+      {"or", TokenKind::KwOr},
+      {"out", TokenKind::KwOut},
+      {"port", TokenKind::KwPort},
+      {"process", TokenKind::KwProcess},
+      {"signal", TokenKind::KwSignal},
+      {"std_logic", TokenKind::KwStdLogic},
+      {"std_logic_vector", TokenKind::KwStdLogicVector},
+      {"then", TokenKind::KwThen},
+      {"to", TokenKind::KwTo},
+      {"until", TokenKind::KwUntil},
+      {"variable", TokenKind::KwVariable},
+      {"wait", TokenKind::KwWait},
+      {"while", TokenKind::KwWhile},
+      {"xnor", TokenKind::KwXnor},
+      {"xor", TokenKind::KwXor},
+  };
+  return Table;
+}
+
+char lowered(char C) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+}
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) != 0;
+}
+
+bool isIdentCont(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) != 0 || C == '_';
+}
+
+} // namespace
+
+Lexer::Lexer(std::string Source, DiagnosticEngine &Diags)
+    : Source(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  while (!atEnd()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '-' && peek(1) == '-') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::make(TokenKind K, SourceLoc Loc, std::string Text) const {
+  Token T;
+  T.K = K;
+  T.Text = std::move(Text);
+  T.Loc = Loc;
+  return T;
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Token T = lexOne();
+    bool Done = T.is(TokenKind::Eof);
+    Tokens.push_back(std::move(T));
+    if (Done)
+      return Tokens;
+  }
+}
+
+Token Lexer::lexOne() {
+  skipTrivia();
+  SourceLoc Start = loc();
+  if (atEnd())
+    return make(TokenKind::Eof, Start);
+
+  char C = advance();
+
+  if (isIdentStart(C)) {
+    std::string Ident(1, lowered(C));
+    while (!atEnd() && isIdentCont(peek()))
+      Ident.push_back(lowered(advance()));
+    auto It = keywordTable().find(Ident);
+    if (It != keywordTable().end())
+      return make(It->second, Start);
+    return make(TokenKind::Identifier, Start, std::move(Ident));
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    int64_t Value = C - '0';
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      Value = Value * 10 + (advance() - '0');
+    Token T = make(TokenKind::IntLiteral, Start);
+    T.IntValue = Value;
+    return T;
+  }
+
+  switch (C) {
+  case '\'': {
+    // Character literal: exactly one character between ticks.
+    if (atEnd() || peek(1) != '\'') {
+      Diags.error(Start, "malformed character literal");
+      return lexOne();
+    }
+    char Body = advance();
+    advance(); // closing tick
+    return make(TokenKind::CharLiteral, Start, std::string(1, Body));
+  }
+  case '"': {
+    std::string Body;
+    while (!atEnd() && peek() != '"' && peek() != '\n')
+      Body.push_back(advance());
+    if (atEnd() || peek() != '"') {
+      Diags.error(Start, "unterminated string literal");
+      return make(TokenKind::StringLiteral, Start, std::move(Body));
+    }
+    advance(); // closing quote
+    return make(TokenKind::StringLiteral, Start, std::move(Body));
+  }
+  case '(':
+    return make(TokenKind::LParen, Start);
+  case ')':
+    return make(TokenKind::RParen, Start);
+  case ';':
+    return make(TokenKind::Semi, Start);
+  case ',':
+    return make(TokenKind::Comma, Start);
+  case ':':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::ColonEq, Start);
+    }
+    return make(TokenKind::Colon, Start);
+  case '<':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::LessEq, Start);
+    }
+    return make(TokenKind::Less, Start);
+  case '>':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::GreaterEq, Start);
+    }
+    return make(TokenKind::Greater, Start);
+  case '=':
+    return make(TokenKind::Eq, Start);
+  case '/':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::NotEq, Start);
+    }
+    Diags.error(Start, "expected '=' after '/'");
+    return lexOne();
+  case '+':
+    return make(TokenKind::Plus, Start);
+  case '-':
+    return make(TokenKind::Minus, Start);
+  case '*':
+    return make(TokenKind::Star, Start);
+  case '&':
+    return make(TokenKind::Amp, Start);
+  default:
+    Diags.error(Start, std::string("unexpected character '") + C + "'");
+    return lexOne();
+  }
+}

@@ -1,0 +1,53 @@
+//===- parse/Lexer.h - VHDL1 lexer ------------------------------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hand-written lexer for VHDL1: identifiers/keywords (case insensitive),
+/// decimal integers, character and string literals, `--` line comments and
+/// the operator/punctuation set of the fragment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_PARSE_LEXER_H
+#define VIF_PARSE_LEXER_H
+
+#include "parse/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace vif {
+
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Lexes the entire input. The result always ends with an Eof token; on
+  /// malformed input, errors are reported to the diagnostic engine and the
+  /// offending characters are skipped.
+  std::vector<Token> lexAll();
+
+private:
+  Token lexOne();
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Source.size(); }
+  SourceLoc loc() const { return SourceLoc(Line, Col); }
+  void skipTrivia();
+
+  Token make(TokenKind K, SourceLoc Loc, std::string Text = "") const;
+
+  std::string Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+};
+
+} // namespace vif
+
+#endif // VIF_PARSE_LEXER_H

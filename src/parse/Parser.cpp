@@ -1,0 +1,657 @@
+//===- parse/Parser.cpp ---------------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parse/Parser.h"
+
+#include "parse/Lexer.h"
+
+#include <cassert>
+
+using namespace vif;
+
+Parser::Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+    : Tokens(std::move(Tokens)), Diags(Diags) {
+  assert(!this->Tokens.empty() &&
+         this->Tokens.back().is(TokenKind::Eof) &&
+         "token stream must end with Eof");
+}
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t I = Index + Ahead;
+  if (I >= Tokens.size())
+    I = Tokens.size() - 1; // Eof
+  return Tokens[I];
+}
+
+Token Parser::consume() {
+  Token T = cur();
+  if (!at(TokenKind::Eof))
+    ++Index;
+  return T;
+}
+
+bool Parser::accept(TokenKind K) {
+  if (!at(K))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokenKind K, const char *Context) {
+  if (accept(K))
+    return true;
+  Diags.error(cur().Loc, std::string("expected ") + tokenKindName(K) +
+                             " in " + Context + ", found " +
+                             tokenKindName(cur().K));
+  return false;
+}
+
+void Parser::skipToSemi() {
+  while (!at(TokenKind::Eof) && !at(TokenKind::Semi))
+    consume();
+  accept(TokenKind::Semi);
+}
+
+//===----------------------------------------------------------------------===//
+// Design units
+//===----------------------------------------------------------------------===//
+
+DesignFile Parser::parseDesignFile() {
+  DesignFile File;
+  while (!at(TokenKind::Eof)) {
+    if (at(TokenKind::KwEntity)) {
+      File.Entities.push_back(parseEntity());
+      continue;
+    }
+    if (at(TokenKind::KwArchitecture)) {
+      File.Architectures.push_back(parseArchitecture());
+      continue;
+    }
+    Diags.error(cur().Loc,
+                std::string("expected 'entity' or 'architecture', found ") +
+                    tokenKindName(cur().K));
+    consume();
+  }
+  return File;
+}
+
+Entity Parser::parseEntity() {
+  Entity E;
+  SourceLoc Start = cur().Loc;
+  expect(TokenKind::KwEntity, "entity declaration");
+  E.Name = cur().Text;
+  expect(TokenKind::Identifier, "entity declaration");
+  expect(TokenKind::KwIs, "entity declaration");
+  expect(TokenKind::KwPort, "entity declaration");
+  expect(TokenKind::LParen, "port clause");
+  E.Ports = parsePortList();
+  expect(TokenKind::RParen, "port clause");
+  expect(TokenKind::Semi, "port clause");
+  expect(TokenKind::KwEnd, "entity declaration");
+  if (at(TokenKind::KwEntity))
+    consume(); // optional "end entity name;"
+  if (at(TokenKind::Identifier)) {
+    if (cur().Text != E.Name)
+      Diags.error(cur().Loc, "entity name '" + cur().Text +
+                                 "' at end does not match '" + E.Name + "'");
+    consume();
+  }
+  expect(TokenKind::Semi, "entity declaration");
+  E.Range = SourceRange(Start, cur().Loc);
+  return E;
+}
+
+std::vector<Port> Parser::parsePortList() {
+  std::vector<Port> Ports;
+  for (;;) {
+    Port P;
+    P.Range = SourceRange(cur().Loc);
+    // A port item may declare several names at once: a, b : in std_logic.
+    std::vector<std::string> Names;
+    Names.push_back(cur().Text);
+    if (!expect(TokenKind::Identifier, "port declaration"))
+      return Ports;
+    while (accept(TokenKind::Comma)) {
+      Names.push_back(cur().Text);
+      if (!expect(TokenKind::Identifier, "port declaration"))
+        return Ports;
+    }
+    expect(TokenKind::Colon, "port declaration");
+    if (accept(TokenKind::KwIn))
+      P.Mode = PortMode::In;
+    else if (accept(TokenKind::KwOut))
+      P.Mode = PortMode::Out;
+    else if (accept(TokenKind::KwInout))
+      P.Mode = PortMode::InOut;
+    else
+      Diags.error(cur().Loc, "expected port mode 'in', 'out' or 'inout'");
+    P.Ty = parseType();
+    for (const std::string &Name : Names) {
+      Port Item = P;
+      Item.Name = Name;
+      Ports.push_back(std::move(Item));
+    }
+    if (!accept(TokenKind::Semi))
+      return Ports;
+    // Allow a trailing semicolon before ')'.
+    if (at(TokenKind::RParen))
+      return Ports;
+  }
+}
+
+Type Parser::parseType() {
+  if (accept(TokenKind::KwStdLogic))
+    return Type::scalar();
+  if (accept(TokenKind::KwStdLogicVector)) {
+    expect(TokenKind::LParen, "vector type");
+    bool Neg1 = accept(TokenKind::Minus);
+    int Z1 = static_cast<int>(cur().IntValue) * (Neg1 ? -1 : 1);
+    expect(TokenKind::IntLiteral, "vector range");
+    bool Downto = true;
+    if (accept(TokenKind::KwDownto))
+      Downto = true;
+    else if (accept(TokenKind::KwTo))
+      Downto = false;
+    else
+      Diags.error(cur().Loc, "expected 'downto' or 'to' in vector range");
+    bool Neg2 = accept(TokenKind::Minus);
+    int Z2 = static_cast<int>(cur().IntValue) * (Neg2 ? -1 : 1);
+    expect(TokenKind::IntLiteral, "vector range");
+    expect(TokenKind::RParen, "vector type");
+    if (Downto ? Z1 < Z2 : Z1 > Z2) {
+      Diags.error(cur().Loc, "vector range runs against its direction");
+      return Type::vector(Z1, Z1, Downto);
+    }
+    return Type::vector(Z1, Z2, Downto);
+  }
+  Diags.error(cur().Loc,
+              std::string("expected 'std_logic' or 'std_logic_vector', "
+                          "found ") +
+                  tokenKindName(cur().K));
+  return Type::scalar();
+}
+
+Architecture Parser::parseArchitecture() {
+  Architecture A;
+  SourceLoc Start = cur().Loc;
+  expect(TokenKind::KwArchitecture, "architecture body");
+  A.Name = cur().Text;
+  expect(TokenKind::Identifier, "architecture body");
+  expect(TokenKind::KwOf, "architecture body");
+  A.EntityName = cur().Text;
+  expect(TokenKind::Identifier, "architecture body");
+  expect(TokenKind::KwIs, "architecture body");
+  A.Decls = parseDeclList();
+  expect(TokenKind::KwBegin, "architecture body");
+  while (!at(TokenKind::KwEnd) && !at(TokenKind::Eof))
+    if (ConcStmtPtr S = parseConcStmt())
+      A.Stmts.push_back(std::move(S));
+  expect(TokenKind::KwEnd, "architecture body");
+  if (at(TokenKind::KwArchitecture))
+    consume(); // optional "end architecture name;"
+  if (at(TokenKind::Identifier)) {
+    if (cur().Text != A.Name)
+      Diags.error(cur().Loc, "architecture name '" + cur().Text +
+                                 "' at end does not match '" + A.Name + "'");
+    consume();
+  }
+  expect(TokenKind::Semi, "architecture body");
+  A.Range = SourceRange(Start, cur().Loc);
+  return A;
+}
+
+std::vector<Decl> Parser::parseDeclList() {
+  std::vector<Decl> Decls;
+  while (at(TokenKind::KwVariable) || at(TokenKind::KwSignal)) {
+    Decl D;
+    D.Range = SourceRange(cur().Loc);
+    D.K = at(TokenKind::KwVariable) ? Decl::Kind::Variable
+                                    : Decl::Kind::Signal;
+    consume();
+    std::vector<std::string> Names;
+    Names.push_back(cur().Text);
+    if (!expect(TokenKind::Identifier, "declaration")) {
+      skipToSemi();
+      continue;
+    }
+    while (accept(TokenKind::Comma)) {
+      Names.push_back(cur().Text);
+      if (!expect(TokenKind::Identifier, "declaration"))
+        break;
+    }
+    expect(TokenKind::Colon, "declaration");
+    D.Ty = parseType();
+    if (accept(TokenKind::ColonEq))
+      D.Init = parseExpr();
+    expect(TokenKind::Semi, "declaration");
+    for (size_t I = 0; I < Names.size(); ++I) {
+      Decl Item;
+      Item.K = D.K;
+      Item.Name = Names[I];
+      Item.Ty = D.Ty;
+      Item.Range = D.Range;
+      // The initializer expression is shared syntax; clone per name.
+      if (D.Init)
+        Item.Init = D.Init->clone();
+      Decls.push_back(std::move(Item));
+    }
+  }
+  return Decls;
+}
+
+ConcStmtPtr Parser::parseConcStmt() {
+  SourceLoc Start = cur().Loc;
+  // label : process ... | label : block ... | signal assignment.
+  if (at(TokenKind::Identifier) && peek().is(TokenKind::Colon)) {
+    std::string Label = consume().Text;
+    consume(); // ':'
+    if (at(TokenKind::KwProcess))
+      return parseProcess(std::move(Label), Start);
+    if (at(TokenKind::KwBlock))
+      return parseBlock(std::move(Label), Start);
+    Diags.error(cur().Loc, "expected 'process' or 'block' after label");
+    skipToSemi();
+    return nullptr;
+  }
+  // Concurrent signal assignment.
+  if (at(TokenKind::Identifier)) {
+    std::string Target = consume().Text;
+    std::optional<SliceSpec> Slice = parseSliceSuffix();
+    if (!expect(TokenKind::LessEq, "concurrent signal assignment")) {
+      skipToSemi();
+      return nullptr;
+    }
+    ExprPtr Value = parseExpr();
+    expect(TokenKind::Semi, "concurrent signal assignment");
+    return std::make_unique<ConcAssignStmt>(std::move(Target), Slice,
+                                            std::move(Value),
+                                            SourceRange(Start, cur().Loc));
+  }
+  Diags.error(cur().Loc, std::string("expected concurrent statement, found ") +
+                             tokenKindName(cur().K));
+  consume();
+  return nullptr;
+}
+
+ConcStmtPtr Parser::parseProcess(std::string Label, SourceLoc Start) {
+  expect(TokenKind::KwProcess, "process statement");
+  std::vector<Decl> Decls = parseDeclList();
+  expect(TokenKind::KwBegin, "process statement");
+  StmtPtr Body = parseStatementList();
+  expect(TokenKind::KwEnd, "process statement");
+  expect(TokenKind::KwProcess, "process statement");
+  if (at(TokenKind::Identifier)) {
+    if (cur().Text != Label)
+      Diags.error(cur().Loc, "process label '" + cur().Text +
+                                 "' at end does not match '" + Label + "'");
+    consume();
+  }
+  expect(TokenKind::Semi, "process statement");
+  return std::make_unique<ProcessStmt>(std::move(Label), std::move(Decls),
+                                       std::move(Body),
+                                       SourceRange(Start, cur().Loc));
+}
+
+ConcStmtPtr Parser::parseBlock(std::string Label, SourceLoc Start) {
+  expect(TokenKind::KwBlock, "block statement");
+  std::vector<Decl> Decls = parseDeclList();
+  expect(TokenKind::KwBegin, "block statement");
+  std::vector<ConcStmtPtr> Body;
+  while (!at(TokenKind::KwEnd) && !at(TokenKind::Eof))
+    if (ConcStmtPtr S = parseConcStmt())
+      Body.push_back(std::move(S));
+  expect(TokenKind::KwEnd, "block statement");
+  expect(TokenKind::KwBlock, "block statement");
+  if (at(TokenKind::Identifier)) {
+    if (cur().Text != Label)
+      Diags.error(cur().Loc, "block label '" + cur().Text +
+                                 "' at end does not match '" + Label + "'");
+    consume();
+  }
+  expect(TokenKind::Semi, "block statement");
+  return std::make_unique<BlockStmt>(std::move(Label), std::move(Decls),
+                                     std::move(Body),
+                                     SourceRange(Start, cur().Loc));
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+bool Parser::atStmtListEnd() const {
+  return at(TokenKind::KwEnd) || at(TokenKind::KwElse) ||
+         at(TokenKind::KwElsif) || at(TokenKind::Eof);
+}
+
+StmtPtr Parser::parseStatementList() {
+  SourceLoc Start = cur().Loc;
+  std::vector<StmtPtr> Stmts;
+  while (!atStmtListEnd())
+    if (StmtPtr S = parseStmt())
+      Stmts.push_back(std::move(S));
+  if (Stmts.size() == 1)
+    return std::move(Stmts.front());
+  return std::make_unique<CompoundStmt>(std::move(Stmts),
+                                        SourceRange(Start, cur().Loc));
+}
+
+StmtPtr Parser::parseStmt() {
+  SourceLoc Start = cur().Loc;
+  if (accept(TokenKind::KwNull)) {
+    expect(TokenKind::Semi, "null statement");
+    return std::make_unique<NullStmt>(SourceRange(Start, cur().Loc));
+  }
+  if (at(TokenKind::KwIf)) {
+    consume();
+    return parseIf(Start);
+  }
+  if (at(TokenKind::KwWhile)) {
+    consume();
+    return parseWhile(Start);
+  }
+  if (at(TokenKind::KwWait)) {
+    consume();
+    return parseWait(Start);
+  }
+  if (at(TokenKind::Identifier))
+    return parseAssignment();
+  Diags.error(cur().Loc, std::string("expected statement, found ") +
+                             tokenKindName(cur().K));
+  consume();
+  return nullptr;
+}
+
+StmtPtr Parser::parseIf(SourceLoc Start) {
+  ExprPtr Cond = parseExpr();
+  expect(TokenKind::KwThen, "if statement");
+  StmtPtr Then = parseStatementList();
+  StmtPtr Else;
+  if (at(TokenKind::KwElsif)) {
+    // elsif desugars into a nested if that reuses this 'end if'.
+    SourceLoc ElsifLoc = consume().Loc;
+    Else = parseIf(ElsifLoc);
+    return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                    std::move(Else),
+                                    SourceRange(Start, cur().Loc));
+  }
+  if (accept(TokenKind::KwElse))
+    Else = parseStatementList();
+  else
+    Else = std::make_unique<NullStmt>(SourceRange(cur().Loc));
+  expect(TokenKind::KwEnd, "if statement");
+  expect(TokenKind::KwIf, "if statement");
+  expect(TokenKind::Semi, "if statement");
+  return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                  std::move(Else),
+                                  SourceRange(Start, cur().Loc));
+}
+
+StmtPtr Parser::parseWhile(SourceLoc Start) {
+  ExprPtr Cond = parseExpr();
+  expect(TokenKind::KwLoop, "while loop");
+  StmtPtr Body = parseStatementList();
+  expect(TokenKind::KwEnd, "while loop");
+  expect(TokenKind::KwLoop, "while loop");
+  expect(TokenKind::Semi, "while loop");
+  return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body),
+                                     SourceRange(Start, cur().Loc));
+}
+
+StmtPtr Parser::parseWait(SourceLoc Start) {
+  std::vector<std::string> OnNames;
+  bool HasOn = false;
+  if (accept(TokenKind::KwOn)) {
+    HasOn = true;
+    OnNames.push_back(cur().Text);
+    expect(TokenKind::Identifier, "wait statement");
+    while (accept(TokenKind::Comma)) {
+      OnNames.push_back(cur().Text);
+      expect(TokenKind::Identifier, "wait statement");
+    }
+  }
+  ExprPtr Until;
+  if (accept(TokenKind::KwUntil))
+    Until = parseExpr();
+  expect(TokenKind::Semi, "wait statement");
+  return std::make_unique<WaitStmt>(std::move(OnNames), HasOn,
+                                    std::move(Until),
+                                    SourceRange(Start, cur().Loc));
+}
+
+StmtPtr Parser::parseAssignment() {
+  SourceLoc Start = cur().Loc;
+  std::string Target = consume().Text;
+  std::optional<SliceSpec> Slice = parseSliceSuffix();
+  if (accept(TokenKind::ColonEq)) {
+    ExprPtr Value = parseExpr();
+    expect(TokenKind::Semi, "variable assignment");
+    return std::make_unique<VarAssignStmt>(std::move(Target), Slice,
+                                           std::move(Value),
+                                           SourceRange(Start, cur().Loc));
+  }
+  if (accept(TokenKind::LessEq)) {
+    ExprPtr Value = parseExpr();
+    expect(TokenKind::Semi, "signal assignment");
+    return std::make_unique<SignalAssignStmt>(std::move(Target), Slice,
+                                              std::move(Value),
+                                              SourceRange(Start, cur().Loc));
+  }
+  Diags.error(cur().Loc, "expected ':=' or '<=' in assignment");
+  skipToSemi();
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+// Grammar (loosely following VHDL operator classes):
+//   expr     ::= rel { (and|or|nand|nor|xor|xnor) rel }
+//   rel      ::= add [ (=|/=|<|<=|>|>=) add ]
+//   add      ::= mul { (+|-|&) mul }
+//   mul      ::= primary { * primary }
+//   primary  ::= literal | name [slice] | (expr) | not primary
+// Unlike strict VHDL we allow mixing different logical operators without
+// parentheses (left-associative); this accepts a superset of legal VHDL.
+
+ExprPtr Parser::parseExpr() {
+  ExprPtr LHS = parseRelational();
+  for (;;) {
+    BinaryOpKind Op;
+    if (at(TokenKind::KwAnd))
+      Op = BinaryOpKind::And;
+    else if (at(TokenKind::KwOr))
+      Op = BinaryOpKind::Or;
+    else if (at(TokenKind::KwNand))
+      Op = BinaryOpKind::Nand;
+    else if (at(TokenKind::KwNor))
+      Op = BinaryOpKind::Nor;
+    else if (at(TokenKind::KwXor))
+      Op = BinaryOpKind::Xor;
+    else if (at(TokenKind::KwXnor))
+      Op = BinaryOpKind::Xnor;
+    else
+      return LHS;
+    SourceLoc Loc = consume().Loc;
+    ExprPtr RHS = parseRelational();
+    if (!LHS || !RHS)
+      return LHS ? std::move(LHS) : std::move(RHS);
+    LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                       SourceRange(Loc));
+  }
+}
+
+ExprPtr Parser::parseRelational() {
+  ExprPtr LHS = parseAdditive();
+  BinaryOpKind Op;
+  if (at(TokenKind::Eq))
+    Op = BinaryOpKind::Eq;
+  else if (at(TokenKind::NotEq))
+    Op = BinaryOpKind::Ne;
+  else if (at(TokenKind::Less))
+    Op = BinaryOpKind::Lt;
+  else if (at(TokenKind::LessEq))
+    Op = BinaryOpKind::Le;
+  else if (at(TokenKind::Greater))
+    Op = BinaryOpKind::Gt;
+  else if (at(TokenKind::GreaterEq))
+    Op = BinaryOpKind::Ge;
+  else
+    return LHS;
+  SourceLoc Loc = consume().Loc;
+  ExprPtr RHS = parseAdditive();
+  if (!LHS || !RHS)
+    return LHS ? std::move(LHS) : std::move(RHS);
+  return std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                      SourceRange(Loc));
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr LHS = parseMultiplicative();
+  for (;;) {
+    BinaryOpKind Op;
+    if (at(TokenKind::Plus))
+      Op = BinaryOpKind::Add;
+    else if (at(TokenKind::Minus))
+      Op = BinaryOpKind::Sub;
+    else if (at(TokenKind::Amp))
+      Op = BinaryOpKind::Concat;
+    else
+      return LHS;
+    SourceLoc Loc = consume().Loc;
+    ExprPtr RHS = parseMultiplicative();
+    if (!LHS || !RHS)
+      return LHS ? std::move(LHS) : std::move(RHS);
+    LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                       SourceRange(Loc));
+  }
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr LHS = parsePrimary();
+  while (at(TokenKind::Star)) {
+    SourceLoc Loc = consume().Loc;
+    ExprPtr RHS = parsePrimary();
+    if (!LHS || !RHS)
+      return LHS ? std::move(LHS) : std::move(RHS);
+    LHS = std::make_unique<BinaryExpr>(BinaryOpKind::Mul, std::move(LHS),
+                                       std::move(RHS), SourceRange(Loc));
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Start = cur().Loc;
+  if (at(TokenKind::KwNot)) {
+    consume();
+    ExprPtr Sub = parsePrimary();
+    if (!Sub)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(UnaryOpKind::Not, std::move(Sub),
+                                       SourceRange(Start, cur().Loc));
+  }
+  if (at(TokenKind::CharLiteral)) {
+    Token T = consume();
+    std::optional<StdLogic> V =
+        T.Text.size() == 1 ? stdLogicFromChar(T.Text[0]) : std::nullopt;
+    if (!V) {
+      Diags.error(T.Loc, "'" + T.Text + "' is not a std_logic value");
+      V = StdLogic::U;
+    }
+    return std::make_unique<LogicLiteralExpr>(*V, SourceRange(T.Loc));
+  }
+  if (at(TokenKind::StringLiteral)) {
+    Token T = consume();
+    std::optional<LogicVector> V = LogicVector::fromString(T.Text);
+    if (!V) {
+      Diags.error(T.Loc,
+                  "string literal \"" + T.Text +
+                      "\" contains characters outside std_logic");
+      V = LogicVector(T.Text.size());
+    }
+    return std::make_unique<VectorLiteralExpr>(std::move(*V),
+                                               SourceRange(T.Loc));
+  }
+  if (at(TokenKind::LParen)) {
+    consume();
+    ExprPtr Sub = parseExpr();
+    expect(TokenKind::RParen, "parenthesized expression");
+    return Sub;
+  }
+  if (at(TokenKind::Identifier)) {
+    Token T = consume();
+    if (at(TokenKind::LParen)) {
+      std::optional<SliceSpec> Slice = parseSliceSuffix();
+      if (Slice)
+        return std::make_unique<SliceExpr>(T.Text, *Slice,
+                                           SourceRange(T.Loc, cur().Loc));
+      return nullptr;
+    }
+    return std::make_unique<NameExpr>(T.Text, SourceRange(T.Loc));
+  }
+  Diags.error(Start, std::string("expected expression, found ") +
+                         tokenKindName(cur().K));
+  consume();
+  return nullptr;
+}
+
+std::optional<SliceSpec> Parser::parseSliceSuffix() {
+  if (!at(TokenKind::LParen))
+    return std::nullopt;
+  consume();
+  SliceSpec Slice;
+  Slice.Z1 = static_cast<int>(cur().IntValue);
+  if (!expect(TokenKind::IntLiteral, "slice")) {
+    skipToSemi();
+    return std::nullopt;
+  }
+  if (accept(TokenKind::KwDownto))
+    Slice.Downto = true;
+  else if (accept(TokenKind::KwTo))
+    Slice.Downto = false;
+  else {
+    Diags.error(cur().Loc, "expected 'downto' or 'to' in slice");
+    skipToSemi();
+    return std::nullopt;
+  }
+  Slice.Z2 = static_cast<int>(cur().IntValue);
+  if (!expect(TokenKind::IntLiteral, "slice")) {
+    skipToSemi();
+    return std::nullopt;
+  }
+  expect(TokenKind::RParen, "slice");
+  return Slice;
+}
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpression() { return parseExpr(); }
+
+DesignFile vif::parseDesign(const std::string &Source,
+                            DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.lexAll(), Diags);
+  return P.parseDesignFile();
+}
+
+StmtPtr vif::parseStatements(const std::string &Source,
+                             DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.lexAll(), Diags);
+  return P.parseStatementList();
+}
+
+StatementProgram vif::parseStatementProgram(const std::string &Source,
+                                            DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.lexAll(), Diags);
+  StatementProgram Prog;
+  Prog.Decls = P.parseDeclarations();
+  Prog.Body = P.parseStatementList();
+  return Prog;
+}

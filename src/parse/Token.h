@@ -1,0 +1,104 @@
+//===- parse/Token.h - VHDL1 tokens -----------------------------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for the VHDL1 lexer. VHDL keywords and identifiers are case
+/// insensitive; the lexer normalizes identifier spellings to lowercase and
+/// recognizes keywords in any case. Literal bodies keep their exact case
+/// ('U' and 'u' are different characters, only the former is std_logic).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_PARSE_TOKEN_H
+#define VIF_PARSE_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace vif {
+
+enum class TokenKind : uint8_t {
+  Eof,
+  Identifier,
+  IntLiteral,
+  CharLiteral,   ///< '0', 'U', ...
+  StringLiteral, ///< "0101"
+
+  // Keywords.
+  KwArchitecture,
+  KwAnd,
+  KwBegin,
+  KwBlock,
+  KwDownto,
+  KwElse,
+  KwElsif,
+  KwEnd,
+  KwEntity,
+  KwIf,
+  KwIn,
+  KwInout,
+  KwIs,
+  KwLoop,
+  KwNand,
+  KwNor,
+  KwNot,
+  KwNull,
+  KwOf,
+  KwOn,
+  KwOr,
+  KwOut,
+  KwPort,
+  KwProcess,
+  KwSignal,
+  KwStdLogic,
+  KwStdLogicVector,
+  KwThen,
+  KwTo,
+  KwUntil,
+  KwVariable,
+  KwWait,
+  KwWhile,
+  KwXnor,
+  KwXor,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  Semi,
+  Colon,
+  Comma,
+  ColonEq,   ///< :=
+  LessEq,    ///< <= (signal assignment or relational, by context)
+  Less,      ///< <
+  Greater,   ///< >
+  GreaterEq, ///< >=
+  Eq,        ///< =
+  NotEq,     ///< /=
+  Plus,
+  Minus,
+  Star,
+  Amp,
+};
+
+/// Human-readable token-kind name for diagnostics.
+const char *tokenKindName(TokenKind K);
+
+struct Token {
+  TokenKind K = TokenKind::Eof;
+  /// Identifier spelling (lowercased), literal body, or empty.
+  std::string Text;
+  /// Value of IntLiteral tokens.
+  int64_t IntValue = 0;
+  SourceLoc Loc;
+
+  bool is(TokenKind Kind) const { return K == Kind; }
+};
+
+} // namespace vif
+
+#endif // VIF_PARSE_TOKEN_H

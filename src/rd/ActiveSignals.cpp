@@ -1,0 +1,142 @@
+//===- rd/ActiveSignals.cpp -----------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rd/ActiveSignals.h"
+
+#include "support/Casting.h"
+
+#include <deque>
+
+using namespace vif;
+
+namespace {
+
+/// Fills the Table 4 kill/gen sets of one process into \p KG.
+void computeKillGenFor(const ProgramCFG &CFG, const ProcessCFG &P,
+                       ActiveKillGen &KG) {
+
+  // All signal-assignment definitions of this process, and per signal.
+  PairSet AllSignalDefs;
+  std::map<unsigned, PairSet> DefsOfSignal;
+  for (LabelId L : P.Labels) {
+    const CFGBlock &B = CFG.block(L);
+    if (B.K != CFGBlock::Kind::SignalAssign)
+      continue;
+    const auto *A = cast<SignalAssignStmt>(B.S);
+    DefPair D{Resource::signal(A->targetRef().Id), L};
+    AllSignalDefs.insert(D);
+    DefsOfSignal[A->targetRef().Id].insert(D);
+  }
+
+  for (LabelId L : P.Labels) {
+    const CFGBlock &B = CFG.block(L);
+    switch (B.K) {
+    case CFGBlock::Kind::SignalAssign: {
+      const auto *A = cast<SignalAssignStmt>(B.S);
+      unsigned Sig = A->targetRef().Id;
+      // Whole assignments kill every assignment to s in this process;
+      // slice assignments only generate (Table 4 lists no kill for them).
+      if (!A->hasSlice())
+        KG.Kill[L] = DefsOfSignal[Sig];
+      KG.Gen[L].insert(DefPair{Resource::signal(Sig), L});
+      break;
+    }
+    case CFGBlock::Kind::Wait:
+      // Synchronization consumes all active values of the process.
+      KG.Kill[L] = AllSignalDefs;
+      break;
+    case CFGBlock::Kind::Null:
+    case CFGBlock::Kind::VarAssign:
+    case CFGBlock::Kind::Cond:
+      break;
+    }
+  }
+}
+
+} // namespace
+
+ActiveKillGen vif::computeActiveKillGen(const ProgramCFG &CFG) {
+  ActiveKillGen KG;
+  KG.Kill.resize(CFG.numLabels() + 1);
+  KG.Gen.resize(CFG.numLabels() + 1);
+  for (const ProcessCFG &P : CFG.processes())
+    computeKillGenFor(CFG, P, KG);
+  return KG;
+}
+
+ActiveSignalsResult
+vif::analyzeActiveSignals(const ElaboratedProgram &Program,
+                          const ProgramCFG &CFG) {
+  (void)Program;
+  size_t NumLabels = CFG.numLabels();
+  ActiveSignalsResult R;
+  R.MayEntry.resize(NumLabels + 1);
+  R.MayExit.resize(NumLabels + 1);
+  R.MustEntry.resize(NumLabels + 1);
+  R.MustExit.resize(NumLabels + 1);
+
+  ActiveKillGen KG = computeActiveKillGen(CFG);
+
+  for (const ProcessCFG &P : CFG.processes()) {
+
+    // Precompute predecessor lists once.
+    std::map<LabelId, std::vector<LabelId>> Preds;
+    for (const auto &[From, To] : P.Flow)
+      Preds[To].push_back(From);
+
+    // Chaotic iteration from ⊥ = ∅ to the least fixpoint; both transfer
+    // functions are monotone (⋂˙ ranges over a fixed predecessor family).
+    std::deque<LabelId> Work(P.Labels.begin(), P.Labels.end());
+    std::vector<bool> InWork(NumLabels + 1, false);
+    for (LabelId L : P.Labels)
+      InWork[L] = true;
+
+    while (!Work.empty()) {
+      LabelId L = Work.front();
+      Work.pop_front();
+      InWork[L] = false;
+      ++R.Iterations;
+
+      // Entry equations. The paper assumes isolated entries (the
+      // null;while wrapper guarantees them for processes); bare statement
+      // programs may re-enter their init label, so the may analysis also
+      // merges predecessor exits there. The must analysis keeps ∅ at init:
+      // the program-start path carries no active signals and dominates the
+      // ⋂˙.
+      PairSet MayIn, MustIn;
+      std::vector<const PairSet *> PredExitsMust;
+      for (LabelId Pred : Preds[L]) {
+        MayIn.unionWith(R.MayExit[Pred]);
+        PredExitsMust.push_back(&R.MustExit[Pred]);
+      }
+      if (L != P.Init)
+        MustIn = PairSet::dottedIntersection(PredExitsMust);
+      R.MayEntry[L] = MayIn;
+      R.MustEntry[L] = MustIn;
+
+      // Exit equations: (entry \ kill) ∪ gen.
+      PairSet MayOut = std::move(MayIn);
+      MayOut.subtract(KG.Kill[L]);
+      MayOut.unionWith(KG.Gen[L]);
+      PairSet MustOut = std::move(MustIn);
+      MustOut.subtract(KG.Kill[L]);
+      MustOut.unionWith(KG.Gen[L]);
+
+      bool Changed =
+          !(MayOut == R.MayExit[L]) || !(MustOut == R.MustExit[L]);
+      R.MayExit[L] = std::move(MayOut);
+      R.MustExit[L] = std::move(MustOut);
+      if (!Changed)
+        continue;
+      for (const auto &[From, To] : P.Flow)
+        if (From == L && !InWork[To]) {
+          Work.push_back(To);
+          InWork[To] = true;
+        }
+    }
+  }
+  return R;
+}

@@ -1,0 +1,65 @@
+//===- rd/ActiveSignals.h - RD for active signals (Table 4) -----*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Reaching Definitions analysis for *active* signal values of paper
+/// Table 4 — a forward Monotone Framework instance over P(Sig x Lab), run
+/// per process, with the paper's unusual twist of computing both
+///
+///  * RD∪ϕ: an over-approximation (which signals *may* be active, and from
+///    which assignment) — union over predecessor exits; and
+///  * RD∩ϕ: an under-approximation (which signals *must* be active) —
+///    ⋂˙ over predecessor exits.
+///
+/// Kill/gen (Table 4):
+///  * a whole signal assignment [s <= e]^l kills every assignment to s in
+///    the same process and generates (s, l); slice assignments only
+///    generate (no kill — they overwrite part of the active value);
+///  * a wait statement kills every signal assignment of its process (the
+///    synchronization consumes all active values);
+///  * everything else is transparent.
+///
+/// The under-approximation exists solely to give the cross-process analysis
+/// of Table 5 a sound, non-trivial kill component for present values; the
+/// least solution satisfies RD∩ ⊆ RD∪ thanks to ⋂˙∅ = ∅.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_RD_ACTIVESIGNALS_H
+#define VIF_RD_ACTIVESIGNALS_H
+
+#include "rd/PairSet.h"
+
+namespace vif {
+
+/// Per-label results of the active-signal analyses; vectors are indexed by
+/// label (entry 0, the "?" label, is unused).
+struct ActiveSignalsResult {
+  std::vector<PairSet> MayEntry;  ///< RD∪ϕ entry(l)
+  std::vector<PairSet> MayExit;   ///< RD∪ϕ exit(l)
+  std::vector<PairSet> MustEntry; ///< RD∩ϕ entry(l)
+  std::vector<PairSet> MustExit;  ///< RD∩ϕ exit(l)
+
+  /// Number of worklist iterations used (for the complexity experiments).
+  size_t Iterations = 0;
+};
+
+/// Runs both analyses for every process of \p Program.
+ActiveSignalsResult analyzeActiveSignals(const ElaboratedProgram &Program,
+                                         const ProgramCFG &CFG);
+
+/// The Table 4 kill/gen sets per label (shared by the worklist solver and
+/// the ALFP encoding of the equations; vectors indexed by label).
+struct ActiveKillGen {
+  std::vector<PairSet> Kill;
+  std::vector<PairSet> Gen;
+};
+
+ActiveKillGen computeActiveKillGen(const ProgramCFG &CFG);
+
+} // namespace vif
+
+#endif // VIF_RD_ACTIVESIGNALS_H

@@ -1,0 +1,281 @@
+//===- rd/ReachingDefs.cpp ------------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rd/ReachingDefs.h"
+
+#include "support/Casting.h"
+
+#include <deque>
+#include <map>
+#include <set>
+
+using namespace vif;
+
+PairSet ReachingDefsResult::atProcessEnd(const ProcessCFG &P) const {
+  PairSet Result;
+  for (LabelId L : P.Finals)
+    Result.unionWith(Exit[L]);
+  return Result;
+}
+
+namespace {
+
+/// Sorted signal-id sets with the usual operations; used for the factored
+/// cf quantifications.
+using SigSet = std::set<unsigned>;
+
+SigSet signalsOf(const PairSet &S) {
+  SigSet Result;
+  for (Resource R : S.firstComponents())
+    if (R.isSignal())
+      Result.insert(R.id());
+  return Result;
+}
+
+SigSet unionOf(const SigSet &A, const SigSet &B) {
+  SigSet R = A;
+  R.insert(B.begin(), B.end());
+  return R;
+}
+
+SigSet intersectOf(const SigSet &A, const SigSet &B) {
+  SigSet R;
+  for (unsigned X : A)
+    if (B.count(X))
+      R.insert(X);
+  return R;
+}
+
+/// The cf quantifications at a wait label l of process i:
+///
+///   may(l)  = ⋃_{tuples (l_1..l_n) ∈ cf, l_i = l} ⋃_j fst(RD∪ϕentry(l_j))
+///   must(l) = ⋂˙_{tuples (l_1..l_n) ∈ cf, l_i = l} ⋃_j fst(RD∩ϕentry(l_j))
+///
+/// Factored: tuple components range independently over the WS(ss_j), so
+///   may(l)  = may_i(l) ∪ ⋃_{j≠i} ⋃_{l'∈WS_j} may_j(l')
+///   must(l) = must_i(l) ∪ ⋃_{j≠i} ⋂_{l'∈WS_j} must_j(l')
+/// (processes without wait statements do not contribute a component).
+struct WaitAggregates {
+  /// ⋃_{l'∈WS_j} fst(RD∪ϕentry(l')) per process j.
+  std::vector<SigSet> MayUnion;
+  /// ⋂_{l'∈WS_j} fst(RD∩ϕentry(l')) per process j.
+  std::vector<SigSet> MustIntersect;
+  /// fst(RD∪ϕentry(l_last)) at the textually last wait of process j — the
+  /// Hsieh-Levitan emulation samples other processes only at this final
+  /// synchronization, losing definitions overwritten before the process
+  /// end (the paper's Section 1 criticism).
+  std::vector<SigSet> MayAtEnd;
+  /// Whether process j has any wait labels.
+  std::vector<bool> HasWaits;
+};
+
+WaitAggregates computeAggregates(const ProgramCFG &CFG,
+                                 const ActiveSignalsResult &Active) {
+  WaitAggregates A;
+  size_t N = CFG.processes().size();
+  A.MayUnion.resize(N);
+  A.MustIntersect.resize(N);
+  A.MayAtEnd.resize(N);
+  A.HasWaits.resize(N, false);
+  for (const ProcessCFG &P : CFG.processes()) {
+    bool First = true;
+    for (LabelId L : P.WaitLabels) {
+      A.HasWaits[P.ProcessId] = true;
+      SigSet May = signalsOf(Active.MayEntry[L]);
+      SigSet Must = signalsOf(Active.MustEntry[L]);
+      A.MayUnion[P.ProcessId] =
+          unionOf(A.MayUnion[P.ProcessId], May);
+      A.MustIntersect[P.ProcessId] =
+          First ? Must : intersectOf(A.MustIntersect[P.ProcessId], Must);
+      First = false;
+    }
+    if (!P.WaitLabels.empty())
+      A.MayAtEnd[P.ProcessId] =
+          signalsOf(Active.MayEntry[P.WaitLabels.back()]);
+  }
+  return A;
+}
+
+SigSet factoredMay(const ProgramCFG &CFG, const ActiveSignalsResult &Active,
+                   const WaitAggregates &Agg, LabelId L,
+                   bool HsiehLevitan) {
+  unsigned I = CFG.processOf(L);
+  SigSet Result = signalsOf(Active.MayEntry[L]);
+  for (size_t J = 0; J < Agg.MayUnion.size(); ++J)
+    if (J != I && Agg.HasWaits[J])
+      Result = unionOf(Result,
+                       HsiehLevitan ? Agg.MayAtEnd[J] : Agg.MayUnion[J]);
+  return Result;
+}
+
+SigSet factoredMust(const ProgramCFG &CFG, const ActiveSignalsResult &Active,
+                    const WaitAggregates &Agg, LabelId L) {
+  unsigned I = CFG.processOf(L);
+  SigSet Result = signalsOf(Active.MustEntry[L]);
+  for (size_t J = 0; J < Agg.MustIntersect.size(); ++J)
+    if (J != I && Agg.HasWaits[J])
+      Result = unionOf(Result, Agg.MustIntersect[J]);
+  return Result;
+}
+
+/// Reference implementation by explicit tuple enumeration (validation).
+void enumeratedMayMust(const ProgramCFG &CFG,
+                       const ActiveSignalsResult &Active, LabelId L,
+                       SigSet &May, SigSet &Must) {
+  May.clear();
+  Must.clear();
+  bool FirstTuple = true;
+  for (const std::vector<LabelId> &Tuple : CFG.crossFlowTuples()) {
+    bool ThroughL = false;
+    for (LabelId T : Tuple)
+      ThroughL |= T == L;
+    if (!ThroughL)
+      continue;
+    SigSet TupleMay, TupleMust;
+    for (LabelId T : Tuple) {
+      TupleMay = unionOf(TupleMay, signalsOf(Active.MayEntry[T]));
+      TupleMust = unionOf(TupleMust, signalsOf(Active.MustEntry[T]));
+    }
+    May = unionOf(May, TupleMay);
+    Must = FirstTuple ? TupleMust : intersectOf(Must, TupleMust);
+    FirstTuple = false;
+  }
+  // ⋂˙ over an empty family is ∅ — May/Must stay empty if no tuple passes
+  // through L (impossible for a genuine wait label).
+}
+
+} // namespace
+
+ReachingDefsKillGen
+vif::computeReachingDefsKillGen(const ProgramCFG &CFG,
+                                const ActiveSignalsResult &Active,
+                                const ReachingDefsOptions &Opts) {
+  size_t NumLabels = CFG.numLabels();
+  WaitAggregates Agg = computeAggregates(CFG, Active);
+  ReachingDefsKillGen KG;
+  std::vector<PairSet> &Kill = KG.Kill, &Gen = KG.Gen;
+  Kill.resize(NumLabels + 1);
+  Gen.resize(NumLabels + 1);
+  for (const ProcessCFG &P : CFG.processes()) {
+    // Per-variable definitions inside this process.
+    std::map<unsigned, PairSet> DefsOfVar;
+    for (LabelId L : P.Labels) {
+      const CFGBlock &B = CFG.block(L);
+      if (B.K != CFGBlock::Kind::VarAssign)
+        continue;
+      const auto *A = cast<VarAssignStmt>(B.S);
+      DefsOfVar[A->targetRef().Id].insert(
+          DefPair{Resource::variable(A->targetRef().Id), L});
+    }
+    // wS(ss_i): the labels where a present signal value can be defined
+    // within process i — its wait labels plus the initial "?".
+    std::vector<LabelId> PresentDefLabels = P.WaitLabels;
+    PresentDefLabels.push_back(InitialLabel);
+
+    for (LabelId L : P.Labels) {
+      const CFGBlock &B = CFG.block(L);
+      switch (B.K) {
+      case CFGBlock::Kind::VarAssign: {
+        const auto *A = cast<VarAssignStmt>(B.S);
+        unsigned Var = A->targetRef().Id;
+        Gen[L].insert(DefPair{Resource::variable(Var), L});
+        if (!A->hasSlice()) {
+          Kill[L] = DefsOfVar[Var];
+          Kill[L].insert(DefPair{Resource::variable(Var), InitialLabel});
+        }
+        break;
+      }
+      case CFGBlock::Kind::Wait: {
+        SigSet May, Must;
+        if (Opts.EnumerateCrossFlowTuples) {
+          enumeratedMayMust(CFG, Active, L, May, Must);
+        } else {
+          May = factoredMay(CFG, Active, Agg, L,
+                            Opts.HsiehLevitanCrossFlow);
+          Must = factoredMust(CFG, Active, Agg, L);
+        }
+        for (unsigned Sig : May)
+          Gen[L].insert(DefPair{Resource::signal(Sig), L});
+        if (Opts.UseMustActiveKill)
+          for (unsigned Sig : Must)
+            for (LabelId DefL : PresentDefLabels)
+              Kill[L].insert(DefPair{Resource::signal(Sig), DefL});
+        break;
+      }
+      case CFGBlock::Kind::Null:
+      case CFGBlock::Kind::SignalAssign:
+      case CFGBlock::Kind::Cond:
+        break;
+      }
+    }
+  }
+  return KG;
+}
+
+ReachingDefsResult
+vif::analyzeReachingDefs(const ElaboratedProgram &Program,
+                         const ProgramCFG &CFG,
+                         const ActiveSignalsResult &Active,
+                         const ReachingDefsOptions &Opts) {
+  size_t NumLabels = CFG.numLabels();
+  ReachingDefsResult R;
+  R.Entry.resize(NumLabels + 1);
+  R.Exit.resize(NumLabels + 1);
+
+  ReachingDefsKillGen KG = computeReachingDefsKillGen(CFG, Active, Opts);
+  const std::vector<PairSet> &Kill = KG.Kill;
+  const std::vector<PairSet> &Gen = KG.Gen;
+
+  // Forward may analysis, per-process flow.
+  for (const ProcessCFG &P : CFG.processes()) {
+    PairSet Initial;
+    for (unsigned Var : P.FreeVars)
+      Initial.insert(DefPair{Resource::variable(Var), InitialLabel});
+    for (unsigned Sig : P.FreeSigs)
+      Initial.insert(DefPair{Resource::signal(Sig), InitialLabel});
+
+    std::map<LabelId, std::vector<LabelId>> Preds;
+    for (const auto &[From, To] : P.Flow)
+      Preds[To].push_back(From);
+
+    std::deque<LabelId> Work(P.Labels.begin(), P.Labels.end());
+    std::vector<bool> InWork(NumLabels + 1, false);
+    for (LabelId L : P.Labels)
+      InWork[L] = true;
+
+    while (!Work.empty()) {
+      LabelId L = Work.front();
+      Work.pop_front();
+      InWork[L] = false;
+      ++R.Iterations;
+
+      // The init label carries the initial {(n, ?)} definitions; if it is
+      // re-entered (possible in bare statement programs without the
+      // isolated-entry wrapper) predecessor exits are merged as well.
+      PairSet In;
+      if (L == P.Init)
+        In = Initial;
+      for (LabelId Pred : Preds[L])
+        In.unionWith(R.Exit[Pred]);
+      R.Entry[L] = In;
+
+      PairSet Out = std::move(In);
+      Out.subtract(Kill[L]);
+      Out.unionWith(Gen[L]);
+
+      if (Out == R.Exit[L])
+        continue;
+      R.Exit[L] = std::move(Out);
+      for (const auto &[From, To] : P.Flow)
+        if (From == L && !InWork[To]) {
+          Work.push_back(To);
+          InWork[To] = true;
+        }
+    }
+  }
+  (void)Program;
+  return R;
+}

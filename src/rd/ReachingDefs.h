@@ -1,0 +1,85 @@
+//===- rd/ReachingDefs.h - RD for vars & present signals (Table 5) -*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Reaching Definitions analysis for local variables and *present*
+/// signal values of paper Table 5: a forward may analysis over
+/// P((Var ∪ Sig) x Lab), per-process flow, that consumes the active-signal
+/// results (Table 4) at wait statements:
+///
+///  * gen at [wait]^l: every signal that may be active in any process that
+///    could take part in the synchronization becomes defined at l (its
+///    active value turns into its present value);
+///  * kill at [wait]^l: every signal that must be active in *all* possible
+///    synchronization tuples through l gets all of its present-value
+///    definitions killed — this is where RD∩ϕ earns its keep;
+///  * variable assignments kill/gen in the classic way, with the special
+///    (x, ?) pair standing for the initial value;
+///  * entry of init(ss_i) is {(x,?) | x ∈ FV(ss_i)} ∪ {(s,?) | s ∈ FS(ss_i)}.
+///
+/// The quantifications over cf tuples are computed in factored form (the
+/// tuple components range independently, see cfg/CFG.h); the explicit
+/// product definition is also implemented for validation on small programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_RD_REACHINGDEFS_H
+#define VIF_RD_REACHINGDEFS_H
+
+#include "rd/ActiveSignals.h"
+
+namespace vif {
+
+struct ReachingDefsOptions {
+  /// Disables the RD∩ϕ-based kill at waits (the ablation ABL-RD in
+  /// DESIGN.md): present-value definitions of signals then survive every
+  /// synchronization, as in a naive adaptation of Reaching Definitions.
+  bool UseMustActiveKill = true;
+  /// Computes the wait kill/gen sets by explicit enumeration of cf tuples
+  /// instead of the factored form (validation only; exponential).
+  bool EnumerateCrossFlowTuples = false;
+  /// Emulates the Reaching Definitions component of Hsieh & Levitan's
+  /// analysis as the paper characterizes it (Section 1): definitions from
+  /// *other* processes are only sampled at their process ends, so "a
+  /// definition ... present at a synchronization point within the process
+  /// but overwritten before the end of the process" is lost. Kept as the
+  /// ABL-HL baseline; unsound for multi-wait processes, exactly the
+  /// paper's criticism.
+  bool HsiehLevitanCrossFlow = false;
+};
+
+/// Per-label results of RDcf; vectors indexed by label.
+struct ReachingDefsResult {
+  std::vector<PairSet> Entry; ///< RDcf entry(l)
+  std::vector<PairSet> Exit;  ///< RDcf exit(l)
+  size_t Iterations = 0;
+
+  /// Definitions reaching the end of process \p P: the union of exits of
+  /// its final labels (used by the program-end outgoing extension).
+  PairSet atProcessEnd(const ProcessCFG &P) const;
+};
+
+/// Runs RDcf for the whole program, given the Table 4 results \p Active.
+ReachingDefsResult analyzeReachingDefs(const ElaboratedProgram &Program,
+                                       const ProgramCFG &CFG,
+                                       const ActiveSignalsResult &Active,
+                                       const ReachingDefsOptions &Opts = {});
+
+/// The Table 5 kill/gen sets per label (shared by the worklist solver and
+/// the ALFP encoding of the equations; vectors indexed by label).
+struct ReachingDefsKillGen {
+  std::vector<PairSet> Kill;
+  std::vector<PairSet> Gen;
+};
+
+ReachingDefsKillGen
+computeReachingDefsKillGen(const ProgramCFG &CFG,
+                           const ActiveSignalsResult &Active,
+                           const ReachingDefsOptions &Opts = {});
+
+} // namespace vif
+
+#endif // VIF_RD_REACHINGDEFS_H

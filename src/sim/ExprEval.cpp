@@ -1,0 +1,192 @@
+//===- sim/ExprEval.cpp ---------------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ExprEval.h"
+
+#include "support/Casting.h"
+
+using namespace vif;
+
+EvalContext::~EvalContext() = default;
+
+namespace {
+
+/// Reads the declared type of a resolved object.
+const Type &declaredType(ObjectRef Ref, const ElaboratedProgram &Program) {
+  return Ref.isVariable() ? Program.variable(Ref.Id).Ty
+                          : Program.signal(Ref.Id).Ty;
+}
+
+Value readWhole(ObjectRef Ref, const EvalContext &Ctx) {
+  return Ref.isVariable() ? Ctx.readVariable(Ref.Id)
+                          : Ctx.readSignalPresent(Ref.Id);
+}
+
+/// The paper's split(a, z1, z2): elements of the vector in the given index
+/// range, via the declared type's index-to-position mapping.
+Value split(const Value &V, const Type &DeclTy, const SliceSpec &Slice) {
+  unsigned Pos = DeclTy.slicePosition(Slice.Z1, Slice.Z2, Slice.Downto);
+  unsigned Width = DeclTy.sliceWidth(Slice.Z1, Slice.Z2, Slice.Downto);
+  return Value::vector(V.asVector().slicePos(Pos, Width));
+}
+
+Value evalUnary(UnaryOpKind Op, const Value &Sub) {
+  switch (Op) {
+  case UnaryOpKind::Not:
+    if (Sub.isScalar())
+      return Value::scalar(logicNot(Sub.asScalar()));
+    return Value::vector(Sub.asVector().notOp());
+  }
+  return Sub;
+}
+
+/// Applies a scalar logical table, lifting to vectors element-wise.
+Value evalLogic(BinaryOpKind Op, const Value &L, const Value &R) {
+  if (L.isScalar()) {
+    StdLogic A = L.asScalar(), B = R.asScalar();
+    switch (Op) {
+    case BinaryOpKind::And:
+      return Value::scalar(logicAnd(A, B));
+    case BinaryOpKind::Or:
+      return Value::scalar(logicOr(A, B));
+    case BinaryOpKind::Nand:
+      return Value::scalar(logicNand(A, B));
+    case BinaryOpKind::Nor:
+      return Value::scalar(logicNor(A, B));
+    case BinaryOpKind::Xor:
+      return Value::scalar(logicXor(A, B));
+    case BinaryOpKind::Xnor:
+      return Value::scalar(logicXnor(A, B));
+    default:
+      break;
+    }
+    assert(false && "not a logical operator");
+    return L;
+  }
+  const LogicVector &A = L.asVector(), &B = R.asVector();
+  switch (Op) {
+  case BinaryOpKind::And:
+    return Value::vector(A.andOp(B));
+  case BinaryOpKind::Or:
+    return Value::vector(A.orOp(B));
+  case BinaryOpKind::Nand:
+    return Value::vector(A.nandOp(B));
+  case BinaryOpKind::Nor:
+    return Value::vector(A.norOp(B));
+  case BinaryOpKind::Xor:
+    return Value::vector(A.xorOp(B));
+  case BinaryOpKind::Xnor:
+    return Value::vector(A.xnorOp(B));
+  default:
+    break;
+  }
+  assert(false && "not a logical operator");
+  return L;
+}
+
+Value evalRelational(BinaryOpKind Op, const Value &L, const Value &R) {
+  // Scalars compare as width-1 vectors; this keeps one code path.
+  LogicVector A = L.isScalar() ? LogicVector({L.asScalar()}) : L.asVector();
+  LogicVector B = R.isScalar() ? LogicVector({R.asScalar()}) : R.asVector();
+  switch (Op) {
+  case BinaryOpKind::Eq:
+    return Value::scalar(A.eqOp(B));
+  case BinaryOpKind::Ne:
+    return Value::scalar(A.neOp(B));
+  case BinaryOpKind::Lt:
+    return Value::scalar(A.ltOp(B));
+  case BinaryOpKind::Le:
+    return Value::scalar(A.leOp(B));
+  case BinaryOpKind::Gt:
+    return Value::scalar(A.gtOp(B));
+  case BinaryOpKind::Ge:
+    return Value::scalar(A.geOp(B));
+  default:
+    break;
+  }
+  assert(false && "not a relational operator");
+  return Value();
+}
+
+Value evalArith(BinaryOpKind Op, const Value &L, const Value &R) {
+  const LogicVector &A = L.asVector(), &B = R.asVector();
+  switch (Op) {
+  case BinaryOpKind::Add:
+    return Value::vector(A.add(B));
+  case BinaryOpKind::Sub:
+    return Value::vector(A.sub(B));
+  case BinaryOpKind::Mul:
+    return Value::vector(A.mul(B));
+  default:
+    break;
+  }
+  assert(false && "not an arithmetic operator");
+  return Value();
+}
+
+LogicVector asVectorValue(const Value &V) {
+  if (V.isVector())
+    return V.asVector();
+  return LogicVector({V.asScalar()});
+}
+
+} // namespace
+
+Value vif::evalLiteral(const Expr &E) {
+  if (const auto *L = dyn_cast<LogicLiteralExpr>(&E))
+    return Value::scalar(L->value());
+  return Value::vector(cast<VectorLiteralExpr>(&E)->value());
+}
+
+Value vif::evalExpr(const Expr &E, const EvalContext &Ctx,
+                    const ElaboratedProgram &Program) {
+  switch (E.kind()) {
+  case Expr::Kind::LogicLiteral:
+  case Expr::Kind::VectorLiteral:
+    return evalLiteral(E);
+  case Expr::Kind::Name:
+    return readWhole(cast<NameExpr>(&E)->ref(), Ctx);
+  case Expr::Kind::Slice: {
+    const auto *S = cast<SliceExpr>(&E);
+    return split(readWhole(S->ref(), Ctx), declaredType(S->ref(), Program),
+                 S->slice());
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(&E);
+    return evalUnary(U->op(), evalExpr(U->sub(), Ctx, Program));
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(&E);
+    Value L = evalExpr(B->lhs(), Ctx, Program);
+    Value R = evalExpr(B->rhs(), Ctx, Program);
+    switch (B->op()) {
+    case BinaryOpKind::And:
+    case BinaryOpKind::Or:
+    case BinaryOpKind::Nand:
+    case BinaryOpKind::Nor:
+    case BinaryOpKind::Xor:
+    case BinaryOpKind::Xnor:
+      return evalLogic(B->op(), L, R);
+    case BinaryOpKind::Eq:
+    case BinaryOpKind::Ne:
+    case BinaryOpKind::Lt:
+    case BinaryOpKind::Le:
+    case BinaryOpKind::Gt:
+    case BinaryOpKind::Ge:
+      return evalRelational(B->op(), L, R);
+    case BinaryOpKind::Add:
+    case BinaryOpKind::Sub:
+    case BinaryOpKind::Mul:
+      return evalArith(B->op(), L, R);
+    case BinaryOpKind::Concat:
+      return Value::vector(asVectorValue(L).concat(asVectorValue(R)));
+    }
+    break;
+  }
+  }
+  assert(false && "malformed expression tree");
+  return Value();
+}

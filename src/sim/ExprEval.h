@@ -1,0 +1,49 @@
+//===- sim/ExprEval.h - Expression evaluation E[[e]] ------------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's expression semantics (Table 1):
+///
+///   E : Expr -> (State x Signals -> Value)
+///
+/// Signals are always read at their *present* value, ϕ s 0. Slices go
+/// through `split` after the declared type translates indices to positions.
+/// Evaluation can fail only when a semantic side condition is violated
+/// (e.g. a condition that is neither '0' nor '1' is handled by the caller);
+/// operator application itself is total on well-typed trees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_SIM_EXPREVAL_H
+#define VIF_SIM_EXPREVAL_H
+
+#include "sema/Elaborator.h"
+#include "sim/Value.h"
+
+namespace vif {
+
+/// Read access to the paper's ⟨σ, ϕ⟩ pair for one process.
+class EvalContext {
+public:
+  virtual ~EvalContext();
+
+  /// σ x — present value of a local variable.
+  virtual Value readVariable(unsigned VarId) const = 0;
+  /// ϕ s 0 — present value of a signal.
+  virtual Value readSignalPresent(unsigned SigId) const = 0;
+};
+
+/// E[[e]]⟨σ, ϕ⟩ over a resolved, type-checked expression.
+Value evalExpr(const Expr &E, const EvalContext &Ctx,
+               const ElaboratedProgram &Program);
+
+/// Evaluates a literal initializer (LogicLiteralExpr / VectorLiteralExpr);
+/// used for declaration initial values.
+Value evalLiteral(const Expr &E);
+
+} // namespace vif
+
+#endif // VIF_SIM_EXPREVAL_H

@@ -1,0 +1,23 @@
+//===- sim/Value.cpp ------------------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Value.h"
+
+using namespace vif;
+
+Value Value::resolveWith(const Value &O) const {
+  assert(isScalar() == O.isScalar() && width() == O.width() &&
+         "resolving drivers of different shapes");
+  if (isScalar())
+    return scalar(resolve(asScalar(), O.asScalar()));
+  return vector(asVector().resolveWith(O.asVector()));
+}
+
+std::string Value::str() const {
+  if (isScalar())
+    return std::string("'") + toChar(asScalar()) + "'";
+  return "\"" + asVector().str() + "\"";
+}

@@ -1,0 +1,78 @@
+//===- sim/Value.h - Runtime values -----------------------------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime values: Value = LValue ⊎ AValue (paper Section 3). A value is
+/// either one std_logic or a positional vector of them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_SIM_VALUE_H
+#define VIF_SIM_VALUE_H
+
+#include "ast/Type.h"
+#include "stdlogic/LogicVector.h"
+
+#include <string>
+#include <variant>
+
+namespace vif {
+
+class Value {
+public:
+  /// Scalar 'U'.
+  Value() : V(StdLogic::U) {}
+
+  static Value scalar(StdLogic S) { return Value(S); }
+  static Value vector(LogicVector L) { return Value(std::move(L)); }
+
+  /// The paper's initial store contents: 'U' for scalars, "U...U" sized to
+  /// the type's width for vectors.
+  static Value defaultFor(const Type &Ty) {
+    if (Ty.isScalar())
+      return scalar(StdLogic::U);
+    return vector(LogicVector(Ty.width()));
+  }
+
+  bool isScalar() const { return std::holds_alternative<StdLogic>(V); }
+  bool isVector() const { return !isScalar(); }
+
+  StdLogic asScalar() const {
+    assert(isScalar() && "value is not a scalar");
+    return std::get<StdLogic>(V);
+  }
+  const LogicVector &asVector() const {
+    assert(isVector() && "value is not a vector");
+    return std::get<LogicVector>(V);
+  }
+  LogicVector &asVector() {
+    assert(isVector() && "value is not a vector");
+    return std::get<LogicVector>(V);
+  }
+
+  unsigned width() const {
+    return isScalar() ? 1 : static_cast<unsigned>(asVector().size());
+  }
+
+  /// IEEE 1164 resolution against another driver of the same shape.
+  Value resolveWith(const Value &O) const;
+
+  bool operator==(const Value &O) const { return V == O.V; }
+  bool operator!=(const Value &O) const { return !(*this == O); }
+
+  /// Renders as VHDL literal syntax: '1' or "0101".
+  std::string str() const;
+
+private:
+  explicit Value(StdLogic S) : V(S) {}
+  explicit Value(LogicVector L) : V(std::move(L)) {}
+
+  std::variant<StdLogic, LogicVector> V;
+};
+
+} // namespace vif
+
+#endif // VIF_SIM_VALUE_H

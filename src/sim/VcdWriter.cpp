@@ -1,0 +1,92 @@
+//===- sim/VcdWriter.cpp --------------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/VcdWriter.h"
+
+#include <map>
+#include <ostream>
+
+using namespace vif;
+
+namespace {
+
+/// VCD identifier for the signal with index \p Id: printable ASCII starting
+/// at '!', multi-character for large designs.
+std::string vcdId(unsigned Id) {
+  std::string S;
+  do {
+    S.push_back(static_cast<char>('!' + Id % 94));
+    Id /= 94;
+  } while (Id != 0);
+  return S;
+}
+
+char vcdChar(StdLogic V) {
+  switch (V) {
+  case StdLogic::Zero:
+  case StdLogic::L:
+    return '0';
+  case StdLogic::One:
+  case StdLogic::H:
+    return '1';
+  case StdLogic::Z:
+    return 'z';
+  case StdLogic::U:
+  case StdLogic::X:
+  case StdLogic::W:
+  case StdLogic::DontCare:
+    return 'x';
+  }
+  return 'x';
+}
+
+void emitValue(std::ostream &OS, const Value &V, const std::string &Id) {
+  if (V.isScalar()) {
+    OS << vcdChar(V.asScalar()) << Id << '\n';
+    return;
+  }
+  OS << 'b';
+  for (StdLogic B : V.asVector().bits())
+    OS << vcdChar(B);
+  OS << ' ' << Id << '\n';
+}
+
+} // namespace
+
+void vif::writeVcd(std::ostream &OS, const ElaboratedProgram &Program,
+                   const Simulator &Sim) {
+  OS << "$comment vif VHDL1 simulator trace $end\n";
+  OS << "$timescale 1ns $end\n";
+  OS << "$scope module design $end\n";
+  for (const ElabSignal &S : Program.Signals)
+    OS << "$var wire " << S.Ty.width() << ' ' << vcdId(S.Id) << ' '
+       << S.UniqueName << " $end\n";
+  OS << "$upscope $end\n$enddefinitions $end\n";
+
+  // Initial values: the Old value of the first change of each signal, or
+  // the final present value if it never changed.
+  std::map<unsigned, Value> Initial;
+  for (const TraceEvent &E : Sim.trace())
+    Initial.try_emplace(E.SigId, E.Old);
+  OS << "$dumpvars\n";
+  for (const ElabSignal &S : Program.Signals) {
+    auto It = Initial.find(S.Id);
+    emitValue(OS, It != Initial.end() ? It->second : Sim.presentValue(S.Id),
+              vcdId(S.Id));
+  }
+  OS << "$end\n";
+
+  unsigned CurrentDelta = 0;
+  for (const TraceEvent &E : Sim.trace()) {
+    if (E.Delta != CurrentDelta) {
+      CurrentDelta = E.Delta;
+      OS << '#' << CurrentDelta << '\n';
+    }
+    emitValue(OS, E.New, vcdId(E.SigId));
+  }
+  // Close the waveform one step after the last change.
+  OS << '#' << (Sim.deltasExecuted() + 1) << '\n';
+}

@@ -1,0 +1,33 @@
+//===- sim/VcdWriter.h - Value Change Dump output ----------------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exports a simulation trace in the IEEE 1364 VCD format so waveforms can
+/// be inspected with standard viewers (GTKWave etc.). Each delta cycle of
+/// the paper's semantics becomes one VCD timestep. The nine-valued logic is
+/// projected onto VCD's four-valued alphabet: {'U','X','W','-'} -> x,
+/// {'L'} -> 0, {'H'} -> 1, 'Z' -> z.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_SIM_VCDWRITER_H
+#define VIF_SIM_VCDWRITER_H
+
+#include "sim/Simulator.h"
+
+#include <iosfwd>
+
+namespace vif {
+
+/// Writes the recorded trace of \p Sim (which must have been constructed
+/// with Options::RecordTrace) as a VCD document covering every signal of
+/// \p Program.
+void writeVcd(std::ostream &OS, const ElaboratedProgram &Program,
+              const Simulator &Sim);
+
+} // namespace vif
+
+#endif // VIF_SIM_VCDWRITER_H

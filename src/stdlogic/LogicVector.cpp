@@ -1,0 +1,192 @@
+//===- stdlogic/LogicVector.cpp -------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stdlogic/LogicVector.h"
+
+#include <cassert>
+
+using namespace vif;
+
+std::optional<LogicVector> LogicVector::fromString(const std::string &Chars) {
+  std::vector<StdLogic> Bits;
+  Bits.reserve(Chars.size());
+  for (char C : Chars) {
+    std::optional<StdLogic> V = stdLogicFromChar(C);
+    if (!V)
+      return std::nullopt;
+    Bits.push_back(*V);
+  }
+  return LogicVector(std::move(Bits));
+}
+
+LogicVector LogicVector::fromUInt(uint64_t Value, size_t Width) {
+  LogicVector Result(Width, StdLogic::Zero);
+  for (size_t I = 0; I < Width; ++I) {
+    bool Bit = (Value >> I) & 1;
+    Result.Bits[Width - 1 - I] = fromBool(Bit);
+  }
+  return Result;
+}
+
+StdLogic LogicVector::bit(size_t Pos) const {
+  assert(Pos < Bits.size() && "bit position out of range");
+  return Bits[Pos];
+}
+
+void LogicVector::setBit(size_t Pos, StdLogic V) {
+  assert(Pos < Bits.size() && "bit position out of range");
+  Bits[Pos] = V;
+}
+
+LogicVector LogicVector::slicePos(size_t Pos, size_t Len) const {
+  assert(Pos + Len <= Bits.size() && "slice out of range");
+  return LogicVector(
+      std::vector<StdLogic>(Bits.begin() + Pos, Bits.begin() + Pos + Len));
+}
+
+void LogicVector::setSlicePos(size_t Pos, const LogicVector &V) {
+  assert(Pos + V.size() <= Bits.size() && "slice out of range");
+  for (size_t I = 0; I < V.size(); ++I)
+    Bits[Pos + I] = V.bit(I);
+}
+
+namespace {
+
+using BinFn = StdLogic (*)(StdLogic, StdLogic);
+
+LogicVector zipWith(const LogicVector &A, const LogicVector &B, BinFn Fn) {
+  assert(A.size() == B.size() && "width mismatch in vector operation");
+  LogicVector Result(A.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    Result.setBit(I, Fn(A.bit(I), B.bit(I)));
+  return Result;
+}
+
+} // namespace
+
+LogicVector LogicVector::resolveWith(const LogicVector &O) const {
+  return zipWith(*this, O, resolve);
+}
+
+LogicVector LogicVector::notOp() const {
+  LogicVector Result(size());
+  for (size_t I = 0; I < size(); ++I)
+    Result.setBit(I, logicNot(Bits[I]));
+  return Result;
+}
+
+LogicVector LogicVector::andOp(const LogicVector &O) const {
+  return zipWith(*this, O, logicAnd);
+}
+LogicVector LogicVector::orOp(const LogicVector &O) const {
+  return zipWith(*this, O, logicOr);
+}
+LogicVector LogicVector::xorOp(const LogicVector &O) const {
+  return zipWith(*this, O, logicXor);
+}
+LogicVector LogicVector::nandOp(const LogicVector &O) const {
+  return zipWith(*this, O, logicNand);
+}
+LogicVector LogicVector::norOp(const LogicVector &O) const {
+  return zipWith(*this, O, logicNor);
+}
+LogicVector LogicVector::xnorOp(const LogicVector &O) const {
+  return zipWith(*this, O, logicXnor);
+}
+
+LogicVector LogicVector::concat(const LogicVector &O) const {
+  std::vector<StdLogic> Joined = Bits;
+  Joined.insert(Joined.end(), O.Bits.begin(), O.Bits.end());
+  return LogicVector(std::move(Joined));
+}
+
+std::optional<uint64_t> LogicVector::toUInt() const {
+  assert(Bits.size() <= 64 && "vector too wide for integer conversion");
+  uint64_t Value = 0;
+  for (StdLogic B : Bits) {
+    std::optional<bool> Bit = toBool(B);
+    if (!Bit)
+      return std::nullopt;
+    Value = (Value << 1) | (*Bit ? 1 : 0);
+  }
+  return Value;
+}
+
+namespace {
+
+LogicVector allX(size_t Width) { return LogicVector(Width, StdLogic::X); }
+
+uint64_t truncate(uint64_t Value, size_t Width) {
+  if (Width >= 64)
+    return Value;
+  return Value & ((uint64_t(1) << Width) - 1);
+}
+
+} // namespace
+
+LogicVector LogicVector::add(const LogicVector &O) const {
+  assert(size() == O.size() && "width mismatch in vector arithmetic");
+  std::optional<uint64_t> A = toUInt(), B = O.toUInt();
+  if (!A || !B)
+    return allX(size());
+  return fromUInt(truncate(*A + *B, size()), size());
+}
+
+LogicVector LogicVector::sub(const LogicVector &O) const {
+  assert(size() == O.size() && "width mismatch in vector arithmetic");
+  std::optional<uint64_t> A = toUInt(), B = O.toUInt();
+  if (!A || !B)
+    return allX(size());
+  return fromUInt(truncate(*A - *B, size()), size());
+}
+
+LogicVector LogicVector::mul(const LogicVector &O) const {
+  assert(size() == O.size() && "width mismatch in vector arithmetic");
+  std::optional<uint64_t> A = toUInt(), B = O.toUInt();
+  if (!A || !B)
+    return allX(size());
+  return fromUInt(truncate(*A * *B, size()), size());
+}
+
+StdLogic LogicVector::eqOp(const LogicVector &O) const {
+  assert(size() == O.size() && "width mismatch in vector comparison");
+  return fromBool(Bits == O.Bits);
+}
+
+StdLogic LogicVector::neOp(const LogicVector &O) const {
+  return logicNot(eqOp(O));
+}
+
+StdLogic LogicVector::ltOp(const LogicVector &O) const {
+  assert(size() == O.size() && "width mismatch in vector comparison");
+  std::optional<uint64_t> A = toUInt(), B = O.toUInt();
+  if (!A || !B)
+    return StdLogic::X;
+  return fromBool(*A < *B);
+}
+
+StdLogic LogicVector::leOp(const LogicVector &O) const {
+  std::optional<uint64_t> A = toUInt(), B = O.toUInt();
+  if (!A || !B)
+    return StdLogic::X;
+  return fromBool(*A <= *B);
+}
+
+StdLogic LogicVector::gtOp(const LogicVector &O) const {
+  return logicNot(leOp(O));
+}
+
+StdLogic LogicVector::geOp(const LogicVector &O) const {
+  return logicNot(ltOp(O));
+}
+
+std::string LogicVector::str() const {
+  std::string Result;
+  Result.reserve(Bits.size());
+  for (StdLogic B : Bits)
+    Result.push_back(toChar(B));
+  return Result;
+}

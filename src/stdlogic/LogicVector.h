@@ -1,0 +1,117 @@
+//===- stdlogic/LogicVector.h - std_logic_vector values ---------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Vectors of logical values, the paper's AValue = LValue* domain. A
+/// LogicVector is purely positional: Bits[0] is the *leftmost* element of the
+/// declared range (the MSB for `downto` ranges, and also the numeric MSB for
+/// `to` ranges under the numeric_std convention). Index-to-position mapping
+/// lives in ast::Type, so values never carry range bookkeeping; the paper's
+/// normalization of `to` ranges becomes a pure index computation.
+///
+/// Arithmetic follows numeric_std's unsigned semantics: any non-binary
+/// operand bit makes the whole result 'X' (after to_X01 stripping weak
+/// values), otherwise the operation is performed modulo 2^width.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_STDLOGIC_LOGICVECTOR_H
+#define VIF_STDLOGIC_LOGICVECTOR_H
+
+#include "stdlogic/StdLogic.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vif {
+
+/// A fixed-width vector of std_logic values, leftmost element first.
+class LogicVector {
+public:
+  LogicVector() = default;
+
+  /// A vector of \p Width copies of \p Fill ('U' by default, matching the
+  /// paper's initial stores: "All vectors has a string of 'U''s").
+  explicit LogicVector(size_t Width, StdLogic Fill = StdLogic::U)
+      : Bits(Width, Fill) {}
+
+  explicit LogicVector(std::vector<StdLogic> Bits) : Bits(std::move(Bits)) {}
+
+  /// Parses a VHDL string literal body, e.g. "01ZX"; nullopt on any
+  /// character outside the nine-valued alphabet.
+  static std::optional<LogicVector> fromString(const std::string &Chars);
+
+  /// The low \p Width bits of \p Value, MSB first.
+  static LogicVector fromUInt(uint64_t Value, size_t Width);
+
+  size_t size() const { return Bits.size(); }
+  bool empty() const { return Bits.empty(); }
+
+  StdLogic bit(size_t Pos) const;
+  void setBit(size_t Pos, StdLogic V);
+
+  const std::vector<StdLogic> &bits() const { return Bits; }
+
+  /// The contiguous sub-vector of \p Len elements starting at position
+  /// \p Pos. This is the paper's `split` after the type has translated
+  /// indices to positions.
+  LogicVector slicePos(size_t Pos, size_t Len) const;
+
+  /// Overwrites \p Len elements starting at \p Pos with \p V (which must
+  /// have exactly \p Len elements).
+  void setSlicePos(size_t Pos, const LogicVector &V);
+
+  /// Element-wise IEEE 1164 resolution; widths must agree.
+  LogicVector resolveWith(const LogicVector &O) const;
+
+  /// Element-wise logical operators; widths must agree.
+  LogicVector notOp() const;
+  LogicVector andOp(const LogicVector &O) const;
+  LogicVector orOp(const LogicVector &O) const;
+  LogicVector xorOp(const LogicVector &O) const;
+  LogicVector nandOp(const LogicVector &O) const;
+  LogicVector norOp(const LogicVector &O) const;
+  LogicVector xnorOp(const LogicVector &O) const;
+
+  /// Concatenation (this to the left of \p O).
+  LogicVector concat(const LogicVector &O) const;
+
+  /// Unsigned value if every bit is binary after to_X01; nullopt otherwise.
+  std::optional<uint64_t> toUInt() const;
+
+  /// numeric_std-style unsigned arithmetic modulo 2^width; widths must
+  /// agree; any non-binary bit yields an all-'X' result.
+  LogicVector add(const LogicVector &O) const;
+  LogicVector sub(const LogicVector &O) const;
+  LogicVector mul(const LogicVector &O) const;
+
+  /// Exact value equality (same width, identical elements).
+  bool operator==(const LogicVector &O) const { return Bits == O.Bits; }
+  bool operator!=(const LogicVector &O) const { return !(*this == O); }
+
+  /// VHDL relational operators folded into std_logic. eq/ne are structural
+  /// element equality (VHDL's "=" on the raw value set, so 'U' = 'U' is
+  /// '1'); the orderings use the numeric_std unsigned interpretation and
+  /// yield 'X' whenever an operand has a non-binary bit.
+  StdLogic eqOp(const LogicVector &O) const;
+  StdLogic neOp(const LogicVector &O) const;
+  StdLogic ltOp(const LogicVector &O) const;
+  StdLogic leOp(const LogicVector &O) const;
+  StdLogic gtOp(const LogicVector &O) const;
+  StdLogic geOp(const LogicVector &O) const;
+
+  /// Renders as the body of a VHDL string literal, e.g. 01ZX.
+  std::string str() const;
+
+private:
+  std::vector<StdLogic> Bits;
+};
+
+} // namespace vif
+
+#endif // VIF_STDLOGIC_LOGICVECTOR_H

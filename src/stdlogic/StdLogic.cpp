@@ -1,0 +1,159 @@
+//===- stdlogic/StdLogic.cpp ----------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stdlogic/StdLogic.h"
+
+#include <cassert>
+
+using namespace vif;
+
+namespace {
+
+constexpr uint8_t U = 0, X = 1, O0 = 2, O1 = 3, Z = 4, W = 5, L = 6, H = 7,
+                  D = 8;
+
+// IEEE 1164-1993, the `resolution_table` constant.
+constexpr uint8_t ResolutionTable[9][9] = {
+    //         U  X  0   1   Z  W  L  H  -
+    /* U */ {U, U, U, U, U, U, U, U, U},
+    /* X */ {U, X, X, X, X, X, X, X, X},
+    /* 0 */ {U, X, O0, X, O0, O0, O0, O0, X},
+    /* 1 */ {U, X, X, O1, O1, O1, O1, O1, X},
+    /* Z */ {U, X, O0, O1, Z, W, L, H, X},
+    /* W */ {U, X, O0, O1, W, W, W, W, X},
+    /* L */ {U, X, O0, O1, L, W, L, W, X},
+    /* H */ {U, X, O0, O1, H, W, W, H, X},
+    /* - */ {U, X, X, X, X, X, X, X, X},
+};
+
+// IEEE 1164-1993 `and_table`.
+constexpr uint8_t AndTable[9][9] = {
+    //         U   X   0   1   Z   W   L   H   -
+    /* U */ {U, U, O0, U, U, U, O0, U, U},
+    /* X */ {U, X, O0, X, X, X, O0, X, X},
+    /* 0 */ {O0, O0, O0, O0, O0, O0, O0, O0, O0},
+    /* 1 */ {U, X, O0, O1, X, X, O0, O1, X},
+    /* Z */ {U, X, O0, X, X, X, O0, X, X},
+    /* W */ {U, X, O0, X, X, X, O0, X, X},
+    /* L */ {O0, O0, O0, O0, O0, O0, O0, O0, O0},
+    /* H */ {U, X, O0, O1, X, X, O0, O1, X},
+    /* - */ {U, X, O0, X, X, X, O0, X, X},
+};
+
+// IEEE 1164-1993 `or_table`.
+constexpr uint8_t OrTable[9][9] = {
+    //         U   X   0   1   Z   W   L   H   -
+    /* U */ {U, U, U, O1, U, U, U, O1, U},
+    /* X */ {U, X, X, O1, X, X, X, O1, X},
+    /* 0 */ {U, X, O0, O1, X, X, O0, O1, X},
+    /* 1 */ {O1, O1, O1, O1, O1, O1, O1, O1, O1},
+    /* Z */ {U, X, X, O1, X, X, X, O1, X},
+    /* W */ {U, X, X, O1, X, X, X, O1, X},
+    /* L */ {U, X, O0, O1, X, X, O0, O1, X},
+    /* H */ {O1, O1, O1, O1, O1, O1, O1, O1, O1},
+    /* - */ {U, X, X, O1, X, X, X, O1, X},
+};
+
+// IEEE 1164-1993 `xor_table`.
+constexpr uint8_t XorTable[9][9] = {
+    //         U  X  0   1   Z  W  L   H   -
+    /* U */ {U, U, U, U, U, U, U, U, U},
+    /* X */ {U, X, X, X, X, X, X, X, X},
+    /* 0 */ {U, X, O0, O1, X, X, O0, O1, X},
+    /* 1 */ {U, X, O1, O0, X, X, O1, O0, X},
+    /* Z */ {U, X, X, X, X, X, X, X, X},
+    /* W */ {U, X, X, X, X, X, X, X, X},
+    /* L */ {U, X, O0, O1, X, X, O0, O1, X},
+    /* H */ {U, X, O1, O0, X, X, O1, O0, X},
+    /* - */ {U, X, X, X, X, X, X, X, X},
+};
+
+// IEEE 1164-1993 `not_table`.
+constexpr uint8_t NotTable[9] = {U, X, O1, O0, X, X, O1, O0, X};
+
+// IEEE 1164-1993 `cvt_to_x01` lookup.
+constexpr uint8_t ToX01Table[9] = {X, X, O0, O1, X, X, O0, O1, X};
+
+inline uint8_t idx(StdLogic V) { return static_cast<uint8_t>(V); }
+inline StdLogic val(uint8_t I) {
+  assert(I < NumStdLogicValues && "std_logic index out of range");
+  return static_cast<StdLogic>(I);
+}
+
+} // namespace
+
+char vif::toChar(StdLogic V) {
+  static constexpr char Chars[9] = {'U', 'X', '0', '1', 'Z', 'W', 'L', 'H',
+                                    '-'};
+  return Chars[idx(V)];
+}
+
+std::optional<StdLogic> vif::stdLogicFromChar(char C) {
+  switch (C) {
+  case 'U':
+    return StdLogic::U;
+  case 'X':
+    return StdLogic::X;
+  case '0':
+    return StdLogic::Zero;
+  case '1':
+    return StdLogic::One;
+  case 'Z':
+    return StdLogic::Z;
+  case 'W':
+    return StdLogic::W;
+  case 'L':
+    return StdLogic::L;
+  case 'H':
+    return StdLogic::H;
+  case '-':
+    return StdLogic::DontCare;
+  default:
+    return std::nullopt;
+  }
+}
+
+StdLogic vif::resolve(StdLogic A, StdLogic B) {
+  return val(ResolutionTable[idx(A)][idx(B)]);
+}
+
+StdLogic vif::logicNot(StdLogic A) { return val(NotTable[idx(A)]); }
+StdLogic vif::logicAnd(StdLogic A, StdLogic B) {
+  return val(AndTable[idx(A)][idx(B)]);
+}
+StdLogic vif::logicOr(StdLogic A, StdLogic B) {
+  return val(OrTable[idx(A)][idx(B)]);
+}
+StdLogic vif::logicXor(StdLogic A, StdLogic B) {
+  return val(XorTable[idx(A)][idx(B)]);
+}
+StdLogic vif::logicNand(StdLogic A, StdLogic B) {
+  return logicNot(logicAnd(A, B));
+}
+StdLogic vif::logicNor(StdLogic A, StdLogic B) {
+  return logicNot(logicOr(A, B));
+}
+StdLogic vif::logicXnor(StdLogic A, StdLogic B) {
+  return logicNot(logicXor(A, B));
+}
+
+StdLogic vif::toX01(StdLogic A) { return val(ToX01Table[idx(A)]); }
+
+bool vif::isBinary(StdLogic A) {
+  StdLogic S = toX01(A);
+  return S == StdLogic::Zero || S == StdLogic::One;
+}
+
+std::optional<bool> vif::toBool(StdLogic A) {
+  switch (toX01(A)) {
+  case StdLogic::Zero:
+    return false;
+  case StdLogic::One:
+    return true;
+  default:
+    return std::nullopt;
+  }
+}

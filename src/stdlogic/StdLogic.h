@@ -1,0 +1,79 @@
+//===- stdlogic/StdLogic.h - IEEE 1164 nine-valued logic --------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's semantic domain of logical values (Section 3):
+///   LValue = {'U','X','0','1','Z','W','L','H','-'}
+/// "these values are said to capture the behavior of an electrical system
+/// better than traditional boolean values". This module implements the value
+/// set together with the IEEE 1164 resolution function (the paper's fs,
+/// applied pairwise over the multiset of active values) and the standard
+/// Kleene-style logical operator tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_STDLOGIC_STDLOGIC_H
+#define VIF_STDLOGIC_STDLOGIC_H
+
+#include <cstdint>
+#include <optional>
+
+namespace vif {
+
+/// One std_logic value. The enumerator order matches the conventional IEEE
+/// 1164 table order; table lookups below rely on it.
+enum class StdLogic : uint8_t {
+  U,        ///< Uninitialized
+  X,        ///< Forcing unknown
+  Zero,     ///< Forcing zero
+  One,      ///< Forcing one
+  Z,        ///< High impedance
+  W,        ///< Weak unknown
+  L,        ///< Weak zero
+  H,        ///< Weak one
+  DontCare, ///< Don't care ('-')
+};
+
+constexpr unsigned NumStdLogicValues = 9;
+
+/// The character used for a value in VHDL source ('U','X','0','1',...).
+char toChar(StdLogic V);
+
+/// Parses a source character into a value; nullopt for anything that is not
+/// one of the nine std_logic characters (uppercase, as the standard spells
+/// them).
+std::optional<StdLogic> stdLogicFromChar(char C);
+
+/// IEEE 1164 `resolved` function for two drivers. Commutative and
+/// associative, so the paper's multiset resolution fs reduces to a fold.
+StdLogic resolve(StdLogic A, StdLogic B);
+
+/// Logical operators (IEEE 1164 tables).
+StdLogic logicNot(StdLogic A);
+StdLogic logicAnd(StdLogic A, StdLogic B);
+StdLogic logicOr(StdLogic A, StdLogic B);
+StdLogic logicXor(StdLogic A, StdLogic B);
+StdLogic logicNand(StdLogic A, StdLogic B);
+StdLogic logicNor(StdLogic A, StdLogic B);
+StdLogic logicXnor(StdLogic A, StdLogic B);
+
+/// IEEE 1164 to_X01 strength stripper: weak values map onto their forcing
+/// counterparts, everything non-binary onto 'X'.
+StdLogic toX01(StdLogic A);
+
+/// True for '0'/'1' after strength stripping, i.e. values with a definite
+/// boolean meaning.
+bool isBinary(StdLogic A);
+
+/// The boolean meaning of a binary (after to_X01) value; nullopt otherwise.
+std::optional<bool> toBool(StdLogic A);
+
+/// '1' for true, '0' for false; the fragment folds booleans into std_logic.
+inline StdLogic fromBool(bool B) { return B ? StdLogic::One : StdLogic::Zero; }
+
+} // namespace vif
+
+#endif // VIF_STDLOGIC_STDLOGIC_H

@@ -1,0 +1,46 @@
+//===- support/Casting.h - isa/cast/dyn_cast helpers ------------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled RTTI in the LLVM style: class hierarchies carry a Kind
+/// discriminator and a static classof; these templates provide the familiar
+/// isa<>, cast<> and dyn_cast<> access paths without enabling C++ RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_SUPPORT_CASTING_H
+#define VIF_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace vif {
+
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> on a null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> to incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> to incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace vif
+
+#endif // VIF_SUPPORT_CASTING_H

@@ -1,0 +1,199 @@
+//===- support/Graph.cpp --------------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Graph.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+using namespace vif;
+
+Digraph::NodeId Digraph::addNode(const std::string &Name) {
+  auto It = Ids.find(Name);
+  if (It != Ids.end())
+    return It->second;
+  NodeId Id = static_cast<NodeId>(Names.size());
+  Names.push_back(Name);
+  Ids.emplace(Name, Id);
+  return Id;
+}
+
+void Digraph::addEdge(const std::string &From, const std::string &To) {
+  addEdge(addNode(From), addNode(To));
+}
+
+void Digraph::addEdge(NodeId From, NodeId To) {
+  assert(From < Names.size() && To < Names.size() && "edge endpoint unknown");
+  Edges.insert({From, To});
+}
+
+bool Digraph::hasNode(const std::string &Name) const {
+  return Ids.count(Name) != 0;
+}
+
+bool Digraph::hasEdge(const std::string &From, const std::string &To) const {
+  auto F = Ids.find(From), T = Ids.find(To);
+  if (F == Ids.end() || T == Ids.end())
+    return false;
+  return hasEdge(F->second, T->second);
+}
+
+bool Digraph::hasEdge(NodeId From, NodeId To) const {
+  return Edges.count({From, To}) != 0;
+}
+
+Digraph::NodeId Digraph::id(const std::string &Name) const {
+  auto It = Ids.find(Name);
+  assert(It != Ids.end() && "unknown node name");
+  return It->second;
+}
+
+std::vector<std::string> Digraph::sortedNodes() const {
+  std::vector<std::string> Result = Names;
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}
+
+std::vector<std::pair<std::string, std::string>> Digraph::sortedEdges() const {
+  std::vector<std::pair<std::string, std::string>> Result;
+  Result.reserve(Edges.size());
+  for (const auto &[From, To] : Edges)
+    Result.emplace_back(Names[From], Names[To]);
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}
+
+std::vector<Digraph::NodeId> Digraph::successors(NodeId Id) const {
+  std::vector<NodeId> Result;
+  for (auto It = Edges.lower_bound({Id, 0});
+       It != Edges.end() && It->first == Id; ++It)
+    Result.push_back(It->second);
+  return Result;
+}
+
+std::vector<Digraph::NodeId> Digraph::predecessors(NodeId Id) const {
+  std::vector<NodeId> Result;
+  for (const auto &[From, To] : Edges)
+    if (To == Id)
+      Result.push_back(From);
+  return Result;
+}
+
+bool Digraph::reachable(const std::string &From, const std::string &To) const {
+  auto F = Ids.find(From), T = Ids.find(To);
+  if (F == Ids.end() || T == Ids.end())
+    return false;
+  // Plain DFS from From; a path must have length >= 1, so To is only
+  // accepted once reached over an edge.
+  std::vector<bool> Seen(Names.size(), false);
+  std::vector<NodeId> Stack = {F->second};
+  while (!Stack.empty()) {
+    NodeId N = Stack.back();
+    Stack.pop_back();
+    for (NodeId Succ : successors(N)) {
+      if (Succ == T->second)
+        return true;
+      if (!Seen[Succ]) {
+        Seen[Succ] = true;
+        Stack.push_back(Succ);
+      }
+    }
+  }
+  return false;
+}
+
+Digraph Digraph::transitiveClosure() const {
+  Digraph Result;
+  for (const std::string &Name : Names)
+    Result.addNode(Name);
+  // Floyd-Warshall style closure on a dense bit matrix; the graphs the
+  // evaluation produces are small (resources, not labels).
+  size_t N = Names.size();
+  std::vector<std::vector<bool>> M(N, std::vector<bool>(N, false));
+  for (const auto &[From, To] : Edges)
+    M[From][To] = true;
+  for (size_t K = 0; K < N; ++K)
+    for (size_t I = 0; I < N; ++I) {
+      if (!M[I][K])
+        continue;
+      for (size_t J = 0; J < N; ++J)
+        if (M[K][J])
+          M[I][J] = true;
+    }
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = 0; J < N; ++J)
+      if (M[I][J])
+        Result.addEdge(static_cast<NodeId>(I), static_cast<NodeId>(J));
+  return Result;
+}
+
+bool Digraph::isTransitive() const {
+  for (const auto &[A, B] : Edges)
+    for (NodeId C : successors(B))
+      if (!hasEdge(A, C))
+        return false;
+  return true;
+}
+
+Digraph Digraph::mergeNodes(
+    const std::function<std::string(const std::string &)> &Rename) const {
+  Digraph Result;
+  for (const std::string &Name : Names)
+    Result.addNode(Rename(Name));
+  for (const auto &[From, To] : Edges) {
+    std::string F = Rename(Names[From]), T = Rename(Names[To]);
+    // Merging must not fabricate self-flows: an edge between two distinct
+    // nodes that collapse onto one name (e.g. a◦ -> a•) states that the
+    // incoming value may flow to the outgoing value, which the merged node
+    // represents implicitly, not as a loop.
+    if (F == T && From != To)
+      continue;
+    Result.addEdge(F, T);
+  }
+  return Result;
+}
+
+Digraph Digraph::inducedSubgraph(
+    const std::function<bool(const std::string &)> &Keep) const {
+  Digraph Result;
+  for (const std::string &Name : Names)
+    if (Keep(Name))
+      Result.addNode(Name);
+  for (const auto &[From, To] : Edges)
+    if (Keep(Names[From]) && Keep(Names[To]))
+      Result.addEdge(Names[From], Names[To]);
+  return Result;
+}
+
+std::vector<std::pair<std::string, std::string>>
+Digraph::edgesNotIn(const Digraph &Other) const {
+  std::vector<std::pair<std::string, std::string>> Result;
+  for (const auto &[From, To] : sortedEdges())
+    if (!Other.hasEdge(From, To))
+      Result.emplace_back(From, To);
+  return Result;
+}
+
+bool Digraph::sameFlows(const Digraph &Other) const {
+  return sortedNodes() == Other.sortedNodes() &&
+         sortedEdges() == Other.sortedEdges();
+}
+
+void Digraph::printDOT(std::ostream &OS, const std::string &Title) const {
+  OS << "digraph \"" << Title << "\" {\n";
+  for (const std::string &Name : sortedNodes())
+    OS << "  \"" << Name << "\";\n";
+  for (const auto &[From, To] : sortedEdges())
+    OS << "  \"" << From << "\" -> \"" << To << "\";\n";
+  OS << "}\n";
+}
+
+std::string Digraph::dot(const std::string &Title) const {
+  std::ostringstream OS;
+  printDOT(OS, Title);
+  return OS.str();
+}

@@ -1,0 +1,117 @@
+//===- support/Graph.h - Directed graphs over named nodes -------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The result of the Information Flow analysis is "a non-transitive directed
+/// graph that connects those nodes (representing either variables or signals)
+/// where an information flow might occur" (paper, abstract). Digraph is that
+/// result type: nodes are named resources, edges are possible flows. It also
+/// provides the graph algebra the evaluation needs: transitive closure
+/// (Kemmerer's method), reachability, edge diffs (false-positive counting for
+/// Figure 5), node merging (the paper merges n◦/n• interface nodes for
+/// presentation) and DOT rendering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_SUPPORT_GRAPH_H
+#define VIF_SUPPORT_GRAPH_H
+
+#include <cassert>
+#include <functional>
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace vif {
+
+/// A directed graph whose nodes are identified by stable string names.
+///
+/// Node ids are dense and assigned in insertion order; all iteration orders
+/// exposed by the class are deterministic.
+class Digraph {
+public:
+  using NodeId = unsigned;
+
+  /// Adds a node (no-op if present); returns its id.
+  NodeId addNode(const std::string &Name);
+
+  /// Adds both endpoints as needed and then the edge From -> To.
+  void addEdge(const std::string &From, const std::string &To);
+  void addEdge(NodeId From, NodeId To);
+
+  bool hasNode(const std::string &Name) const;
+  bool hasEdge(const std::string &From, const std::string &To) const;
+  bool hasEdge(NodeId From, NodeId To) const;
+
+  /// Returns the id for \p Name; asserts that the node exists.
+  NodeId id(const std::string &Name) const;
+  const std::string &name(NodeId Id) const {
+    assert(Id < Names.size() && "node id out of range");
+    return Names[Id];
+  }
+
+  size_t numNodes() const { return Names.size(); }
+  size_t numEdges() const { return Edges.size(); }
+
+  /// Node names in insertion order.
+  const std::vector<std::string> &nodes() const { return Names; }
+  /// Node names sorted lexicographically.
+  std::vector<std::string> sortedNodes() const;
+  /// All edges as (from, to) name pairs, sorted lexicographically.
+  std::vector<std::pair<std::string, std::string>> sortedEdges() const;
+
+  /// Successor ids of \p Id in ascending id order.
+  std::vector<NodeId> successors(NodeId Id) const;
+  /// Predecessor ids of \p Id in ascending id order.
+  std::vector<NodeId> predecessors(NodeId Id) const;
+
+  /// True if there is a directed path (of length >= 1) From -> To.
+  bool reachable(const std::string &From, const std::string &To) const;
+
+  /// The transitive closure over the same node set: an edge a -> b for every
+  /// path a -> ... -> b of length >= 1. This is the "traditional method of
+  /// Kemmerer" step (paper Section 5.2).
+  Digraph transitiveClosure() const;
+
+  /// True if for every pair of edges a -> b, b -> c the edge a -> c exists.
+  /// The paper stresses that information-flow graphs are non-transitive in
+  /// general (Figure 3(a)); this predicate lets tests assert exactly that.
+  bool isTransitive() const;
+
+  /// A graph with every node renamed through \p Rename; edges whose endpoints
+  /// collapse to the same node become self-loops only if they already were
+  /// self-loops (merging n with n◦/n• must not fabricate flows n -> n).
+  Digraph mergeNodes(
+      const std::function<std::string(const std::string &)> &Rename) const;
+
+  /// The subgraph induced by the nodes for which \p Keep returns true.
+  Digraph
+  inducedSubgraph(const std::function<bool(const std::string &)> &Keep) const;
+
+  /// Edges present in \p this but not in \p Other (by node name). Used to
+  /// count Kemmerer false positives relative to the RD-guided analysis.
+  std::vector<std::pair<std::string, std::string>>
+  edgesNotIn(const Digraph &Other) const;
+
+  /// Structural equality on node names and edges.
+  bool sameFlows(const Digraph &Other) const;
+
+  /// Emits the graph in Graphviz DOT syntax with nodes and edges sorted.
+  void printDOT(std::ostream &OS, const std::string &Title = "flows") const;
+  std::string dot(const std::string &Title = "flows") const;
+
+private:
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, NodeId> Ids;
+  std::set<std::pair<NodeId, NodeId>> Edges;
+};
+
+} // namespace vif
+
+#endif // VIF_SUPPORT_GRAPH_H

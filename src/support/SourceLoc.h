@@ -1,0 +1,62 @@
+//===- support/SourceLoc.h - Source positions -------------------*- C++ -*-===//
+//
+// Part of the vif project, an implementation of the analyses described in
+// "Information Flow Analysis for VHDL" (Tolstrup, Nielson, Nielson;
+// PaCT 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line/column positions and ranges used to attribute tokens, AST nodes and
+/// diagnostics to the VHDL1 source text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_SUPPORT_SOURCELOC_H
+#define VIF_SUPPORT_SOURCELOC_H
+
+#include <string>
+
+namespace vif {
+
+/// A position in the source text. Lines and columns are 1-based; a
+/// default-constructed location is invalid and prints as "<unknown>".
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(unsigned Line, unsigned Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &O) const {
+    return Line == O.Line && Col == O.Col;
+  }
+  bool operator!=(const SourceLoc &O) const { return !(*this == O); }
+  bool operator<(const SourceLoc &O) const {
+    return Line != O.Line ? Line < O.Line : Col < O.Col;
+  }
+
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+/// A half-open range of source positions, [Begin, End).
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  SourceRange() = default;
+  SourceRange(SourceLoc Begin, SourceLoc End) : Begin(Begin), End(End) {}
+  explicit SourceRange(SourceLoc Loc) : Begin(Loc), End(Loc) {}
+
+  bool isValid() const { return Begin.isValid(); }
+};
+
+} // namespace vif
+
+#endif // VIF_SUPPORT_SOURCELOC_H

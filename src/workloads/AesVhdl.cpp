@@ -1,0 +1,302 @@
+//===- workloads/AesVhdl.cpp ----------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/AesVhdl.h"
+
+#include "aesref/Aes128.h"
+
+#include <sstream>
+
+using namespace vif;
+using namespace vif::workloads;
+
+namespace {
+
+/// Renders \p Byte as an 8-bit VHDL string literal, MSB first.
+std::string bits8(uint8_t Byte) {
+  std::string S = "\"";
+  for (int I = 7; I >= 0; --I)
+    S.push_back(((Byte >> I) & 1) ? '1' : '0');
+  S.push_back('"');
+  return S;
+}
+
+/// Emits an unrolled S-box lookup: Out := SBox[In] as a 256-way if/elsif
+/// equality chain (the paper's "replacing constants with their values").
+/// The last case is a plain `else` so the lookup is total: every path
+/// assigns Out, which both matches the synthesizable original and lets the
+/// Reaching Definitions analysis kill earlier definitions of Out.
+void emitSboxLookup(std::ostream &OS, const std::string &In,
+                    const std::string &Out, const std::string &Indent) {
+  for (unsigned V = 0; V < 255; ++V) {
+    OS << Indent << (V == 0 ? "if " : "elsif ") << In << " = "
+       << bits8(static_cast<uint8_t>(V)) << " then\n"
+       << Indent << "  " << Out << " := " << bits8(aes::SBox[V]) << ";\n";
+  }
+  OS << Indent << "else\n"
+     << Indent << "  " << Out << " := " << bits8(aes::SBox[255]) << ";\n";
+  OS << Indent << "end if;\n";
+}
+
+/// xtime(x) = (x << 1) xor (0x1b when x(7) = '1' else 0): expanded into
+/// slice/concat algebra — (x(6 downto 0) & "0") xor
+/// ("000" & x7 & x7 & "0" & x7 & x7) with x7 = x(7 downto 7).
+std::string xtimeExpr(const std::string &X) {
+  std::string X7 = X + "(7 downto 7)";
+  return "((" + X + "(6 downto 0) & \"0\") xor (\"000\" & " + X7 + " & " +
+         X7 + " & \"0\" & " + X7 + " & " + X7 + "))";
+}
+
+} // namespace
+
+std::string vif::workloads::shiftRowsStatements() {
+  std::ostringstream OS;
+  for (int R = 1; R <= 3; ++R)
+    for (int C = 0; C < 4; ++C)
+      OS << "variable a_" << R << "_" << C
+         << " : std_logic_vector(7 downto 0);\n";
+  for (int C = 0; C < 4; ++C)
+    OS << "variable t_" << C << " : std_logic_vector(7 downto 0);\n";
+  // Row r (1..3) shifts left by r: new a_r_c = old a_r_((c + r) mod 4).
+  // All rows go through the same four temporaries — the reuse Kemmerer's
+  // method cannot untangle.
+  for (int R = 1; R <= 3; ++R) {
+    for (int C = 0; C < 4; ++C)
+      OS << "t_" << C << " := a_" << R << "_" << (C + R) % 4 << ";\n";
+    for (int C = 0; C < 4; ++C)
+      OS << "a_" << R << "_" << C << " := t_" << C << ";\n";
+  }
+  return OS.str();
+}
+
+std::string vif::workloads::addRoundKeyStatements(unsigned Bytes) {
+  std::ostringstream OS;
+  for (unsigned I = 0; I < Bytes; ++I)
+    OS << "variable s_" << I << ", k_" << I
+       << " : std_logic_vector(7 downto 0);\n";
+  for (unsigned I = 0; I < Bytes; ++I)
+    OS << "s_" << I << " := s_" << I << " xor k_" << I << ";\n";
+  return OS.str();
+}
+
+std::string vif::workloads::subBytesStatements(unsigned Bytes) {
+  std::ostringstream OS;
+  for (unsigned I = 0; I < Bytes; ++I)
+    OS << "variable s_" << I << " : std_logic_vector(7 downto 0);\n";
+  OS << "variable t : std_logic_vector(7 downto 0);\n";
+  // Each byte flows through the shared temporary t (reuse again), with the
+  // implicit flow from the byte into t via the comparison chain.
+  for (unsigned I = 0; I < Bytes; ++I) {
+    emitSboxLookup(OS, "s_" + std::to_string(I), "t", "");
+    OS << "s_" << I << " := t;\n";
+  }
+  return OS.str();
+}
+
+std::string vif::workloads::mixColumnsStatements() {
+  std::ostringstream OS;
+  for (int R = 0; R < 4; ++R)
+    for (int C = 0; C < 4; ++C)
+      OS << "variable s_" << R << "_" << C
+         << " : std_logic_vector(7 downto 0);\n";
+  for (int R = 0; R < 4; ++R)
+    OS << "variable a" << R << " : std_logic_vector(7 downto 0);\n";
+  // Column-major state s_R_C; temporaries a0..a3 reused across columns.
+  for (int C = 0; C < 4; ++C) {
+    for (int R = 0; R < 4; ++R)
+      OS << "a" << R << " := s_" << R << "_" << C << ";\n";
+    // FIPS-197: s0 = 2*a0 + 3*a1 + a2 + a3, rotating per row; 3*x =
+    // xtime(x) xor x.
+    auto X = [&](int R) { return xtimeExpr("a" + std::to_string(R)); };
+    auto P = [&](int R) { return "a" + std::to_string(R); };
+    OS << "s_0_" << C << " := " << X(0) << " xor (" << X(1) << " xor "
+       << P(1) << ") xor " << P(2) << " xor " << P(3) << ";\n";
+    OS << "s_1_" << C << " := " << P(0) << " xor " << X(1) << " xor ("
+       << X(2) << " xor " << P(2) << ") xor " << P(3) << ";\n";
+    OS << "s_2_" << C << " := " << P(0) << " xor " << P(1) << " xor "
+       << X(2) << " xor (" << X(3) << " xor " << P(3) << ");\n";
+    OS << "s_3_" << C << " := (" << X(0) << " xor " << P(0) << ") xor "
+       << P(1) << " xor " << P(2) << " xor " << X(3) << ";\n";
+  }
+  return OS.str();
+}
+
+std::string vif::workloads::aesCoreDesign(unsigned Rounds) {
+  std::ostringstream OS;
+  OS << "entity aes128 is\n  port(\n";
+  for (int I = 0; I < 16; ++I)
+    OS << "    pt_" << I << " : in std_logic_vector(7 downto 0);\n";
+  for (int I = 0; I < 16; ++I)
+    OS << "    key_" << I << " : in std_logic_vector(7 downto 0);\n";
+  for (int I = 0; I < 16; ++I)
+    OS << "    ct_" << I << " : out std_logic_vector(7 downto 0);\n";
+  OS << "    go : in std_logic\n  );\nend aes128;\n\n";
+
+  OS << "architecture behav of aes128 is\nbegin\n  enc : process\n";
+  // Key schedule words w_0..w_43, four bytes each: w_I_B.
+  for (int I = 0; I < 44; ++I)
+    for (int B = 0; B < 4; ++B)
+      OS << "    variable w_" << I << "_" << B
+         << " : std_logic_vector(7 downto 0);\n";
+  for (int I = 0; I < 16; ++I)
+    OS << "    variable st_" << I << " : std_logic_vector(7 downto 0);\n";
+  OS << "    variable tb : std_logic_vector(7 downto 0);\n";
+  OS << "    variable rot : std_logic_vector(7 downto 0);\n";
+  for (int R = 0; R < 4; ++R)
+    OS << "    variable a" << R << " : std_logic_vector(7 downto 0);\n";
+  for (int C = 0; C < 4; ++C)
+    OS << "    variable row_" << C << " : std_logic_vector(7 downto 0);\n";
+  OS << "  begin\n";
+
+  const std::string Ind = "    ";
+  static const uint8_t Rcon[10] = {0x01, 0x02, 0x04, 0x08, 0x10,
+                                   0x20, 0x40, 0x80, 0x1b, 0x36};
+
+  // --- Key expansion (FIPS-197 Section 5.2), unrolled -------------------
+  for (int I = 0; I < 4; ++I)
+    for (int B = 0; B < 4; ++B)
+      OS << Ind << "w_" << I << "_" << B << " := key_" << (4 * I + B)
+         << ";\n";
+  for (int I = 4; I < 44; ++I) {
+    auto Prev = [&](int B) {
+      return "w_" + std::to_string(I - 1) + "_" + std::to_string(B);
+    };
+    if (I % 4 == 0) {
+      // RotWord + SubWord + Rcon on w_{I-1}.
+      OS << Ind << "rot := " << Prev(1) << ";\n";
+      emitSboxLookup(OS, "rot", "tb", Ind);
+      OS << Ind << "a0 := tb xor " << bits8(Rcon[I / 4 - 1]) << ";\n";
+      OS << Ind << "rot := " << Prev(2) << ";\n";
+      emitSboxLookup(OS, "rot", "tb", Ind);
+      OS << Ind << "a1 := tb;\n";
+      OS << Ind << "rot := " << Prev(3) << ";\n";
+      emitSboxLookup(OS, "rot", "tb", Ind);
+      OS << Ind << "a2 := tb;\n";
+      OS << Ind << "rot := " << Prev(0) << ";\n";
+      emitSboxLookup(OS, "rot", "tb", Ind);
+      OS << Ind << "a3 := tb;\n";
+      for (int B = 0; B < 4; ++B)
+        OS << Ind << "w_" << I << "_" << B << " := w_" << (I - 4) << "_"
+           << B << " xor a" << B << ";\n";
+    } else {
+      for (int B = 0; B < 4; ++B)
+        OS << Ind << "w_" << I << "_" << B << " := w_" << (I - 4) << "_"
+           << B << " xor " << Prev(B) << ";\n";
+    }
+  }
+
+  // --- Initial AddRoundKey ----------------------------------------------
+  for (int I = 0; I < 16; ++I)
+    OS << Ind << "st_" << I << " := pt_" << I << " xor w_" << (I / 4) << "_"
+       << (I % 4) << ";\n";
+
+  // --- Rounds -------------------------------------------------------------
+  for (unsigned Round = 1; Round <= Rounds; ++Round) {
+    bool Last = Round == Rounds && Rounds == 10;
+    // SubBytes.
+    for (int I = 0; I < 16; ++I) {
+      emitSboxLookup(OS, "st_" + std::to_string(I), "tb", Ind);
+      OS << Ind << "st_" << I << " := tb;\n";
+    }
+    // ShiftRows: row r shifts left by r (state is column-major,
+    // st_{r + 4c}); temporaries row_0..row_3 reused per row.
+    for (int R = 1; R < 4; ++R) {
+      for (int C = 0; C < 4; ++C)
+        OS << Ind << "row_" << C << " := st_" << (R + 4 * ((C + R) % 4))
+           << ";\n";
+      for (int C = 0; C < 4; ++C)
+        OS << Ind << "st_" << (R + 4 * C) << " := row_" << C << ";\n";
+    }
+    // MixColumns (skipped in the final round).
+    if (!Last) {
+      for (int C = 0; C < 4; ++C) {
+        for (int R = 0; R < 4; ++R)
+          OS << Ind << "a" << R << " := st_" << (R + 4 * C) << ";\n";
+        auto X = [&](int R) { return xtimeExpr("a" + std::to_string(R)); };
+        auto PL = [&](int R) { return "a" + std::to_string(R); };
+        OS << Ind << "st_" << (0 + 4 * C) << " := " << X(0) << " xor ("
+           << X(1) << " xor " << PL(1) << ") xor " << PL(2) << " xor "
+           << PL(3) << ";\n";
+        OS << Ind << "st_" << (1 + 4 * C) << " := " << PL(0) << " xor "
+           << X(1) << " xor (" << X(2) << " xor " << PL(2) << ") xor "
+           << PL(3) << ";\n";
+        OS << Ind << "st_" << (2 + 4 * C) << " := " << PL(0) << " xor "
+           << PL(1) << " xor " << X(2) << " xor (" << X(3) << " xor "
+           << PL(3) << ");\n";
+        OS << Ind << "st_" << (3 + 4 * C) << " := (" << X(0) << " xor "
+           << PL(0) << ") xor " << PL(1) << " xor " << PL(2) << " xor "
+           << X(3) << ";\n";
+      }
+    }
+    // AddRoundKey.
+    for (int I = 0; I < 16; ++I)
+      OS << Ind << "st_" << I << " := st_" << I << " xor w_"
+         << (4 * Round + I / 4) << "_" << (I % 4) << ";\n";
+  }
+
+  // --- Drive outputs and wait for new inputs ------------------------------
+  for (int I = 0; I < 16; ++I)
+    OS << Ind << "ct_" << I << " <= st_" << I << ";\n";
+  OS << Ind << "wait on go;\n";
+  OS << "  end process enc;\nend behav;\n";
+  return OS.str();
+}
+
+std::string vif::workloads::shiftRowsDesign() {
+  std::ostringstream OS;
+  OS << "entity shiftrows is\n  port(\n";
+  for (int R = 1; R <= 3; ++R)
+    for (int C = 0; C < 4; ++C)
+      OS << "    a_" << R << "_" << C
+         << " : inout std_logic_vector(7 downto 0);\n";
+  OS << "    start : in std_logic\n  );\nend shiftrows;\n\n";
+  OS << "architecture behav of shiftrows is\nbegin\n  shift : process\n";
+  for (int C = 0; C < 4; ++C)
+    OS << "    variable t_" << C << " : std_logic_vector(7 downto 0);\n";
+  OS << "  begin\n";
+  for (int R = 1; R <= 3; ++R) {
+    for (int C = 0; C < 4; ++C)
+      OS << "    t_" << C << " := a_" << R << "_" << (C + R) % 4 << ";\n";
+    for (int C = 0; C < 4; ++C)
+      OS << "    a_" << R << "_" << C << " <= t_" << C << ";\n";
+  }
+  OS << "    wait on start;\n";
+  OS << "  end process shift;\nend behav;\n";
+  return OS.str();
+}
+
+std::string vif::workloads::leakyCoreDesign() {
+  // dout <= din xor key (fine); ready is derived from a key bit — the
+  // covert channel the audit must flag.
+  std::ostringstream OS;
+  OS << "entity leaky is\n"
+        "  port(\n"
+        "    key  : in std_logic_vector(7 downto 0);\n"
+        "    din  : in std_logic_vector(7 downto 0);\n"
+        "    go   : in std_logic;\n"
+        "    dout : out std_logic_vector(7 downto 0);\n"
+        "    ready : out std_logic\n"
+        "  );\n"
+        "end leaky;\n"
+        "\n"
+        "architecture behav of leaky is\n"
+        "begin\n"
+        "  mix : process\n"
+        "    variable v : std_logic_vector(7 downto 0);\n"
+        "    variable flag : std_logic;\n"
+        "  begin\n"
+        "    v := din xor key;\n"
+        "    dout <= v;\n"
+        "    flag := go;\n"
+        "    if key(0 downto 0) = \"1\" then\n"
+        "      flag := '1';\n"
+        "    end if;\n"
+        "    ready <= flag;\n"
+        "    wait on go;\n"
+        "  end process mix;\n"
+        "end behav;\n";
+  return OS.str();
+}

@@ -1,0 +1,75 @@
+//===- workloads/AesVhdl.h - AES programs in VHDL1 --------------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reconstructions of the NSA AES reference programs [paper ref 17] the
+/// evaluation ran on. The originals are not public; these generators follow
+/// the paper's description of the analyzed code: loops unrolled, constants
+/// propagated, temporaries reused across rows — the exact shape that makes
+/// Kemmerer's method smear flows across rows while the RD-guided analysis
+/// stays precise (Figure 5).
+///
+/// Two flavors are provided:
+///  * statement programs (sequential function bodies, analyzed via
+///    elaborateStatements with the program-end-outgoing improvement — the
+///    presentation style of the paper's Figures 3-5); and
+///  * full designs (entity + architecture + process + wait) exercising the
+///    whole pipeline, including the simulator, whose outputs the tests check
+///    against the software AES of src/aesref.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_WORKLOADS_AESVHDL_H
+#define VIF_WORKLOADS_AESVHDL_H
+
+#include <string>
+
+namespace vif {
+namespace workloads {
+
+/// The Figure 5 ShiftRows function: rows 1..3 of the AES state (nodes
+/// a_1_0 .. a_3_3) shifted left by 1, 2 and 3 positions, unrolled, all rows
+/// passing through the shared temporaries t_0..t_3. Statement program over
+/// 8-bit variables.
+std::string shiftRowsStatements();
+
+/// AddRoundKey over \p Bytes state bytes: s_i := s_i xor k_i.
+std::string addRoundKeyStatements(unsigned Bytes = 16);
+
+/// SubBytes over \p Bytes state bytes, each S-box lookup unrolled into a
+/// 256-way if/elsif equality chain on the byte value (constants propagated,
+/// as the paper preprocesses).
+std::string subBytesStatements(unsigned Bytes);
+
+/// MixColumns over the full 4x4 state (16 bytes s_R_C), temporaries reused
+/// across columns, xtime expanded inline into slice/concat/xor algebra.
+std::string mixColumnsStatements();
+
+/// A complete AES-128 encryption core as a VHDL1 design:
+///
+///   entity aes128 with ports pt_0..pt_15 : in, key_0..key_15 : in,
+///   ct_0..ct_15 : out, go : in std_logic;
+///
+/// one process computes the key schedule and \p Rounds rounds (10 = full
+/// FIPS-197 encryption) in local variables and drives the ct ports, then
+/// waits on the inputs. S-box lookups are unrolled if/elsif chains.
+std::string aesCoreDesign(unsigned Rounds = 10);
+
+/// The ShiftRows computation as a design with inout ports a_R_C and a
+/// process body that reads and rewrites the state through shared temps on
+/// every activation (loop-carried flows compose across delta cycles).
+std::string shiftRowsDesign();
+
+/// A small key-handling core with a deliberate covert channel for the
+/// policy-audit example: the entity has key/din in-ports, dout and "ready"
+/// out-ports; the ready flag is (incorrectly) computed from a key bit, so
+/// key -> ready flows exist in the precise graph.
+std::string leakyCoreDesign();
+
+} // namespace workloads
+} // namespace vif
+
+#endif // VIF_WORKLOADS_AESVHDL_H

@@ -1,0 +1,138 @@
+//===- tests/aesref_test.cpp - FIPS-197 reference vectors -----------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aesref/Aes128.h"
+
+#include <gtest/gtest.h>
+
+using namespace vif::aes;
+
+namespace {
+
+Block block(std::initializer_list<int> Bytes) {
+  Block B{};
+  int I = 0;
+  for (int V : Bytes)
+    B[I++] = static_cast<uint8_t>(V);
+  return B;
+}
+
+TEST(AesRef, SBoxSpotChecks) {
+  EXPECT_EQ(SBox[0x00], 0x63);
+  EXPECT_EQ(SBox[0x01], 0x7c);
+  EXPECT_EQ(SBox[0x53], 0xed);
+  EXPECT_EQ(SBox[0xff], 0x16);
+}
+
+TEST(AesRef, SBoxIsAPermutation) {
+  bool Seen[256] = {};
+  for (int I = 0; I < 256; ++I) {
+    EXPECT_FALSE(Seen[SBox[I]]);
+    Seen[SBox[I]] = true;
+  }
+}
+
+TEST(AesRef, Xtime) {
+  EXPECT_EQ(xtime(0x57), 0xae);
+  EXPECT_EQ(xtime(0xae), 0x47);
+  EXPECT_EQ(xtime(0x80), 0x1b);
+  EXPECT_EQ(xtime(0x00), 0x00);
+}
+
+TEST(AesRef, KeyExpansionFirstAndLastWords) {
+  // FIPS-197 Appendix A.1 for key 2b7e1516...
+  Key K = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+           0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  KeySchedule W = expandKey(K);
+  // w4 = a0fafe17.
+  EXPECT_EQ(W[16], 0xa0);
+  EXPECT_EQ(W[17], 0xfa);
+  EXPECT_EQ(W[18], 0xfe);
+  EXPECT_EQ(W[19], 0x17);
+  // w43 = b6630ca6.
+  EXPECT_EQ(W[172], 0xb6);
+  EXPECT_EQ(W[173], 0x63);
+  EXPECT_EQ(W[174], 0x0c);
+  EXPECT_EQ(W[175], 0xa6);
+}
+
+TEST(AesRef, ShiftRowsRotates) {
+  Block S;
+  for (int I = 0; I < 16; ++I)
+    S[I] = static_cast<uint8_t>(I);
+  shiftRows(S);
+  // Column-major: S[r + 4c]. Row 0 fixed.
+  EXPECT_EQ(S[0], 0);
+  EXPECT_EQ(S[4], 4);
+  // Row 1 shifted left by 1: new (1, c) = old (1, c+1).
+  EXPECT_EQ(S[1], 5);
+  EXPECT_EQ(S[13], 1);
+  // Row 2 by 2.
+  EXPECT_EQ(S[2], 10);
+  // Row 3 by 3.
+  EXPECT_EQ(S[3], 15);
+}
+
+TEST(AesRef, MixColumnsKnownVector) {
+  // FIPS-197 Section 5.1.3 example column db 13 53 45 -> 8e 4d a1 bc.
+  Block S{};
+  S[0] = 0xdb;
+  S[1] = 0x13;
+  S[2] = 0x53;
+  S[3] = 0x45;
+  mixColumns(S);
+  EXPECT_EQ(S[0], 0x8e);
+  EXPECT_EQ(S[1], 0x4d);
+  EXPECT_EQ(S[2], 0xa1);
+  EXPECT_EQ(S[3], 0xbc);
+}
+
+TEST(AesRef, AppendixBVector) {
+  Block Plain = block({0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                       0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34});
+  Key K = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+           0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  Block Expected = block({0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+                          0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32});
+  EXPECT_EQ(encrypt(Plain, K), Expected);
+}
+
+TEST(AesRef, AppendixCVector) {
+  // FIPS-197 Appendix C.1: key 000102...0f, plaintext 00112233...ff.
+  Block Plain, Expected;
+  Key K;
+  for (int I = 0; I < 16; ++I) {
+    Plain[I] = static_cast<uint8_t>(I * 0x11);
+    K[I] = static_cast<uint8_t>(I);
+  }
+  Expected = block({0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+                    0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a});
+  EXPECT_EQ(encrypt(Plain, K), Expected);
+}
+
+TEST(AesRef, RoundFunctionsComposeToEncrypt) {
+  // Re-derive encrypt() from the exposed round primitives; guards against
+  // the primitives drifting from the composed implementation.
+  Block Plain = block({0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                       0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34});
+  Key K = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+           0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  KeySchedule W = expandKey(K);
+  Block S = Plain;
+  addRoundKey(S, &W[0]);
+  for (int R = 1; R <= 9; ++R) {
+    subBytes(S);
+    shiftRows(S);
+    mixColumns(S);
+    addRoundKey(S, &W[16 * R]);
+  }
+  subBytes(S);
+  shiftRows(S);
+  addRoundKey(S, &W[160]);
+  EXPECT_EQ(S, encrypt(Plain, K));
+}
+
+} // namespace

@@ -1,0 +1,167 @@
+//===- tests/graph_test.cpp - Digraph algebra -----------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Graph.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace vif;
+
+namespace {
+
+Digraph path3() {
+  Digraph G;
+  G.addEdge("a", "b");
+  G.addEdge("b", "c");
+  return G;
+}
+
+TEST(Digraph, NodesAndEdges) {
+  Digraph G = path3();
+  EXPECT_EQ(G.numNodes(), 3u);
+  EXPECT_EQ(G.numEdges(), 2u);
+  EXPECT_TRUE(G.hasEdge("a", "b"));
+  EXPECT_FALSE(G.hasEdge("b", "a"));
+  EXPECT_FALSE(G.hasEdge("a", "c"));
+  EXPECT_TRUE(G.hasNode("c"));
+  EXPECT_FALSE(G.hasNode("d"));
+}
+
+TEST(Digraph, DuplicateInsertionIsIdempotent) {
+  Digraph G;
+  G.addEdge("a", "b");
+  G.addEdge("a", "b");
+  EXPECT_EQ(G.addNode("a"), G.addNode("a"));
+  EXPECT_EQ(G.numEdges(), 1u);
+  EXPECT_EQ(G.numNodes(), 2u);
+}
+
+TEST(Digraph, Reachability) {
+  Digraph G = path3();
+  EXPECT_TRUE(G.reachable("a", "c"));
+  EXPECT_FALSE(G.reachable("c", "a"));
+  // Length >= 1: a node does not reach itself without a cycle.
+  EXPECT_FALSE(G.reachable("a", "a"));
+  G.addEdge("c", "a");
+  EXPECT_TRUE(G.reachable("a", "a"));
+}
+
+TEST(Digraph, TransitiveClosure) {
+  Digraph G = path3();
+  Digraph C = G.transitiveClosure();
+  EXPECT_TRUE(C.hasEdge("a", "c"));
+  EXPECT_EQ(C.numEdges(), 3u);
+  EXPECT_TRUE(C.isTransitive());
+  EXPECT_FALSE(G.isTransitive()) << "the path itself is not transitive";
+}
+
+TEST(Digraph, ClosureOfCycleIsComplete) {
+  Digraph G;
+  G.addEdge("a", "b");
+  G.addEdge("b", "c");
+  G.addEdge("c", "a");
+  Digraph C = G.transitiveClosure();
+  EXPECT_EQ(C.numEdges(), 9u) << "3-cycle closes to all pairs + loops";
+  EXPECT_TRUE(C.hasEdge("a", "a"));
+}
+
+TEST(Digraph, NonTransitivityWitness) {
+  // The paper's program (a) graph: b -> c, a -> b but NO a -> c.
+  Digraph G;
+  G.addEdge("b", "c");
+  G.addEdge("a", "b");
+  EXPECT_FALSE(G.isTransitive());
+  EXPECT_FALSE(G.hasEdge("a", "c"));
+  EXPECT_TRUE(G.reachable("a", "c"))
+      << "reachability exists, flow does not — the paper's core point";
+}
+
+TEST(Digraph, MergeNodes) {
+  Digraph G;
+  G.addEdge("a.in", "b.out");
+  G.addEdge("b.in", "c.out");
+  Digraph M = G.mergeNodes([](const std::string &N) {
+    return N.substr(0, N.find('.'));
+  });
+  EXPECT_TRUE(M.hasEdge("a", "b"));
+  EXPECT_TRUE(M.hasEdge("b", "c"));
+  EXPECT_EQ(M.numNodes(), 3u);
+}
+
+TEST(Digraph, MergeDoesNotFabricateSelfLoops) {
+  Digraph G;
+  G.addEdge("a.in", "a.out");
+  G.addEdge("b.in", "b.in"); // genuine self loop survives
+  Digraph M = G.mergeNodes([](const std::string &N) {
+    return N.substr(0, N.find('.'));
+  });
+  EXPECT_FALSE(M.hasEdge("a", "a"))
+      << "a.in -> a.out collapses, not loops";
+  EXPECT_TRUE(M.hasEdge("b", "b"));
+}
+
+TEST(Digraph, InducedSubgraph) {
+  Digraph G = path3();
+  G.addEdge("a", "x");
+  Digraph S = G.inducedSubgraph(
+      [](const std::string &N) { return N != "x"; });
+  EXPECT_EQ(S.numNodes(), 3u);
+  EXPECT_EQ(S.numEdges(), 2u);
+  EXPECT_FALSE(S.hasNode("x"));
+}
+
+TEST(Digraph, EdgesNotIn) {
+  Digraph G = path3();
+  Digraph H = path3();
+  H.addEdge("a", "c");
+  auto Extra = H.edgesNotIn(G);
+  ASSERT_EQ(Extra.size(), 1u);
+  EXPECT_EQ(Extra[0].first, "a");
+  EXPECT_EQ(Extra[0].second, "c");
+  EXPECT_TRUE(G.edgesNotIn(H).empty());
+}
+
+TEST(Digraph, SameFlows) {
+  Digraph G = path3(), H = path3();
+  EXPECT_TRUE(G.sameFlows(H));
+  H.addEdge("c", "a");
+  EXPECT_FALSE(G.sameFlows(H));
+}
+
+TEST(Digraph, SuccessorsPredecessors) {
+  Digraph G = path3();
+  auto B = G.id("b");
+  ASSERT_EQ(G.successors(G.id("a")).size(), 1u);
+  EXPECT_EQ(G.successors(G.id("a"))[0], B);
+  ASSERT_EQ(G.predecessors(G.id("c")).size(), 1u);
+  EXPECT_EQ(G.predecessors(G.id("c"))[0], B);
+  EXPECT_TRUE(G.successors(G.id("c")).empty());
+}
+
+TEST(Digraph, DotOutputIsSortedAndQuoted) {
+  Digraph G;
+  G.addEdge("b", "a");
+  G.addEdge("a", "b");
+  std::ostringstream OS;
+  G.printDOT(OS, "t");
+  EXPECT_EQ(OS.str(), "digraph \"t\" {\n"
+                      "  \"a\";\n"
+                      "  \"b\";\n"
+                      "  \"a\" -> \"b\";\n"
+                      "  \"b\" -> \"a\";\n"
+                      "}\n");
+}
+
+TEST(Digraph, ClosureIdempotent) {
+  Digraph G = path3();
+  Digraph C1 = G.transitiveClosure();
+  Digraph C2 = C1.transitiveClosure();
+  EXPECT_TRUE(C1.sameFlows(C2));
+}
+
+} // namespace

@@ -1,0 +1,200 @@
+//===- tests/localdeps_test.cpp - Table 6 inference system ----------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ifa/LocalDeps.h"
+#include "parse/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace vif;
+
+namespace {
+
+struct Analyzed {
+  ElaboratedProgram Program;
+  ProgramCFG CFG;
+  ResourceMatrix RM;
+};
+
+Analyzed localDeps(const std::string &Source, bool IsDesign = false) {
+  DiagnosticEngine Diags;
+  std::optional<ElaboratedProgram> P;
+  if (IsDesign) {
+    DesignFile F = parseDesign(Source, Diags);
+    P = elaborateDesign(F, Diags);
+  } else {
+    StatementProgram Prog = parseStatementProgram(Source, Diags);
+    P = elaborateStatements(*Prog.Body, Diags, &Prog.Decls);
+  }
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  Analyzed A{std::move(*P), {}, {}};
+  A.CFG = ProgramCFG::build(A.Program);
+  A.RM = computeLocalDeps(A.Program, A.CFG);
+  return A;
+}
+
+Resource rvar(const ElaboratedProgram &P, const std::string &Name) {
+  for (const ElabVariable &V : P.Variables)
+    if (V.Name == Name)
+      return Resource::variable(V.Id);
+  ADD_FAILURE() << "no variable " << Name;
+  return Resource();
+}
+
+Resource rsig(const ElaboratedProgram &P, const std::string &Name) {
+  for (const ElabSignal &S : P.Signals)
+    if (S.Name == Name)
+      return Resource::signal(S.Id);
+  ADD_FAILURE() << "no signal " << Name;
+  return Resource();
+}
+
+TEST(LocalDeps, VariableAssignment) {
+  // B ⊢ [x := e]^l : {(x,l,M0)} ∪ {(n,l,R0) | n ∈ FV(e) ∪ FS(e) ∪ B}
+  Analyzed A = localDeps("x := a xor b;");
+  EXPECT_TRUE(A.RM.contains(rvar(A.Program, "x"), 1, Access::M0));
+  EXPECT_TRUE(A.RM.contains(rvar(A.Program, "a"), 1, Access::R0));
+  EXPECT_TRUE(A.RM.contains(rvar(A.Program, "b"), 1, Access::R0));
+  EXPECT_EQ(A.RM.size(), 3u);
+}
+
+TEST(LocalDeps, SignalAssignmentModifiesActiveValue) {
+  Analyzed A = localDeps("s <= a;");
+  EXPECT_TRUE(A.RM.contains(rsig(A.Program, "s"), 1, Access::M1))
+      << "signals are modified at the active level (M1), not M0";
+  EXPECT_FALSE(A.RM.contains(rsig(A.Program, "s"), 1, Access::M0));
+  EXPECT_TRUE(A.RM.contains(rvar(A.Program, "a"), 1, Access::R0));
+}
+
+TEST(LocalDeps, NullContributesNothing) {
+  Analyzed A = localDeps("null;");
+  EXPECT_TRUE(A.RM.empty());
+}
+
+TEST(LocalDeps, ImplicitFlowThroughCondition) {
+  Analyzed A = localDeps("if c then x := a; else y := b; end if;");
+  // Labels: [c]^1 [x:=a]^2 [y:=b]^3. The condition's reads appear at the
+  // assignments via the block set B, not at the condition label.
+  EXPECT_TRUE(A.RM.contains(rvar(A.Program, "c"), 2, Access::R0));
+  EXPECT_TRUE(A.RM.contains(rvar(A.Program, "c"), 3, Access::R0));
+  EXPECT_TRUE(A.RM.resourcesAt(1, Access::R0).empty());
+}
+
+TEST(LocalDeps, NestedConditionsAccumulate) {
+  Analyzed A = localDeps(
+      "if c then if d then x := a; end if; end if;");
+  // [c]^1 [d]^2 [x:=a]^3 — both guards flow into x.
+  EXPECT_TRUE(A.RM.contains(rvar(A.Program, "c"), 3, Access::R0));
+  EXPECT_TRUE(A.RM.contains(rvar(A.Program, "d"), 3, Access::R0));
+}
+
+TEST(LocalDeps, WhileGuardsBody) {
+  Analyzed A = localDeps("while g loop x := a; end loop;");
+  EXPECT_TRUE(A.RM.contains(rvar(A.Program, "g"), 2, Access::R0));
+  EXPECT_TRUE(A.RM.contains(rvar(A.Program, "x"), 2, Access::M0));
+}
+
+TEST(LocalDeps, ImplicitNullBranchLeaksNothing) {
+  // if c then null else null: no assignment, no RM entries at all — the
+  // analysis does not invent flows out of pure control.
+  Analyzed A = localDeps("if c then null; else null; end if;");
+  EXPECT_TRUE(A.RM.empty());
+}
+
+TEST(LocalDeps, WaitReadsAndSynchronizes) {
+  // [s <= a]^1 [wait on t until b = '1']^2: the wait carries R1 for every
+  // signal of the process and R0 for S ∪ FV(e) ∪ FS(e) ∪ B.
+  Analyzed A = localDeps("s <= a; wait on t until b = '1';");
+  EXPECT_TRUE(A.RM.contains(rsig(A.Program, "s"), 2, Access::R1));
+  EXPECT_TRUE(A.RM.contains(rsig(A.Program, "t"), 2, Access::R1));
+  EXPECT_TRUE(A.RM.contains(rsig(A.Program, "t"), 2, Access::R0))
+      << "waited-on signals are read";
+  EXPECT_TRUE(A.RM.contains(rvar(A.Program, "b"), 2, Access::R0))
+      << "condition variables are read";
+}
+
+TEST(LocalDeps, WaitInsideConditionTakesBlockSet) {
+  Analyzed A = localDeps("if c then s <= a; wait on s; end if;");
+  // [c]^1 [s<=a]^2 [wait]^3.
+  EXPECT_TRUE(A.RM.contains(rvar(A.Program, "c"), 3, Access::R0))
+      << "reaching the wait reveals the condition";
+}
+
+TEST(LocalDeps, SliceAccessesCountAsReadsAndWrites) {
+  Analyzed A = localDeps(
+      "variable x, y : std_logic_vector(3 downto 0);\n"
+      "x(3 downto 2) := y(1 downto 0);");
+  EXPECT_TRUE(A.RM.contains(rvar(A.Program, "x"), 1, Access::M0));
+  EXPECT_TRUE(A.RM.contains(rvar(A.Program, "y"), 1, Access::R0));
+}
+
+TEST(LocalDeps, MultiProcessUnion) {
+  Analyzed A = localDeps(R"(
+    entity e is port(clk : in std_logic; q : out std_logic); end e;
+    architecture rtl of e is
+      signal s : std_logic;
+    begin
+      p1 : process begin s <= clk; wait on clk; end process p1;
+      p2 : process begin q <= s; wait on s; end process p2;
+    end rtl;)",
+                         /*IsDesign=*/true);
+  // RMlo = RM_1 ∪ RM_2; both processes contribute M1 entries.
+  bool SawS = false, SawQ = false;
+  for (const RMEntry &E : A.RM) {
+    if (E.A != Access::M1)
+      continue;
+    SawS |= E.N == rsig(A.Program, "s");
+    SawQ |= E.N == rsig(A.Program, "q");
+  }
+  EXPECT_TRUE(SawS);
+  EXPECT_TRUE(SawQ);
+}
+
+TEST(LocalDeps, R1CoversAllProcessSignals) {
+  Analyzed A = localDeps(R"(
+    entity e is port(clk : in std_logic; q : out std_logic); end e;
+    architecture rtl of e is
+      signal s, t : std_logic;
+    begin
+      p : process
+      begin
+        s <= clk;
+        t <= s;
+        q <= t;
+        wait on clk;
+      end process p;
+    end rtl;)",
+                         /*IsDesign=*/true);
+  // FS(ss) = {clk, s, t, q}; all get R1 at the wait.
+  LabelId WaitLabel = A.CFG.process(0).WaitLabels.at(0);
+  EXPECT_EQ(A.RM.resourcesAt(WaitLabel, Access::R1).size(), 4u);
+}
+
+TEST(LocalDeps, PaperProgramA) {
+  // (a): [c := b]^1 [b := a]^2 — the running example.
+  Analyzed A = localDeps("c := b; b := a;");
+  EXPECT_TRUE(A.RM.contains(rvar(A.Program, "c"), 1, Access::M0));
+  EXPECT_TRUE(A.RM.contains(rvar(A.Program, "b"), 1, Access::R0));
+  EXPECT_TRUE(A.RM.contains(rvar(A.Program, "b"), 2, Access::M0));
+  EXPECT_TRUE(A.RM.contains(rvar(A.Program, "a"), 2, Access::R0));
+  EXPECT_EQ(A.RM.size(), 4u);
+}
+
+TEST(ResourceMatrixType, RangeQueries) {
+  ResourceMatrix RM;
+  RM.insert(Resource::variable(0), 3, Access::R0);
+  RM.insert(Resource::variable(1), 3, Access::R0);
+  RM.insert(Resource::variable(2), 3, Access::M0);
+  RM.insert(Resource::variable(0), 4, Access::R0);
+  EXPECT_EQ(RM.resourcesAt(3, Access::R0).size(), 2u);
+  EXPECT_EQ(RM.resourcesAt(3, Access::M0).size(), 1u);
+  EXPECT_EQ(RM.resourcesAt(5, Access::R0).size(), 0u);
+  EXPECT_EQ(RM.labels(), (std::vector<LabelId>{3, 4}));
+  EXPECT_FALSE(RM.insert(Resource::variable(0), 3, Access::R0))
+      << "duplicate insert";
+}
+
+} // namespace

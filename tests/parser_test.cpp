@@ -1,0 +1,395 @@
+//===- tests/parser_test.cpp - VHDL1 parser -------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTPrinter.h"
+#include "parse/Lexer.h"
+#include "parse/Parser.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace vif;
+
+namespace {
+
+StmtPtr stmts(const std::string &Source) {
+  DiagnosticEngine Diags;
+  StmtPtr S = parseStatements(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return S;
+}
+
+ExprPtr expr(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Lexer L(Source, Diags);
+  Parser P(L.lexAll(), Diags);
+  ExprPtr E = P.parseExpression();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return E;
+}
+
+TEST(Parser, NullStatement) {
+  StmtPtr S = stmts("null;");
+  ASSERT_TRUE(S);
+  EXPECT_TRUE(isa<NullStmt>(S.get()));
+}
+
+TEST(Parser, VariableAssignment) {
+  StmtPtr S = stmts("x := y;");
+  auto *A = dyn_cast<VarAssignStmt>(S.get());
+  ASSERT_TRUE(A);
+  EXPECT_EQ(A->targetName(), "x");
+  EXPECT_FALSE(A->hasSlice());
+  EXPECT_TRUE(isa<NameExpr>(&A->value()));
+}
+
+TEST(Parser, SignalAssignment) {
+  StmtPtr S = stmts("s <= '1';");
+  auto *A = dyn_cast<SignalAssignStmt>(S.get());
+  ASSERT_TRUE(A);
+  EXPECT_EQ(A->targetName(), "s");
+  EXPECT_TRUE(isa<LogicLiteralExpr>(&A->value()));
+}
+
+TEST(Parser, SlicedAssignments) {
+  StmtPtr S = stmts("x(7 downto 4) := y(3 downto 0);");
+  auto *A = dyn_cast<VarAssignStmt>(S.get());
+  ASSERT_TRUE(A);
+  ASSERT_TRUE(A->hasSlice());
+  EXPECT_EQ(A->slice().Z1, 7);
+  EXPECT_EQ(A->slice().Z2, 4);
+  EXPECT_TRUE(A->slice().Downto);
+  auto *V = dyn_cast<SliceExpr>(&A->value());
+  ASSERT_TRUE(V);
+  EXPECT_EQ(V->slice().Z1, 3);
+}
+
+TEST(Parser, ToSlices) {
+  StmtPtr S = stmts("x(0 to 3) := y;");
+  auto *A = cast<VarAssignStmt>(S.get());
+  ASSERT_TRUE(A->hasSlice());
+  EXPECT_FALSE(A->slice().Downto);
+}
+
+TEST(Parser, SequenceBecomesCompound) {
+  StmtPtr S = stmts("a := b; c := d; null;");
+  auto *C = dyn_cast<CompoundStmt>(S.get());
+  ASSERT_TRUE(C);
+  EXPECT_EQ(C->stmts().size(), 3u);
+}
+
+TEST(Parser, IfThenElse) {
+  StmtPtr S = stmts("if c = '1' then a := b; else a := d; end if;");
+  auto *I = dyn_cast<IfStmt>(S.get());
+  ASSERT_TRUE(I);
+  EXPECT_TRUE(isa<BinaryExpr>(&I->cond()));
+  EXPECT_TRUE(isa<VarAssignStmt>(&I->thenStmt()));
+  EXPECT_TRUE(isa<VarAssignStmt>(&I->elseStmt()));
+}
+
+TEST(Parser, IfWithoutElseGetsNull) {
+  StmtPtr S = stmts("if c then a := b; end if;");
+  auto *I = cast<IfStmt>(S.get());
+  EXPECT_TRUE(isa<NullStmt>(&I->elseStmt()));
+}
+
+TEST(Parser, ElsifChainsDesugar) {
+  StmtPtr S = stmts("if a then x := y;"
+                    " elsif b then x := z;"
+                    " else x := w; end if;");
+  auto *I = cast<IfStmt>(S.get());
+  auto *Nested = dyn_cast<IfStmt>(&I->elseStmt());
+  ASSERT_TRUE(Nested);
+  EXPECT_TRUE(isa<VarAssignStmt>(&Nested->elseStmt()));
+}
+
+TEST(Parser, WhileLoop) {
+  StmtPtr S = stmts("while g = '0' loop x := y; end loop;");
+  auto *W = dyn_cast<WhileStmt>(S.get());
+  ASSERT_TRUE(W);
+  EXPECT_TRUE(isa<VarAssignStmt>(&W->body()));
+}
+
+TEST(Parser, WaitVariants) {
+  StmtPtr S = stmts("wait on a, b until c = '1'; wait on a; wait until c;"
+                    " wait;");
+  auto *C = cast<CompoundStmt>(S.get());
+  ASSERT_EQ(C->stmts().size(), 4u);
+  auto *W0 = cast<WaitStmt>(C->stmts()[0].get());
+  EXPECT_EQ(W0->onNames(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(W0->hasUntil());
+  auto *W1 = cast<WaitStmt>(C->stmts()[1].get());
+  EXPECT_TRUE(W1->hasExplicitOn());
+  EXPECT_FALSE(W1->hasUntil());
+  auto *W2 = cast<WaitStmt>(C->stmts()[2].get());
+  EXPECT_FALSE(W2->hasExplicitOn());
+  EXPECT_TRUE(W2->hasUntil());
+  auto *W3 = cast<WaitStmt>(C->stmts()[3].get());
+  EXPECT_FALSE(W3->hasExplicitOn());
+  EXPECT_FALSE(W3->hasUntil());
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  // `a xor b and c` groups as (a xor b) and c — logical ops are one level,
+  // left associative (documented superset of VHDL).
+  ExprPtr E = expr("a xor b and c");
+  auto *Top = dyn_cast<BinaryExpr>(E.get());
+  ASSERT_TRUE(Top);
+  EXPECT_EQ(Top->op(), BinaryOpKind::And);
+  // Relational binds tighter than logical.
+  E = expr("a = b or c = d");
+  Top = cast<BinaryExpr>(E.get());
+  EXPECT_EQ(Top->op(), BinaryOpKind::Or);
+  EXPECT_EQ(cast<BinaryExpr>(&Top->lhs())->op(), BinaryOpKind::Eq);
+  // * over +.
+  E = expr("a + b * c");
+  Top = cast<BinaryExpr>(E.get());
+  EXPECT_EQ(Top->op(), BinaryOpKind::Add);
+  EXPECT_EQ(cast<BinaryExpr>(&Top->rhs())->op(), BinaryOpKind::Mul);
+}
+
+TEST(Parser, NotBindsTightest) {
+  ExprPtr E = expr("not a and b");
+  auto *Top = cast<BinaryExpr>(E.get());
+  EXPECT_EQ(Top->op(), BinaryOpKind::And);
+  EXPECT_TRUE(isa<UnaryExpr>(&Top->lhs()));
+}
+
+TEST(Parser, Parentheses) {
+  ExprPtr E = expr("a and (b or c)");
+  auto *Top = cast<BinaryExpr>(E.get());
+  EXPECT_EQ(Top->op(), BinaryOpKind::And);
+  EXPECT_EQ(cast<BinaryExpr>(&Top->rhs())->op(), BinaryOpKind::Or);
+}
+
+TEST(Parser, ConcatAndLiterals) {
+  ExprPtr E = expr("\"00\" & x(7 downto 7) & '1'");
+  ASSERT_TRUE(E);
+  EXPECT_TRUE(isa<BinaryExpr>(E.get()));
+}
+
+TEST(Parser, EntityWithPorts) {
+  DiagnosticEngine Diags;
+  DesignFile F = parseDesign(
+      "entity e is port(a : in std_logic; b, c : out "
+      "std_logic_vector(7 downto 0); d : inout std_logic); end e;",
+      Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  ASSERT_EQ(F.Entities.size(), 1u);
+  const Entity &E = F.Entities[0];
+  ASSERT_EQ(E.Ports.size(), 4u);
+  EXPECT_EQ(E.Ports[0].Mode, PortMode::In);
+  EXPECT_EQ(E.Ports[1].Name, "b");
+  EXPECT_EQ(E.Ports[2].Name, "c");
+  EXPECT_EQ(E.Ports[1].Mode, PortMode::Out);
+  EXPECT_TRUE(E.Ports[1].Ty.isVector());
+  EXPECT_EQ(E.Ports[1].Ty.width(), 8u);
+  EXPECT_EQ(E.Ports[3].Mode, PortMode::InOut);
+}
+
+TEST(Parser, FullArchitecture) {
+  DiagnosticEngine Diags;
+  DesignFile F = parseDesign(R"(
+    entity top is port(clk : in std_logic; q : out std_logic); end top;
+    architecture rtl of top is
+      signal s : std_logic := '0';
+    begin
+      p : process
+        variable v : std_logic;
+      begin
+        v := s;
+        q <= v;
+        wait on clk;
+      end process p;
+      blk : block
+        signal inner : std_logic;
+      begin
+        inner <= clk;
+      end block blk;
+      s <= clk;
+    end rtl;
+  )",
+                             Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  ASSERT_EQ(F.Architectures.size(), 1u);
+  const Architecture &A = F.Architectures[0];
+  EXPECT_EQ(A.EntityName, "top");
+  ASSERT_EQ(A.Decls.size(), 1u);
+  ASSERT_EQ(A.Stmts.size(), 3u);
+  EXPECT_TRUE(isa<ProcessStmt>(A.Stmts[0].get()));
+  EXPECT_TRUE(isa<BlockStmt>(A.Stmts[1].get()));
+  EXPECT_TRUE(isa<ConcAssignStmt>(A.Stmts[2].get()));
+}
+
+TEST(Parser, StatementProgramWithDecls) {
+  DiagnosticEngine Diags;
+  StatementProgram P = parseStatementProgram(
+      "variable x : std_logic_vector(7 downto 0);\n"
+      "variable y : std_logic;\n"
+      "x(3 downto 0) := x(7 downto 4);",
+      Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  EXPECT_EQ(P.Decls.size(), 2u);
+  EXPECT_TRUE(isa<VarAssignStmt>(P.Body.get()));
+}
+
+//===----------------------------------------------------------------------===//
+// Error recovery
+//===----------------------------------------------------------------------===//
+
+TEST(ParserErrors, MissingSemicolon) {
+  DiagnosticEngine Diags;
+  parseStatements("a := b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(ParserErrors, MismatchedEndName) {
+  DiagnosticEngine Diags;
+  parseDesign("entity e is port(a : in std_logic); end f;", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(ParserErrors, BadSliceDirection) {
+  DiagnosticEngine Diags;
+  parseStatements("x(1 upto 2) := y;", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(ParserErrors, BadPortMode) {
+  DiagnosticEngine Diags;
+  parseDesign("entity e is port(a : buffer std_logic); end e;", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(ParserErrors, VectorRangeAgainstDirection) {
+  DiagnosticEngine Diags;
+  parseDesign("entity e is port(a : in std_logic_vector(0 downto 7)); "
+              "end e;",
+              Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// Robustness: hostile inputs must produce diagnostics, never crashes
+//===----------------------------------------------------------------------===//
+
+class HostileInputTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(HostileInputTest, NoCrashOnGarbage) {
+  DiagnosticEngine D1, D2;
+  // Both entry points must survive arbitrary input.
+  parseDesign(GetParam(), D1);
+  StatementProgram P = parseStatementProgram(GetParam(), D2);
+  // Nothing to assert beyond survival and (usually) diagnostics; empty
+  // input parses cleanly as an empty program.
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Garbage, HostileInputTest,
+    ::testing::Values(
+        "", ";;;;", "entity", "entity e", "architecture of is begin",
+        "process begin end", "((((((((", "x := ; y <=",
+        "\"unterminated", "'x", "if if if then then else",
+        "wait wait wait;", "end end end;",
+        "entity e is port(); end e;",
+        "a : in std_logic", "123 456 789",
+        "x(1 downto downto 2) := y;",
+        "while loop end loop;",
+        "entity e is port(a : in std_logic); end e;"
+        " architecture a of e is begin b : block begin", // truncated
+        "-- only a comment"));
+
+TEST(ParserRobustness, DeeplyNestedExpressions) {
+  // 200 nested parens: must not smash the stack or reject valid input.
+  std::string Source = "x := ";
+  for (int I = 0; I < 200; ++I)
+    Source += "(";
+  Source += "y";
+  for (int I = 0; I < 200; ++I)
+    Source += ")";
+  Source += ";";
+  DiagnosticEngine Diags;
+  StmtPtr S = parseStatements(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  ASSERT_TRUE(S);
+  EXPECT_EQ(stmtToString(*S), "x := y;\n");
+}
+
+TEST(ParserRobustness, DeeplyNestedIfs) {
+  std::string Source, Close;
+  for (int I = 0; I < 150; ++I) {
+    Source += "if c then ";
+    Close += " end if;";
+  }
+  Source += "x := y;" + Close;
+  DiagnosticEngine Diags;
+  StmtPtr S = parseStatements(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  ASSERT_TRUE(S);
+}
+
+//===----------------------------------------------------------------------===//
+// Round trips: parse(print(ast)) == ast (structurally)
+//===----------------------------------------------------------------------===//
+
+class RoundTripTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(RoundTripTest, PrintParsePrintIsStable) {
+  DiagnosticEngine D1;
+  StmtPtr S1 = parseStatements(GetParam(), D1);
+  ASSERT_FALSE(D1.hasErrors()) << D1.str();
+  std::string P1 = stmtToString(*S1);
+  DiagnosticEngine D2;
+  StmtPtr S2 = parseStatements(P1, D2);
+  ASSERT_FALSE(D2.hasErrors()) << D2.str() << "\nprinted:\n" << P1;
+  EXPECT_EQ(P1, stmtToString(*S2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Statements, RoundTripTest,
+    ::testing::Values(
+        "null;",
+        "a := b;",
+        "s <= a xor b;",
+        "x(7 downto 0) := y(15 downto 8);",
+        "if c then a := b; end if;",
+        "if c then a := b; else s <= '1'; end if;",
+        "while g loop a := b; s <= a; end loop;",
+        "wait on a, b until c = '1';",
+        "wait;",
+        "a := (b and c) or (not d);",
+        "v := \"0101\" & w(3 to 4) & '1';",
+        "a := b + c * d - e;",
+        "if a = '1' then if b then null; end if; else c := d; end if;"));
+
+TEST(RoundTrip, DesignFile) {
+  const char *Source = R"(
+    entity e is port(a : in std_logic; z : out std_logic); end e;
+    architecture rtl of e is
+      signal s : std_logic := '1';
+    begin
+      p : process
+        variable v : std_logic_vector(3 downto 0) := "0000";
+      begin
+        v(3 downto 2) := v(1 downto 0);
+        s <= a;
+        wait on a;
+      end process p;
+      z <= s;
+    end rtl;
+  )";
+  DiagnosticEngine D1;
+  DesignFile F1 = parseDesign(Source, D1);
+  ASSERT_FALSE(D1.hasErrors()) << D1.str();
+  std::string P1 = designToString(F1);
+  DiagnosticEngine D2;
+  DesignFile F2 = parseDesign(P1, D2);
+  ASSERT_FALSE(D2.hasErrors()) << D2.str() << "\nprinted:\n" << P1;
+  EXPECT_EQ(P1, designToString(F2));
+}
+
+} // namespace

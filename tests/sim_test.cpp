@@ -1,0 +1,416 @@
+//===- tests/sim_test.cpp - SOS simulator (paper Tables 1-3) --------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parse/Parser.h"
+#include "sim/Simulator.h"
+#include "sim/VcdWriter.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace vif;
+
+namespace {
+
+ElaboratedProgram elabDesign(const std::string &Source) {
+  DiagnosticEngine Diags;
+  DesignFile F = parseDesign(Source, Diags);
+  auto P = elaborateDesign(F, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  return std::move(*P);
+}
+
+ElaboratedProgram elabStmts(const std::string &Source) {
+  DiagnosticEngine Diags;
+  StatementProgram Prog = parseStatementProgram(Source, Diags);
+  auto P = elaborateStatements(*Prog.Body, Diags, &Prog.Decls);
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  return std::move(*P);
+}
+
+unsigned sigId(const ElaboratedProgram &P, const std::string &Name) {
+  for (const ElabSignal &S : P.Signals)
+    if (S.Name == Name)
+      return S.Id;
+  ADD_FAILURE() << "no signal " << Name;
+  return 0;
+}
+
+unsigned varId(const ElaboratedProgram &P, const std::string &Name) {
+  for (const ElabVariable &V : P.Variables)
+    if (V.Name == Name)
+      return V.Id;
+  ADD_FAILURE() << "no variable " << Name;
+  return 0;
+}
+
+TEST(Simulator, InitialValuesAreU) {
+  ElaboratedProgram P = elabStmts(
+      "variable v : std_logic;\n"
+      "variable w : std_logic_vector(3 downto 0);\n"
+      "null;");
+  Simulator Sim(P);
+  EXPECT_EQ(Sim.run(), SimStatus::Quiescent);
+  EXPECT_EQ(Sim.variableValue(varId(P, "v")).str(), "'U'");
+  EXPECT_EQ(Sim.variableValue(varId(P, "w")).str(), "\"UUUU\"");
+}
+
+TEST(Simulator, DeclaredInitializers) {
+  ElaboratedProgram P = elabStmts(
+      "variable v : std_logic := '1';\n"
+      "variable w : std_logic_vector(3 downto 0) := \"1010\";\n"
+      "null;");
+  Simulator Sim(P);
+  Sim.run();
+  EXPECT_EQ(Sim.variableValue(varId(P, "v")).str(), "'1'");
+  EXPECT_EQ(Sim.variableValue(varId(P, "w")).str(), "\"1010\"");
+}
+
+TEST(Simulator, VariableAssignmentIsImmediate) {
+  ElaboratedProgram P = elabStmts(
+      "variable a, b : std_logic;\n"
+      "a := '1'; b := a;");
+  Simulator Sim(P);
+  EXPECT_EQ(Sim.run(), SimStatus::Quiescent);
+  EXPECT_EQ(Sim.variableValue(varId(P, "b")).str(), "'1'");
+}
+
+TEST(Simulator, SignalAssignmentIsDeferredToDelta) {
+  // The paper's key semantic point (Figure 2): s <= '1' modifies the
+  // *active* value; a read before the synchronization still sees the old
+  // present value.
+  ElaboratedProgram P = elabStmts(
+      "variable before, after : std_logic;\n"
+      "s <= '1';\n"
+      "before := s;\n"
+      "wait on s;\n"
+      "after := s;");
+  Simulator Sim(P);
+  EXPECT_EQ(Sim.run(), SimStatus::Quiescent);
+  EXPECT_EQ(Sim.variableValue(varId(P, "before")).str(), "'U'")
+      << "read before the delta cycle sees the old present value";
+  EXPECT_EQ(Sim.variableValue(varId(P, "after")).str(), "'1'");
+  EXPECT_EQ(Sim.deltasExecuted(), 1u);
+}
+
+TEST(Simulator, LastAssignmentToSignalWins) {
+  ElaboratedProgram P = elabStmts(
+      "variable r : std_logic;\n"
+      "s <= '0'; s <= '1'; wait on s; r := s;");
+  Simulator Sim(P);
+  EXPECT_EQ(Sim.run(), SimStatus::Quiescent);
+  EXPECT_EQ(Sim.variableValue(varId(P, "r")).str(), "'1'")
+      << "within one process the driver is overwritten, not resolved";
+}
+
+TEST(Simulator, ResolutionAcrossProcesses) {
+  // Two processes drive the same signal in the same delta: fs resolves the
+  // multiset {'0', '1'} to 'X'.
+  ElaboratedProgram P = elabDesign(R"(
+    entity e is port(go : in std_logic); end e;
+    architecture rtl of e is
+      signal s : std_logic;
+    begin
+      p1 : process begin s <= '0'; wait; end process p1;
+      p2 : process begin s <= '1'; wait; end process p2;
+    end rtl;)");
+  Simulator Sim(P);
+  EXPECT_EQ(Sim.run(), SimStatus::Quiescent);
+  EXPECT_EQ(Sim.presentValue(sigId(P, "s")).str(), "'X'");
+}
+
+TEST(Simulator, ResolutionZWithDriver) {
+  ElaboratedProgram P = elabDesign(R"(
+    entity e is port(go : in std_logic); end e;
+    architecture rtl of e is
+      signal s : std_logic;
+    begin
+      p1 : process begin s <= 'Z'; wait; end process p1;
+      p2 : process begin s <= '1'; wait; end process p2;
+    end rtl;)");
+  Simulator Sim(P);
+  Sim.run();
+  EXPECT_EQ(Sim.presentValue(sigId(P, "s")).str(), "'1'")
+      << "high impedance yields to the forcing driver";
+}
+
+TEST(Simulator, WaitUntilGatesWakeup) {
+  // The process wakes only when s changes AND the until condition holds.
+  ElaboratedProgram P = elabDesign(R"(
+    entity e is port(go : in std_logic; q : out std_logic); end e;
+    architecture rtl of e is
+      signal s : std_logic := '0';
+    begin
+      watcher : process
+      begin
+        q <= '0';
+        wait on s until s = '1';
+        q <= '1';
+        wait;
+      end process watcher;
+    end rtl;)");
+  Simulator Sim(P);
+  EXPECT_EQ(Sim.run(), SimStatus::Quiescent);
+  EXPECT_EQ(Sim.presentValue(sigId(P, "q")).str(), "'0'");
+
+  // Drive s to '0' (no change) — nothing happens. Hmm: '0' == present, so
+  // present does not change and the process must stay asleep.
+  Sim.driveSignal(sigId(P, "s"), Value::scalar(StdLogic::Zero));
+  EXPECT_EQ(Sim.run(), SimStatus::Quiescent);
+  EXPECT_EQ(Sim.presentValue(sigId(P, "q")).str(), "'0'");
+
+  // Drive s to '1': change + condition holds -> q follows.
+  Sim.driveSignal(sigId(P, "s"), Value::scalar(StdLogic::One));
+  EXPECT_EQ(Sim.run(), SimStatus::Quiescent);
+  EXPECT_EQ(Sim.presentValue(sigId(P, "q")).str(), "'1'");
+}
+
+TEST(Simulator, WaitUntilConditionFalseKeepsWaiting) {
+  ElaboratedProgram P = elabDesign(R"(
+    entity e is port(go : in std_logic; q : out std_logic); end e;
+    architecture rtl of e is
+      signal s : std_logic := '0';
+    begin
+      w : process
+      begin
+        wait on s until s = '1';
+        q <= '1';
+        wait;
+      end process w;
+    end rtl;)");
+  Simulator Sim(P);
+  Sim.driveSignal(sigId(P, "s"), Value::scalar(StdLogic::X));
+  EXPECT_EQ(Sim.run(), SimStatus::Quiescent);
+  EXPECT_TRUE(Sim.isWaiting(0)) << "s changed but condition is false";
+  EXPECT_EQ(Sim.presentValue(sigId(P, "q")).str(), "'U'");
+}
+
+TEST(Simulator, DeltaCycleChain) {
+  // s0 -> s1 -> s2 through two processes: two delta cycles.
+  ElaboratedProgram P = elabDesign(R"(
+    entity e is port(go : in std_logic; s2 : out std_logic); end e;
+    architecture rtl of e is
+      signal s0, s1 : std_logic;
+    begin
+      a : process begin s1 <= s0; wait on s0; end process a;
+      b : process begin s2 <= s1; wait on s1; end process b;
+    end rtl;)");
+  Simulator Sim(P);
+  Sim.run();
+  Sim.driveSignal(sigId(P, "s0"), Value::scalar(StdLogic::One));
+  EXPECT_EQ(Sim.run(), SimStatus::Quiescent);
+  EXPECT_EQ(Sim.presentValue(sigId(P, "s2")).str(), "'1'");
+  EXPECT_GE(Sim.deltasExecuted(), 3u);
+}
+
+TEST(Simulator, SliceAssignments) {
+  DiagnosticEngine Diags;
+  StatementProgram Prog = parseStatementProgram(
+      "variable v : std_logic_vector(7 downto 0) := \"00000000\";\n"
+      "signal s : std_logic_vector(7 downto 0);\n"
+      "v(7 downto 4) := \"1010\";\n"
+      "s <= v;\n"
+      "s(1 downto 0) <= \"11\";\n"
+      "wait on s;",
+      Diags);
+  auto P2 = elaborateStatements(*Prog.Body, Diags, &Prog.Decls);
+  ASSERT_TRUE(P2.has_value()) << Diags.str();
+  Simulator Sim(*P2);
+  EXPECT_EQ(Sim.run(), SimStatus::Quiescent);
+  // Slice assignment after whole assignment patches the pending active
+  // value: 10100000 with low bits forced to 11.
+  EXPECT_EQ(Sim.presentValue(sigId(*P2, "s")).str(), "\"10100011\"");
+}
+
+TEST(Simulator, SliceOnToRangeVector) {
+  ElaboratedProgram P = elabStmts(
+      "variable v : std_logic_vector(0 to 7) := \"00000000\";\n"
+      "variable w : std_logic_vector(0 to 1);\n"
+      "v(0 to 1) := \"10\";\n"
+      "w := v(0 to 1);");
+  Simulator Sim(P);
+  EXPECT_EQ(Sim.run(), SimStatus::Quiescent);
+  EXPECT_EQ(Sim.variableValue(varId(P, "w")).str(), "\"10\"");
+}
+
+TEST(Simulator, IfAndWhileControlFlow) {
+  ElaboratedProgram P = elabStmts(
+      "variable c : std_logic_vector(2 downto 0) := \"000\";\n"
+      "variable n : std_logic_vector(2 downto 0) := \"101\";\n"
+      "while c < n loop c := c + \"001\"; end loop;");
+  Simulator Sim(P);
+  EXPECT_EQ(Sim.run(), SimStatus::Quiescent);
+  EXPECT_EQ(Sim.variableValue(varId(P, "c")).str(), "\"101\"");
+}
+
+TEST(Simulator, StuckOnMetaCondition) {
+  ElaboratedProgram P = elabStmts(
+      "variable u : std_logic;\n"
+      "if u then null; end if;");
+  Simulator Sim(P);
+  EXPECT_EQ(Sim.run(), SimStatus::Stuck)
+      << "condition evaluates to 'U', violating the side condition of "
+         "Table 2 [Conditional]";
+  EXPECT_NE(Sim.stuckReason().find("'U'"), std::string::npos);
+}
+
+TEST(Simulator, RunawayProcessHitsStepBudget) {
+  ElaboratedProgram P = elabDesign(R"(
+    entity e is port(go : in std_logic); end e;
+    architecture rtl of e is
+      signal s : std_logic;
+    begin
+      p : process
+        variable v : std_logic := '0';
+      begin
+        v := not v;
+      end process p;
+    end rtl;)");
+  Simulator::Options Opts;
+  Opts.MaxStepsPerPhase = 1000;
+  Simulator Sim(P, Opts);
+  EXPECT_EQ(Sim.run(), SimStatus::Stuck);
+  EXPECT_NE(Sim.stuckReason().find("step budget"), std::string::npos);
+}
+
+TEST(Simulator, MaxDeltasBudget) {
+  // Two processes ping-ponging forever: both start at '0', so both flip to
+  // '1', then back, never stabilizing.
+  ElaboratedProgram P = elabDesign(R"(
+    entity e is port(go : in std_logic); end e;
+    architecture rtl of e is
+      signal a : std_logic := '0';
+      signal b : std_logic := '0';
+    begin
+      p1 : process begin a <= not b; wait on b; end process p1;
+      p2 : process begin b <= not a; wait on a; end process p2;
+    end rtl;)");
+  Simulator Sim(P);
+  EXPECT_EQ(Sim.run(10), SimStatus::MaxDeltas);
+  EXPECT_EQ(Sim.deltasExecuted(), 10u);
+}
+
+TEST(Simulator, PlainWaitSleepsForever) {
+  ElaboratedProgram P = elabDesign(R"(
+    entity e is port(go : in std_logic; q : out std_logic); end e;
+    architecture rtl of e is
+    begin
+      p : process begin q <= '1'; wait; end process p;
+    end rtl;)");
+  Simulator Sim(P);
+  EXPECT_EQ(Sim.run(), SimStatus::Quiescent);
+  EXPECT_EQ(Sim.presentValue(sigId(P, "q")).str(), "'1'");
+  // Even after driving the port, the plain wait never wakes.
+  Sim.driveSignal(sigId(P, "go"), Value::scalar(StdLogic::One));
+  EXPECT_EQ(Sim.run(), SimStatus::Quiescent);
+  EXPECT_TRUE(Sim.isWaiting(0));
+}
+
+TEST(Simulator, TraceRecordsPresentChanges) {
+  ElaboratedProgram P = elabDesign(R"(
+    entity e is port(go : in std_logic); end e;
+    architecture rtl of e is
+      signal s : std_logic := '0';
+    begin
+      p : process begin s <= '1'; wait; end process p;
+    end rtl;)");
+  Simulator::Options Opts;
+  Opts.RecordTrace = true;
+  Simulator Sim(P, Opts);
+  Sim.run();
+  ASSERT_EQ(Sim.trace().size(), 1u);
+  EXPECT_EQ(Sim.trace()[0].SigId, sigId(P, "s"));
+  EXPECT_EQ(Sim.trace()[0].Old.str(), "'0'");
+  EXPECT_EQ(Sim.trace()[0].New.str(), "'1'");
+}
+
+TEST(VcdWriter, EmitsHeaderInitialValuesAndChanges) {
+  ElaboratedProgram P = elabDesign(R"(
+    entity e is port(go : in std_logic); end e;
+    architecture rtl of e is
+      signal s : std_logic := '0';
+      signal v : std_logic_vector(3 downto 0) := "0000";
+    begin
+      p : process begin s <= '1'; v <= "1010"; wait; end process p;
+    end rtl;)");
+  Simulator::Options Opts;
+  Opts.RecordTrace = true;
+  Simulator Sim(P, Opts);
+  Sim.run();
+  std::ostringstream OS;
+  writeVcd(OS, P, Sim);
+  std::string Vcd = OS.str();
+  EXPECT_NE(Vcd.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(Vcd.find("$var wire 1 "), std::string::npos);
+  EXPECT_NE(Vcd.find("$var wire 4 "), std::string::npos);
+  // Initial dump holds the pre-delta values.
+  size_t DumpPos = Vcd.find("$dumpvars");
+  size_t Step1 = Vcd.find("#1");
+  ASSERT_NE(DumpPos, std::string::npos);
+  ASSERT_NE(Step1, std::string::npos);
+  EXPECT_LT(DumpPos, Step1);
+  EXPECT_NE(Vcd.find("b0000 "), std::string::npos) << "initial vector";
+  EXPECT_NE(Vcd.find("b1010 "), std::string::npos) << "changed vector";
+}
+
+TEST(VcdWriter, NineValuedProjection) {
+  ElaboratedProgram P = elabDesign(R"(
+    entity e is port(go : in std_logic); end e;
+    architecture rtl of e is
+      signal s : std_logic := 'H';
+    begin
+      p : process begin s <= 'Z'; wait; end process p;
+    end rtl;)");
+  Simulator::Options Opts;
+  Opts.RecordTrace = true;
+  Simulator Sim(P, Opts);
+  Sim.run();
+  std::ostringstream OS;
+  writeVcd(OS, P, Sim);
+  std::string Vcd = OS.str();
+  // 'H' projects to 1 in the initial dump; 'Z' to z afterwards; the
+  // uninitialized go port shows as x.
+  EXPECT_NE(Vcd.find("z"), std::string::npos);
+  EXPECT_NE(Vcd.find("x"), std::string::npos);
+}
+
+TEST(Simulator, EnvironmentDriverParticipatesInResolution) {
+  ElaboratedProgram P = elabDesign(R"(
+    entity e is port(bus_s : inout std_logic); end e;
+    architecture rtl of e is
+    begin
+      p : process begin bus_s <= '0'; wait; end process p;
+    end rtl;)");
+  Simulator Sim(P);
+  Sim.driveSignal(sigId(P, "bus_s"), Value::scalar(StdLogic::One));
+  Sim.run();
+  EXPECT_EQ(Sim.presentValue(sigId(P, "bus_s")).str(), "'X'")
+      << "process '0' resolves against environment '1'";
+}
+
+TEST(Simulator, ExpressionOperators) {
+  ElaboratedProgram P = elabStmts(
+      "variable a : std_logic_vector(3 downto 0) := \"0110\";\n"
+      "variable b : std_logic_vector(3 downto 0) := \"0011\";\n"
+      "variable r_xor, r_and : std_logic_vector(3 downto 0);\n"
+      "variable r_cat : std_logic_vector(7 downto 0);\n"
+      "variable r_eq, r_lt : std_logic;\n"
+      "r_xor := a xor b;\n"
+      "r_and := a and b;\n"
+      "r_cat := a & b;\n"
+      "r_eq := a = b;\n"
+      "r_lt := b < a;");
+  Simulator Sim(P);
+  EXPECT_EQ(Sim.run(), SimStatus::Quiescent);
+  EXPECT_EQ(Sim.variableValue(varId(P, "r_xor")).str(), "\"0101\"");
+  EXPECT_EQ(Sim.variableValue(varId(P, "r_and")).str(), "\"0010\"");
+  EXPECT_EQ(Sim.variableValue(varId(P, "r_cat")).str(), "\"01100011\"");
+  EXPECT_EQ(Sim.variableValue(varId(P, "r_eq")).str(), "'0'");
+  EXPECT_EQ(Sim.variableValue(varId(P, "r_lt")).str(), "'1'");
+}
+
+} // namespace

@@ -1,0 +1,251 @@
+//===- tests/stdlogic_test.cpp - IEEE 1164 value algebra ------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stdlogic/LogicVector.h"
+#include "stdlogic/StdLogic.h"
+
+#include <gtest/gtest.h>
+
+using namespace vif;
+
+namespace {
+
+const StdLogic AllValues[9] = {
+    StdLogic::U, StdLogic::X, StdLogic::Zero,     StdLogic::One, StdLogic::Z,
+    StdLogic::W, StdLogic::L, StdLogic::H,        StdLogic::DontCare};
+
+TEST(StdLogic, CharRoundTrip) {
+  for (StdLogic V : AllValues) {
+    std::optional<StdLogic> Back = stdLogicFromChar(toChar(V));
+    ASSERT_TRUE(Back.has_value());
+    EXPECT_EQ(*Back, V);
+  }
+  EXPECT_FALSE(stdLogicFromChar('u').has_value()) << "case sensitive";
+  EXPECT_FALSE(stdLogicFromChar('q').has_value());
+}
+
+TEST(StdLogic, ResolutionIsCommutative) {
+  for (StdLogic A : AllValues)
+    for (StdLogic B : AllValues)
+      EXPECT_EQ(resolve(A, B), resolve(B, A))
+          << toChar(A) << " vs " << toChar(B);
+}
+
+TEST(StdLogic, ResolutionIsAssociative) {
+  // Required for the paper's fs over multisets to be well defined as a
+  // fold.
+  for (StdLogic A : AllValues)
+    for (StdLogic B : AllValues)
+      for (StdLogic C : AllValues)
+        EXPECT_EQ(resolve(resolve(A, B), C), resolve(A, resolve(B, C)));
+}
+
+TEST(StdLogic, ResolutionIsIdempotentExceptDontCare) {
+  // IEEE 1164 resolves '-' with anything (itself included) to 'X': two
+  // drivers both saying "don't care" still conflict.
+  for (StdLogic A : AllValues) {
+    if (A == StdLogic::DontCare)
+      continue;
+    EXPECT_EQ(resolve(A, A), A);
+  }
+  EXPECT_EQ(resolve(StdLogic::DontCare, StdLogic::DontCare), StdLogic::X);
+}
+
+TEST(StdLogic, ResolutionKnownCases) {
+  // Spot checks against the IEEE 1164 resolution table.
+  EXPECT_EQ(resolve(StdLogic::Zero, StdLogic::One), StdLogic::X);
+  EXPECT_EQ(resolve(StdLogic::Z, StdLogic::One), StdLogic::One);
+  EXPECT_EQ(resolve(StdLogic::Z, StdLogic::Zero), StdLogic::Zero);
+  EXPECT_EQ(resolve(StdLogic::L, StdLogic::One), StdLogic::One);
+  EXPECT_EQ(resolve(StdLogic::H, StdLogic::L), StdLogic::W);
+  EXPECT_EQ(resolve(StdLogic::U, StdLogic::DontCare), StdLogic::U);
+  EXPECT_EQ(resolve(StdLogic::Z, StdLogic::Z), StdLogic::Z);
+  EXPECT_EQ(resolve(StdLogic::DontCare, StdLogic::Zero), StdLogic::X);
+}
+
+TEST(StdLogic, UDominatesEverything) {
+  for (StdLogic A : AllValues)
+    EXPECT_EQ(resolve(StdLogic::U, A), StdLogic::U);
+}
+
+TEST(StdLogic, NotTable) {
+  EXPECT_EQ(logicNot(StdLogic::Zero), StdLogic::One);
+  EXPECT_EQ(logicNot(StdLogic::One), StdLogic::Zero);
+  EXPECT_EQ(logicNot(StdLogic::L), StdLogic::One);
+  EXPECT_EQ(logicNot(StdLogic::H), StdLogic::Zero);
+  EXPECT_EQ(logicNot(StdLogic::U), StdLogic::U);
+  EXPECT_EQ(logicNot(StdLogic::Z), StdLogic::X);
+  EXPECT_EQ(logicNot(StdLogic::DontCare), StdLogic::X);
+}
+
+TEST(StdLogic, AndAbsorption) {
+  // '0' and weak zero are annihilators; '1'/'H' are identities up to
+  // strength stripping.
+  for (StdLogic A : AllValues) {
+    EXPECT_EQ(logicAnd(StdLogic::Zero, A), StdLogic::Zero);
+    EXPECT_EQ(logicAnd(StdLogic::L, A), StdLogic::Zero);
+    EXPECT_EQ(logicOr(StdLogic::One, A), StdLogic::One);
+    EXPECT_EQ(logicOr(StdLogic::H, A), StdLogic::One);
+  }
+  EXPECT_EQ(logicAnd(StdLogic::One, StdLogic::One), StdLogic::One);
+  EXPECT_EQ(logicAnd(StdLogic::One, StdLogic::H), StdLogic::One);
+}
+
+TEST(StdLogic, DeMorganOnBinaryValues) {
+  const StdLogic Bin[2] = {StdLogic::Zero, StdLogic::One};
+  for (StdLogic A : Bin)
+    for (StdLogic B : Bin) {
+      EXPECT_EQ(logicNand(A, B), logicNot(logicAnd(A, B)));
+      EXPECT_EQ(logicNor(A, B), logicNot(logicOr(A, B)));
+      EXPECT_EQ(logicOr(logicNot(A), logicNot(B)),
+                logicNot(logicAnd(A, B)));
+    }
+}
+
+TEST(StdLogic, XorProperties) {
+  EXPECT_EQ(logicXor(StdLogic::One, StdLogic::One), StdLogic::Zero);
+  EXPECT_EQ(logicXor(StdLogic::One, StdLogic::Zero), StdLogic::One);
+  EXPECT_EQ(logicXor(StdLogic::L, StdLogic::H), StdLogic::One);
+  for (StdLogic A : AllValues)
+    EXPECT_EQ(logicXor(A, StdLogic::X),
+              A == StdLogic::U ? StdLogic::U : StdLogic::X);
+}
+
+TEST(StdLogic, ToX01) {
+  EXPECT_EQ(toX01(StdLogic::L), StdLogic::Zero);
+  EXPECT_EQ(toX01(StdLogic::H), StdLogic::One);
+  EXPECT_EQ(toX01(StdLogic::Z), StdLogic::X);
+  EXPECT_EQ(toX01(StdLogic::U), StdLogic::X);
+  EXPECT_TRUE(isBinary(StdLogic::H));
+  EXPECT_FALSE(isBinary(StdLogic::W));
+  EXPECT_EQ(toBool(StdLogic::H), true);
+  EXPECT_EQ(toBool(StdLogic::L), false);
+  EXPECT_FALSE(toBool(StdLogic::Z).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// LogicVector
+//===----------------------------------------------------------------------===//
+
+TEST(LogicVector, FromStringAndBack) {
+  std::optional<LogicVector> V = LogicVector::fromString("01ZXUWLH-");
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->size(), 9u);
+  EXPECT_EQ(V->str(), "01ZXUWLH-");
+  EXPECT_FALSE(LogicVector::fromString("01q").has_value());
+}
+
+TEST(LogicVector, DefaultIsAllU) {
+  LogicVector V(4);
+  EXPECT_EQ(V.str(), "UUUU");
+}
+
+TEST(LogicVector, UIntRoundTrip) {
+  for (uint64_t X : {0ull, 1ull, 0xa5ull, 0xffull}) {
+    LogicVector V = LogicVector::fromUInt(X, 8);
+    ASSERT_TRUE(V.toUInt().has_value());
+    EXPECT_EQ(*V.toUInt(), X);
+  }
+  // MSB first.
+  EXPECT_EQ(LogicVector::fromUInt(0x80, 8).str(), "10000000");
+  EXPECT_EQ(LogicVector::fromUInt(0x01, 8).str(), "00000001");
+}
+
+TEST(LogicVector, NonBinaryHasNoUInt) {
+  LogicVector V = *LogicVector::fromString("0X01");
+  EXPECT_FALSE(V.toUInt().has_value());
+  // Weak values strip to binary.
+  EXPECT_EQ(*LogicVector::fromString("LH")->toUInt(), 1u);
+}
+
+TEST(LogicVector, SliceAndSet) {
+  LogicVector V = *LogicVector::fromString("10110010");
+  EXPECT_EQ(V.slicePos(0, 4).str(), "1011");
+  EXPECT_EQ(V.slicePos(4, 4).str(), "0010");
+  V.setSlicePos(2, *LogicVector::fromString("ZZ"));
+  EXPECT_EQ(V.str(), "10ZZ0010");
+}
+
+TEST(LogicVector, ElementwiseOps) {
+  LogicVector A = *LogicVector::fromString("0011");
+  LogicVector B = *LogicVector::fromString("0101");
+  EXPECT_EQ(A.andOp(B).str(), "0001");
+  EXPECT_EQ(A.orOp(B).str(), "0111");
+  EXPECT_EQ(A.xorOp(B).str(), "0110");
+  EXPECT_EQ(A.notOp().str(), "1100");
+  EXPECT_EQ(A.nandOp(B).str(), "1110");
+  EXPECT_EQ(A.norOp(B).str(), "1000");
+  EXPECT_EQ(A.xnorOp(B).str(), "1001");
+}
+
+TEST(LogicVector, Arithmetic) {
+  LogicVector A = LogicVector::fromUInt(200, 8);
+  LogicVector B = LogicVector::fromUInt(100, 8);
+  EXPECT_EQ(*A.add(B).toUInt(), 44u) << "mod 256";
+  EXPECT_EQ(*A.sub(B).toUInt(), 100u);
+  EXPECT_EQ(*B.sub(A).toUInt(), 156u) << "wraps mod 256";
+  EXPECT_EQ(*B.mul(B).toUInt(), (100u * 100u) % 256u);
+}
+
+TEST(LogicVector, ArithmeticPoisonedByX) {
+  LogicVector A = *LogicVector::fromString("0000000X");
+  LogicVector B = LogicVector::fromUInt(1, 8);
+  EXPECT_EQ(A.add(B).str(), "XXXXXXXX");
+  EXPECT_EQ(A.sub(B).str(), "XXXXXXXX");
+  EXPECT_EQ(A.mul(B).str(), "XXXXXXXX");
+}
+
+TEST(LogicVector, Comparisons) {
+  LogicVector A = LogicVector::fromUInt(5, 4);
+  LogicVector B = LogicVector::fromUInt(9, 4);
+  EXPECT_EQ(A.ltOp(B), StdLogic::One);
+  EXPECT_EQ(A.gtOp(B), StdLogic::Zero);
+  EXPECT_EQ(A.leOp(A), StdLogic::One);
+  EXPECT_EQ(A.geOp(B), StdLogic::Zero);
+  EXPECT_EQ(A.eqOp(A), StdLogic::One);
+  EXPECT_EQ(A.neOp(B), StdLogic::One);
+}
+
+TEST(LogicVector, StructuralEqualityOnMetaValues) {
+  LogicVector A = *LogicVector::fromString("UX");
+  EXPECT_EQ(A.eqOp(A), StdLogic::One) << "VHDL '=' is value identity";
+  LogicVector B = *LogicVector::fromString("U0");
+  EXPECT_EQ(A.eqOp(B), StdLogic::Zero);
+  // Orderings poison on meta values instead.
+  EXPECT_EQ(A.ltOp(B), StdLogic::X);
+}
+
+TEST(LogicVector, Concat) {
+  LogicVector A = *LogicVector::fromString("10");
+  LogicVector B = *LogicVector::fromString("01Z");
+  EXPECT_EQ(A.concat(B).str(), "1001Z");
+}
+
+TEST(LogicVector, ResolveElementwise) {
+  LogicVector A = *LogicVector::fromString("01Z");
+  LogicVector B = *LogicVector::fromString("0ZZ");
+  EXPECT_EQ(A.resolveWith(B).str(), "01Z");
+}
+
+class ResolutionTableTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResolutionTableTest, ForcingBeatsWeakAgainstEveryValue) {
+  // For every value v: resolving '0' with v is never a weak value, and
+  // resolving with 'Z' is the identity on everything but 'Z' itself.
+  StdLogic V = static_cast<StdLogic>(GetParam());
+  StdLogic WithZero = resolve(StdLogic::Zero, V);
+  EXPECT_TRUE(WithZero == StdLogic::Zero || WithZero == StdLogic::X ||
+              WithZero == StdLogic::U);
+  if (V != StdLogic::Z) {
+    EXPECT_EQ(resolve(StdLogic::Z, V),
+              V == StdLogic::DontCare ? StdLogic::X : V);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNineValues, ResolutionTableTest,
+                         ::testing::Range(0, 9));
+
+} // namespace

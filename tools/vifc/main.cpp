@@ -1,0 +1,320 @@
+//===- tools/vifc/main.cpp - Command-line driver --------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// vifc: parse, check, simulate and analyze VHDL1 sources.
+///
+///   vifc check  [--statements] FILE        parse + elaborate
+///   vifc sim    [--deltas N] FILE          simulate to quiescence
+///   vifc flows  [--improved] [--end-out] [--kemmerer] [--dot] FILE
+///   vifc rm     FILE                       print local and global matrices
+///
+/// FILE may be "-" for stdin.
+///
+//===----------------------------------------------------------------------===//
+
+#include "alfp/AlfpParser.h"
+#include "ifa/AlfpClosure.h"
+#include "ifa/InformationFlow.h"
+#include "ifa/Kemmerer.h"
+#include "ifa/Report.h"
+#include "parse/Parser.h"
+#include "sim/Simulator.h"
+#include "sim/VcdWriter.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace vif;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: vifc <command> [options] <file|->\n"
+         "commands:\n"
+         "  check   parse and elaborate, reporting diagnostics\n"
+         "  sim     simulate to quiescence and print final signal values\n"
+         "  flows   print the information-flow graph (edges, or --dot)\n"
+         "  rm      print the local and global resource matrices\n"
+         "  report  write a covert-channel audit report\n"
+         "  datalog solve an ALFP/Datalog file and print ?-queried "
+         "relations\n"
+         "options:\n"
+         "  --statements   input is a statement program, not a design\n"
+         "  --improved     apply the Table 9 improvement (incoming/outgoing"
+         " nodes)\n"
+         "  --end-out      treat program end as an outgoing sync point\n"
+         "  --kemmerer     use Kemmerer's transitive-closure method\n"
+         "  --alfp         compute the closure via the ALFP engine\n"
+         "  --dot          emit Graphviz DOT\n"
+         "  --deltas N     delta-cycle budget for sim (default 65536)\n"
+         "  --vcd FILE     write a VCD waveform of the simulation\n"
+         "  --forbid A,B   (report) forbid the flow A -> B; repeatable;\n"
+         "                 the exit code is 1 when a policy is violated\n";
+  return 2;
+}
+
+std::string readInput(const std::string &Path, bool &Ok) {
+  Ok = true;
+  if (Path == "-") {
+    std::ostringstream SS;
+    SS << std::cin.rdbuf();
+    return SS.str();
+  }
+  std::ifstream In(Path);
+  if (!In) {
+    Ok = false;
+    return "";
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+struct Options {
+  std::string Command;
+  std::string File;
+  bool Statements = false;
+  bool Improved = false;
+  bool EndOut = false;
+  bool Kemmerer = false;
+  bool Alfp = false;
+  bool Dot = false;
+  unsigned Deltas = 1u << 16;
+  std::string VcdPath;
+  std::vector<std::pair<std::string, std::string>> Forbidden;
+};
+
+std::optional<ElaboratedProgram> load(const Options &Opt,
+                                      DiagnosticEngine &Diags) {
+  bool Ok = false;
+  std::string Source = readInput(Opt.File, Ok);
+  if (!Ok) {
+    std::cerr << "error: cannot read '" << Opt.File << "'\n";
+    return std::nullopt;
+  }
+  if (Opt.Statements) {
+    StatementProgram Prog = parseStatementProgram(Source, Diags);
+    if (Diags.hasErrors())
+      return std::nullopt;
+    return elaborateStatements(*Prog.Body, Diags, &Prog.Decls);
+  }
+  DesignFile File = parseDesign(Source, Diags);
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return elaborateDesign(File, Diags);
+}
+
+int cmdCheck(const Options &Opt) {
+  DiagnosticEngine Diags;
+  std::optional<ElaboratedProgram> Program = load(Opt, Diags);
+  Diags.print(std::cerr);
+  if (!Program)
+    return 1;
+  std::cout << "ok: " << Program->Processes.size() << " process(es), "
+            << Program->Signals.size() << " signal(s), "
+            << Program->Variables.size() << " variable(s)\n";
+  return 0;
+}
+
+int cmdSim(const Options &Opt) {
+  DiagnosticEngine Diags;
+  std::optional<ElaboratedProgram> Program = load(Opt, Diags);
+  Diags.print(std::cerr);
+  if (!Program)
+    return 1;
+  Simulator::Options SimOpts;
+  SimOpts.RecordTrace = !Opt.VcdPath.empty();
+  Simulator Sim(*Program, SimOpts);
+  SimStatus Status = Sim.run(Opt.Deltas);
+  std::cout << "status: " << simStatusName(Status) << " after "
+            << Sim.deltasExecuted() << " delta cycle(s)\n";
+  if (Status == SimStatus::Stuck)
+    std::cout << "reason: " << Sim.stuckReason() << '\n';
+  for (const ElabSignal &S : Program->Signals)
+    std::cout << S.UniqueName << " = " << Sim.presentValue(S.Id).str()
+              << '\n';
+  if (!Opt.VcdPath.empty()) {
+    if (Opt.VcdPath == "-") {
+      writeVcd(std::cout, *Program, Sim);
+    } else {
+      std::ofstream VcdOut(Opt.VcdPath);
+      if (!VcdOut) {
+        std::cerr << "error: cannot write '" << Opt.VcdPath << "'\n";
+        return 1;
+      }
+      writeVcd(VcdOut, *Program, Sim);
+    }
+  }
+  return Status == SimStatus::Stuck ? 1 : 0;
+}
+
+int cmdFlows(const Options &Opt) {
+  DiagnosticEngine Diags;
+  std::optional<ElaboratedProgram> Program = load(Opt, Diags);
+  Diags.print(std::cerr);
+  if (!Program)
+    return 1;
+  ProgramCFG CFG = ProgramCFG::build(*Program);
+
+  Digraph Graph;
+  std::string Title;
+  if (Opt.Kemmerer) {
+    Graph = analyzeKemmerer(*Program, CFG).Graph;
+    Title = "kemmerer";
+  } else {
+    IFAOptions IfaOpts;
+    IfaOpts.Improved = Opt.Improved;
+    IfaOpts.ProgramEndOutgoing = Opt.EndOut;
+    IFAResult R = analyzeInformationFlow(*Program, CFG, IfaOpts);
+    if (Opt.Alfp) {
+      AlfpClosureResult A = closeWithAlfp(*Program, CFG, R, IfaOpts);
+      if (!A.Solved) {
+        std::cerr << "alfp error: " << A.Error << '\n';
+        return 1;
+      }
+      Graph = extractFlowGraph(A.RMgl, *Program);
+      Title = "flows-alfp";
+    } else {
+      Graph = R.Graph;
+      Title = "flows";
+    }
+  }
+  if (Opt.Dot) {
+    Graph.printDOT(std::cout, Title);
+    return 0;
+  }
+  std::cout << Graph.numNodes() << " node(s), " << Graph.numEdges()
+            << " edge(s)\n";
+  for (const auto &[From, To] : Graph.sortedEdges())
+    std::cout << From << " -> " << To << '\n';
+  return 0;
+}
+
+int cmdRM(const Options &Opt) {
+  DiagnosticEngine Diags;
+  std::optional<ElaboratedProgram> Program = load(Opt, Diags);
+  Diags.print(std::cerr);
+  if (!Program)
+    return 1;
+  ProgramCFG CFG = ProgramCFG::build(*Program);
+  IFAOptions IfaOpts;
+  IfaOpts.Improved = Opt.Improved;
+  IfaOpts.ProgramEndOutgoing = Opt.EndOut;
+  IFAResult R = analyzeInformationFlow(*Program, CFG, IfaOpts);
+  std::cout << "== RMlo (" << R.RMlo.size() << " entries)\n";
+  R.RMlo.print(std::cout, *Program);
+  std::cout << "== RMgl (" << R.RMgl.size() << " entries)\n";
+  R.RMgl.print(std::cout, *Program);
+  return 0;
+}
+
+int cmdReport(const Options &Opt) {
+  DiagnosticEngine Diags;
+  std::optional<ElaboratedProgram> Program = load(Opt, Diags);
+  Diags.print(std::cerr);
+  if (!Program)
+    return 1;
+  ProgramCFG CFG = ProgramCFG::build(*Program);
+  IFAOptions IfaOpts;
+  IfaOpts.Improved = Opt.Improved;
+  IfaOpts.ProgramEndOutgoing = Opt.EndOut;
+  IFAResult R = analyzeInformationFlow(*Program, CFG, IfaOpts);
+  ReportOptions RepOpts;
+  for (const auto &[From, To] : Opt.Forbidden)
+    RepOpts.Policy.Forbidden.push_back({From, To});
+  writeAuditReport(std::cout, *Program, R, RepOpts);
+  return checkFlowPolicy(R.Graph, RepOpts.Policy).empty() ? 0 : 1;
+}
+
+int cmdDatalog(const Options &Opt) {
+  bool Ok = false;
+  std::string Source = readInput(Opt.File, Ok);
+  if (!Ok) {
+    std::cerr << "error: cannot read '" << Opt.File << "'\n";
+    return 1;
+  }
+  DiagnosticEngine Diags;
+  alfp::ParsedProgram PP = alfp::parseAlfp(Source, Diags);
+  Diags.print(std::cerr);
+  if (Diags.hasErrors())
+    return 1;
+  std::string Error;
+  if (!PP.P.solve(&Error)) {
+    std::cerr << "error: " << Error << '\n';
+    return 1;
+  }
+  for (alfp::RelId Rel : PP.Queries)
+    std::cout << alfp::dumpRelation(PP.P, Rel);
+  if (PP.Queries.empty())
+    std::cout << "(no ?-queries; " << PP.P.derivedCount()
+              << " tuples derived)\n";
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opt;
+  std::vector<std::string> Args(Argv + 1, Argv + Argc);
+  if (Args.empty())
+    return usage();
+  Opt.Command = Args[0];
+  for (size_t I = 1; I < Args.size(); ++I) {
+    const std::string &A = Args[I];
+    if (A == "--statements")
+      Opt.Statements = true;
+    else if (A == "--improved")
+      Opt.Improved = true;
+    else if (A == "--end-out")
+      Opt.EndOut = true;
+    else if (A == "--kemmerer")
+      Opt.Kemmerer = true;
+    else if (A == "--alfp")
+      Opt.Alfp = true;
+    else if (A == "--dot")
+      Opt.Dot = true;
+    else if (A == "--deltas" && I + 1 < Args.size())
+      Opt.Deltas = static_cast<unsigned>(std::stoul(Args[++I]));
+    else if (A == "--vcd" && I + 1 < Args.size())
+      Opt.VcdPath = Args[++I];
+    else if (A == "--forbid" && I + 1 < Args.size()) {
+      std::string Pair = Args[++I];
+      size_t Comma = Pair.find(',');
+      if (Comma == std::string::npos) {
+        std::cerr << "--forbid expects 'from,to'\n";
+        return usage();
+      }
+      Opt.Forbidden.emplace_back(Pair.substr(0, Comma),
+                                 Pair.substr(Comma + 1));
+    }
+    else if (!A.empty() && A[0] == '-' && A != "-") {
+      std::cerr << "unknown option '" << A << "'\n";
+      return usage();
+    } else
+      Opt.File = A;
+  }
+  if (Opt.File.empty())
+    return usage();
+
+  if (Opt.Command == "check")
+    return cmdCheck(Opt);
+  if (Opt.Command == "sim")
+    return cmdSim(Opt);
+  if (Opt.Command == "flows")
+    return cmdFlows(Opt);
+  if (Opt.Command == "rm")
+    return cmdRM(Opt);
+  if (Opt.Command == "report")
+    return cmdReport(Opt);
+  if (Opt.Command == "datalog")
+    return cmdDatalog(Opt);
+  return usage();
+}
