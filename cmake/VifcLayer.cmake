@@ -1,0 +1,16 @@
+# vifc_add_layer(<name> SOURCES <srcs...> [DEPS <layers...>])
+#
+# Declares the static library for one src/<name> layer. Every layer exports
+# ${PROJECT_SOURCE_DIR}/src as a PUBLIC include directory so headers are
+# included as "<layer>/<Header>.h"; DEPS are PUBLIC so the link graph
+# mirrors the include graph (see DESIGN.md, "Build-system DAG").
+function(vifc_add_layer name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  add_library(vifc_${name} STATIC ${ARG_SOURCES})
+  target_include_directories(vifc_${name} PUBLIC ${PROJECT_SOURCE_DIR}/src)
+  target_link_libraries(vifc_${name} PRIVATE vifc_warnings)
+  foreach(dep IN LISTS ARG_DEPS)
+    target_link_libraries(vifc_${name} PUBLIC vifc_${dep})
+  endforeach()
+  add_library(vifc::${name} ALIAS vifc_${name})
+endfunction()

@@ -1,0 +1,26 @@
+# CLI smoke test: exercise the built vifc binary end-to-end on a real VHDL
+# design. Invoked by ctest as
+#   cmake -DVIFC=<path> -DINPUT=<smoke.vhd> -P cli_smoke.cmake
+# Fails (FATAL_ERROR) if any subcommand exits non-zero or the flows output
+# lacks the expected implicit-flow edge sel -> q.
+
+function(run_vifc out_var)
+  execute_process(COMMAND ${VIFC} ${ARGN} ${INPUT}
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "vifc ${ARGN} failed (rc=${rc}):\n${out}\n${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+run_vifc(check_out check)
+run_vifc(flows_out flows)
+run_vifc(rm_out rm)
+run_vifc(sim_out sim)
+
+if(NOT flows_out MATCHES "sel[ \t]*->[ \t]*q")
+  message(FATAL_ERROR "vifc flows did not report the implicit flow sel -> q:\n${flows_out}")
+endif()
+message(STATUS "vifc CLI smoke test passed")

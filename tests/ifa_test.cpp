@@ -412,9 +412,11 @@ TEST(Closure, RMloSubsetOfRMgl) {
 TEST(Closure, CopiesAreR0Only) {
   Analyzed A = analyzeStmts("b := a; c := b;");
   // RMgl \ RMlo contains only R0 entries.
-  for (const RMEntry &E : A.R.RMgl)
-    if (!A.R.RMlo.contains(E.N, E.L, E.A))
+  for (const RMEntry &E : A.R.RMgl) {
+    if (!A.R.RMlo.contains(E.N, E.L, E.A)) {
       EXPECT_EQ(E.A, Access::R0);
+    }
+  }
 }
 
 TEST(Closure, RDDaggerRestrictsToActualReads) {

@@ -1,0 +1,14 @@
+entity mux is port(d0 : in std_logic; d1 : in std_logic;
+                   sel : in std_logic; q : out std_logic); end mux;
+architecture rtl of mux is
+begin
+  p : process
+  begin
+    if sel = '1' then
+      q <= d1;
+    else
+      q <= d0;
+    end if;
+    wait on d0, d1, sel;
+  end process p;
+end rtl;

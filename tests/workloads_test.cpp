@@ -123,10 +123,12 @@ TEST(AesComponents, AddRoundKeyIsDiagonal) {
     std::string K = "k_" + std::to_string(I);
     EXPECT_TRUE(R.Graph.hasEdge(K, S));
     EXPECT_TRUE(R.Graph.hasEdge(S, S)) << "s_i := s_i xor k_i";
-    for (int J = 0; J < 4; ++J)
-      if (J != I)
+    for (int J = 0; J < 4; ++J) {
+      if (J != I) {
         EXPECT_FALSE(R.Graph.hasEdge(K, "s_" + std::to_string(J)))
             << "keys do not cross bytes";
+      }
+    }
   }
 }
 

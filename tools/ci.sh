@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verify, as run by CI (.github/workflows/ci.yml) and locally.
+# Usage: tools/ci.sh [build-dir]   (default: build-ci)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-ci}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DVIFC_WERROR=ON
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
