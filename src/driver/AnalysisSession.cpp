@@ -1,0 +1,180 @@
+//===- driver/AnalysisSession.cpp -----------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/AnalysisSession.h"
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace vif;
+using namespace vif::driver;
+
+namespace {
+
+/// Adds the scope's wall-clock duration to a StageTimings field.
+class StageTimer {
+public:
+  explicit StageTimer(double &Out)
+      : Out(Out), Start(std::chrono::steady_clock::now()) {}
+  ~StageTimer() {
+    Out += std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - Start)
+               .count();
+  }
+
+private:
+  double &Out;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace
+
+AnalysisSession AnalysisSession::fromFile(std::string Path,
+                                          SessionOptions Opts) {
+  AnalysisSession S;
+  S.Name = std::move(Path);
+  S.Opts = Opts;
+  return S;
+}
+
+AnalysisSession AnalysisSession::fromSource(std::string Name,
+                                            std::string Source,
+                                            SessionOptions Opts) {
+  AnalysisSession S;
+  S.Name = std::move(Name);
+  S.Src = std::move(Source);
+  S.SourceState = State::Ok;
+  S.Opts = Opts;
+  return S;
+}
+
+const std::string *AnalysisSession::source() {
+  if (SourceState == State::NotComputed) {
+    SourceState = State::Failed;
+    StageTimer T(Times.ReadMs);
+    if (Name == "-") {
+      std::ostringstream SS;
+      SS << std::cin.rdbuf();
+      Src = SS.str();
+      SourceState = State::Ok;
+    } else {
+      std::ifstream In(Name);
+      if (In) {
+        std::ostringstream SS;
+        SS << In.rdbuf();
+        Src = SS.str();
+        SourceState = State::Ok;
+      }
+    }
+  }
+  return SourceState == State::Ok ? &Src : nullptr;
+}
+
+bool AnalysisSession::ensureParsed() {
+  if (ParseState == State::NotComputed) {
+    ParseState = State::Failed;
+    if (const std::string *Text = source()) {
+      StageTimer T(Times.ParseMs);
+      if (Opts.Statements)
+        StmtAst.emplace(parseStatementProgram(*Text, Diags));
+      else
+        DesignAst.emplace(parseDesign(*Text, Diags));
+      if (!Diags.hasErrors())
+        ParseState = State::Ok;
+    }
+  }
+  return ParseState == State::Ok;
+}
+
+const DesignFile *AnalysisSession::designAst() {
+  if (!ensureParsed() || Opts.Statements)
+    return nullptr;
+  return &*DesignAst;
+}
+
+const StatementProgram *AnalysisSession::statementAst() {
+  if (!ensureParsed() || !Opts.Statements)
+    return nullptr;
+  return &*StmtAst;
+}
+
+const ElaboratedProgram *AnalysisSession::program() {
+  if (ElabState == State::NotComputed) {
+    ElabState = State::Failed;
+    if (ensureParsed()) {
+      StageTimer T(Times.ElaborateMs);
+      std::optional<ElaboratedProgram> P =
+          Opts.Statements
+              ? elaborateStatements(*StmtAst->Body, Diags, &StmtAst->Decls)
+              : elaborateDesign(*DesignAst, Diags);
+      if (P && !Diags.hasErrors()) {
+        Prog.emplace(std::move(*P));
+        ElabState = State::Ok;
+      }
+    }
+  }
+  return ElabState == State::Ok ? &*Prog : nullptr;
+}
+
+const ProgramCFG *AnalysisSession::cfg() {
+  if (CfgState == State::NotComputed) {
+    CfgState = State::Failed;
+    if (const ElaboratedProgram *P = program()) {
+      StageTimer T(Times.CfgMs);
+      Cfg.emplace(ProgramCFG::build(*P));
+      CfgState = State::Ok;
+    }
+  }
+  return CfgState == State::Ok ? &*Cfg : nullptr;
+}
+
+const IFAResult *AnalysisSession::ifa() {
+  if (IfaState == State::NotComputed) {
+    IfaState = State::Failed;
+    const ElaboratedProgram *P = program();
+    const ProgramCFG *C = cfg();
+    if (P && C) {
+      StageTimer T(Times.IfaMs);
+      Ifa.emplace(analyzeInformationFlow(*P, *C, Opts.Ifa));
+      IfaState = State::Ok;
+    }
+  }
+  return IfaState == State::Ok ? &*Ifa : nullptr;
+}
+
+const ReachingDefsResult *AnalysisSession::reachingDefs() {
+  const IFAResult *R = ifa();
+  return R ? &R->RD : nullptr;
+}
+
+const KemmererResult *AnalysisSession::kemmerer() {
+  if (KemmererState == State::NotComputed) {
+    KemmererState = State::Failed;
+    const ElaboratedProgram *P = program();
+    const ProgramCFG *C = cfg();
+    if (P && C) {
+      StageTimer T(Times.KemmererMs);
+      Kemm.emplace(analyzeKemmerer(*P, *C));
+      KemmererState = State::Ok;
+    }
+  }
+  return KemmererState == State::Ok ? &*Kemm : nullptr;
+}
+
+const AlfpClosureResult *AnalysisSession::alfp() {
+  if (AlfpState == State::NotComputed) {
+    AlfpState = State::Failed;
+    const IFAResult *Native = ifa();
+    if (Native) {
+      StageTimer T(Times.AlfpMs);
+      Alfp.emplace(closeWithAlfp(*program(), *cfg(), *Native, Opts.Ifa));
+      AlfpState = State::Ok;
+    }
+  }
+  return AlfpState == State::Ok ? &*Alfp : nullptr;
+}

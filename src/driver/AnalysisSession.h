@@ -1,0 +1,138 @@
+//===- driver/AnalysisSession.h - Cached analysis pipeline ------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The driver layer owns the parse → elaborate → CFG → RD → IFA pipeline
+/// end-to-end. An AnalysisSession loads one source and computes each
+/// artifact lazily, at most once, caching it for every later consumer —
+/// the CLI adapters, the batch runner, tests and benches all share the
+/// same pipeline instead of re-wiring it by hand. Failed stages are
+/// cached too: a session never re-parses a broken design and never
+/// reports the same diagnostic twice. Repeated accessor calls return the
+/// same object (pointer-identical), which downstream caching layers rely
+/// on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_DRIVER_ANALYSISSESSION_H
+#define VIF_DRIVER_ANALYSISSESSION_H
+
+#include "ifa/AlfpClosure.h"
+#include "ifa/InformationFlow.h"
+#include "ifa/Kemmerer.h"
+#include "parse/Parser.h"
+#include "sema/Elaborator.h"
+
+#include <optional>
+#include <string>
+
+namespace vif {
+namespace driver {
+
+/// Wall-clock cost of each computed stage, milliseconds. A stage that was
+/// never requested stays 0.
+struct StageTimings {
+  double ReadMs = 0;
+  double ParseMs = 0;
+  double ElaborateMs = 0;
+  double CfgMs = 0;
+  double IfaMs = 0;
+  double KemmererMs = 0;
+  double AlfpMs = 0;
+
+  double totalMs() const {
+    return ReadMs + ParseMs + ElaborateMs + CfgMs + IfaMs + KemmererMs +
+           AlfpMs;
+  }
+};
+
+struct SessionOptions {
+  /// Parse the input as a bare statement program instead of a design file.
+  bool Statements = false;
+  /// Options for the RD-guided analysis (Table 9 improvement knobs etc.).
+  IFAOptions Ifa;
+};
+
+/// One design's trip through the pipeline, artifacts computed on demand.
+class AnalysisSession {
+public:
+  /// A session that lazily reads \p Path ("-" reads stdin).
+  static AnalysisSession fromFile(std::string Path,
+                                  SessionOptions Opts = SessionOptions());
+  /// A session over an in-memory source, labeled \p Name in results.
+  static AnalysisSession fromSource(std::string Name, std::string Source,
+                                    SessionOptions Opts = SessionOptions());
+
+  AnalysisSession(AnalysisSession &&) = default;
+  AnalysisSession &operator=(AnalysisSession &&) = default;
+
+  const std::string &name() const { return Name; }
+  const SessionOptions &options() const { return Opts; }
+  const DiagnosticEngine &diagnostics() const { return Diags; }
+  const StageTimings &timings() const { return Times; }
+
+  /// The raw source text; nullptr when the file cannot be read.
+  const std::string *source();
+  /// True once source() has failed — an I/O failure, as opposed to parse
+  /// or elaboration diagnostics.
+  bool unreadable() const { return SourceState == State::Failed; }
+
+  /// The parsed design file (nullptr for statement sessions or on parse
+  /// errors; diagnostics() holds why).
+  const DesignFile *designAst();
+  /// The parsed statement program (statement sessions only).
+  const StatementProgram *statementAst();
+
+  /// The elaborated flat process model; nullptr on any earlier failure.
+  const ElaboratedProgram *program();
+  /// Labels/flow/cf facts over program().
+  const ProgramCFG *cfg();
+  /// The RD-guided Information Flow analysis under options().Ifa,
+  /// including the RD intermediates and the flow graph.
+  const IFAResult *ifa();
+  /// The underlying Reaching Definitions results (computed with ifa()).
+  const ReachingDefsResult *reachingDefs();
+  /// Kemmerer's transitive-closure baseline.
+  const KemmererResult *kemmerer();
+  /// The ALFP re-derivation of ifa()'s closure. Non-null whenever the
+  /// solver ran; check Solved for its verdict.
+  const AlfpClosureResult *alfp();
+
+private:
+  AnalysisSession() = default;
+
+  enum class State : uint8_t { NotComputed, Ok, Failed };
+
+  /// Runs the parse stage if needed; true when an AST is available.
+  bool ensureParsed();
+
+  std::string Name;
+  SessionOptions Opts;
+  DiagnosticEngine Diags;
+  StageTimings Times;
+
+  State SourceState = State::NotComputed;
+  State ParseState = State::NotComputed;
+  State ElabState = State::NotComputed;
+  State CfgState = State::NotComputed;
+  State IfaState = State::NotComputed;
+  State KemmererState = State::NotComputed;
+  State AlfpState = State::NotComputed;
+
+  std::string Src;
+  std::optional<DesignFile> DesignAst;
+  std::optional<StatementProgram> StmtAst;
+  std::optional<ElaboratedProgram> Prog;
+  std::optional<ProgramCFG> Cfg;
+  std::optional<IFAResult> Ifa;
+  std::optional<KemmererResult> Kemm;
+  std::optional<AlfpClosureResult> Alfp;
+};
+
+} // namespace driver
+} // namespace vif
+
+#endif // VIF_DRIVER_ANALYSISSESSION_H

@@ -1,0 +1,307 @@
+//===- driver/Batch.cpp ---------------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Batch.h"
+
+#include "ifa/Report.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+using namespace vif;
+using namespace vif::driver;
+
+const char *vif::driver::batchModeName(BatchMode M) {
+  switch (M) {
+  case BatchMode::Check:
+    return "check";
+  case BatchMode::Flows:
+    return "flows";
+  case BatchMode::Matrices:
+    return "rm";
+  case BatchMode::Report:
+    return "report";
+  }
+  return "?";
+}
+
+const char *vif::driver::flowMethodName(FlowMethod M) {
+  switch (M) {
+  case FlowMethod::Native:
+    return "native";
+  case FlowMethod::Alfp:
+    return "alfp";
+  case FlowMethod::Kemmerer:
+    return "kemmerer";
+  }
+  return "?";
+}
+
+namespace {
+
+void recordGraph(DesignResult &D, const Digraph &G) {
+  D.NumNodes = G.numNodes();
+  D.NumEdges = G.numEdges();
+  D.Edges = G.sortedEdges();
+}
+
+DesignResult analyzeOne(const BatchInput &In, const BatchOptions &Opts) {
+  AnalysisSession S =
+      In.Source ? AnalysisSession::fromSource(In.Name, *In.Source,
+                                              Opts.Session)
+                : AnalysisSession::fromFile(In.Name, Opts.Session);
+  DesignResult D;
+  D.Name = In.Name;
+
+  const ElaboratedProgram *P = S.program();
+  if (P) {
+    D.NumProcesses = P->Processes.size();
+    D.NumSignals = P->Signals.size();
+    D.NumVariables = P->Variables.size();
+    switch (Opts.Mode) {
+    case BatchMode::Check:
+      D.Ok = true;
+      break;
+    case BatchMode::Flows:
+      switch (Opts.Method) {
+      case FlowMethod::Native:
+        if (const IFAResult *R = S.ifa()) {
+          recordGraph(D, R->Graph);
+          D.Ok = true;
+        }
+        break;
+      case FlowMethod::Kemmerer:
+        if (const KemmererResult *K = S.kemmerer()) {
+          recordGraph(D, K->Graph);
+          D.Ok = true;
+        }
+        break;
+      case FlowMethod::Alfp:
+        if (const AlfpClosureResult *A = S.alfp()) {
+          if (A->Solved) {
+            recordGraph(D, extractFlowGraph(A->RMgl, *P));
+            D.Ok = true;
+          } else {
+            D.Diagnostics = "alfp error: " + A->Error + "\n";
+          }
+        }
+        break;
+      }
+      break;
+    case BatchMode::Matrices:
+      if (const IFAResult *R = S.ifa()) {
+        D.RMloEntries = R->RMlo.size();
+        D.RMglEntries = R->RMgl.size();
+        if (Opts.CaptureRenderedText) {
+          std::ostringstream Lo, Gl;
+          R->RMlo.print(Lo, *P);
+          R->RMgl.print(Gl, *P);
+          D.RMloText = Lo.str();
+          D.RMglText = Gl.str();
+        }
+        D.Ok = true;
+      }
+      break;
+    case BatchMode::Report:
+      if (const IFAResult *R = S.ifa()) {
+        recordGraph(D, R->Graph);
+        D.Violations = checkFlowPolicy(R->Graph, Opts.Policy);
+        if (Opts.CaptureRenderedText) {
+          ReportOptions RepOpts;
+          RepOpts.Policy = Opts.Policy;
+          RepOpts.Violations = &D.Violations;
+          D.ReportText = auditReport(*P, *R, RepOpts);
+        }
+        D.Ok = true;
+      }
+      break;
+    }
+  } else {
+    D.Unreadable = S.unreadable();
+  }
+
+  // Diagnostics accompany both failures (errors) and successes (warnings,
+  // notes); unreadable inputs have none, so synthesize one line.
+  D.Diagnostics += S.diagnostics().str();
+  if (D.Unreadable)
+    D.Diagnostics += "error: cannot read '" + D.Name + "'\n";
+  D.Timings = S.timings();
+  return D;
+}
+
+} // namespace
+
+BatchResult vif::driver::runBatch(const std::vector<BatchInput> &Inputs,
+                                  const BatchOptions &Opts) {
+  auto Start = std::chrono::steady_clock::now();
+  BatchResult R;
+  R.Designs.resize(Inputs.size());
+
+  size_t N = Inputs.size();
+  unsigned HW = std::thread::hardware_concurrency();
+  unsigned Jobs = Opts.Jobs ? Opts.Jobs : std::min(HW ? HW : 1u, 8u);
+  Jobs = static_cast<unsigned>(std::min<size_t>(Jobs, N));
+  // Stdin is a single stream: several "-" inputs racing to drain it from
+  // different workers would split it nondeterministically, so serialize.
+  size_t StdinInputs = 0;
+  for (const BatchInput &In : Inputs)
+    if (!In.Source && In.Name == "-")
+      ++StdinInputs;
+  if (StdinInputs > 1)
+    Jobs = 1;
+
+  if (Jobs <= 1) {
+    for (size_t I = 0; I < N; ++I)
+      R.Designs[I] = analyzeOne(Inputs[I], Opts);
+  } else {
+    std::atomic<size_t> Next{0};
+    auto Worker = [&] {
+      for (size_t I = Next.fetch_add(1); I < N; I = Next.fetch_add(1))
+        R.Designs[I] = analyzeOne(Inputs[I], Opts);
+    };
+    std::vector<std::thread> Pool;
+    Pool.reserve(Jobs);
+    for (unsigned T = 0; T < Jobs; ++T)
+      Pool.emplace_back(Worker);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  for (const DesignResult &D : R.Designs) {
+    (D.Ok ? R.NumOk : R.NumFailed) += 1;
+    R.NumViolations += D.Violations.size();
+  }
+  R.WallMs = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - Start)
+                 .count();
+  return R;
+}
+
+void vif::driver::printBatchText(std::ostream &OS, const BatchResult &R,
+                                 const BatchOptions &Opts) {
+  for (const DesignResult &D : R.Designs) {
+    OS << "== " << D.Name << ": " << (D.Ok ? "ok" : "FAILED") << '\n';
+    if (!D.Diagnostics.empty())
+      OS << D.Diagnostics;
+    if (!D.Ok)
+      continue;
+    OS << D.NumProcesses << " process(es), " << D.NumSignals
+       << " signal(s), " << D.NumVariables << " variable(s)\n";
+    switch (Opts.Mode) {
+    case BatchMode::Check:
+      break;
+    case BatchMode::Flows:
+      OS << D.NumNodes << " node(s), " << D.NumEdges << " edge(s)\n";
+      for (const auto &[From, To] : D.Edges)
+        OS << From << " -> " << To << '\n';
+      break;
+    case BatchMode::Matrices:
+      OS << "== RMlo (" << D.RMloEntries << " entries)\n" << D.RMloText;
+      OS << "== RMgl (" << D.RMglEntries << " entries)\n" << D.RMglText;
+      break;
+    case BatchMode::Report:
+      OS << D.ReportText;
+      break;
+    }
+  }
+  OS << "--\n"
+     << R.Designs.size() << " design(s): " << R.NumOk << " ok, "
+     << R.NumFailed << " failed";
+  if (Opts.Mode == BatchMode::Report)
+    OS << ", " << R.NumViolations << " policy violation(s)";
+  OS << "; " << R.WallMs << " ms\n";
+}
+
+void vif::driver::printBatchJson(std::ostream &OS, const BatchResult &R,
+                                 const BatchOptions &Opts) {
+  JsonWriter J(OS);
+  J.beginObject();
+  J.member("command", batchModeName(Opts.Mode));
+  if (Opts.Mode == BatchMode::Flows)
+    J.member("method", flowMethodName(Opts.Method));
+
+  J.key("designs");
+  J.beginArray();
+  for (const DesignResult &D : R.Designs) {
+    J.beginObject();
+    J.member("file", D.Name);
+    J.member("status", D.Ok ? "ok" : "error");
+    if (D.Unreadable)
+      J.member("unreadable", true);
+    if (!D.Diagnostics.empty())
+      J.member("diagnostics", D.Diagnostics);
+    if (D.Ok) {
+      J.member("processes", D.NumProcesses);
+      J.member("signals", D.NumSignals);
+      J.member("variables", D.NumVariables);
+    }
+    if (D.Ok &&
+        (Opts.Mode == BatchMode::Flows || Opts.Mode == BatchMode::Report)) {
+      J.key("graph");
+      J.beginObject();
+      J.member("nodes", D.NumNodes);
+      J.member("edges", D.NumEdges);
+      J.key("edgeList");
+      J.beginArray();
+      for (const auto &[From, To] : D.Edges) {
+        J.beginObject();
+        J.member("from", From);
+        J.member("to", To);
+        J.endObject();
+      }
+      J.endArray();
+      J.endObject();
+    }
+    if (D.Ok && Opts.Mode == BatchMode::Matrices) {
+      J.key("matrices");
+      J.beginObject();
+      J.member("rmlo", D.RMloEntries);
+      J.member("rmgl", D.RMglEntries);
+      J.endObject();
+    }
+    if (D.Ok && Opts.Mode == BatchMode::Report) {
+      J.key("violations");
+      J.beginArray();
+      for (const PolicyViolation &V : D.Violations) {
+        J.beginObject();
+        J.member("from", V.From);
+        J.member("to", V.To);
+        J.member("viaPath", V.ViaPath);
+        J.endObject();
+      }
+      J.endArray();
+    }
+    J.key("timings");
+    J.beginObject();
+    J.member("readMs", D.Timings.ReadMs);
+    J.member("parseMs", D.Timings.ParseMs);
+    J.member("elaborateMs", D.Timings.ElaborateMs);
+    J.member("cfgMs", D.Timings.CfgMs);
+    J.member("ifaMs", D.Timings.IfaMs);
+    J.member("kemmererMs", D.Timings.KemmererMs);
+    J.member("alfpMs", D.Timings.AlfpMs);
+    J.member("totalMs", D.Timings.totalMs());
+    J.endObject();
+    J.endObject();
+  }
+  J.endArray();
+
+  J.key("summary");
+  J.beginObject();
+  J.member("designs", R.Designs.size());
+  J.member("ok", R.NumOk);
+  J.member("failed", R.NumFailed);
+  if (Opts.Mode == BatchMode::Report)
+    J.member("violations", R.NumViolations);
+  J.member("wallMs", R.WallMs);
+  J.endObject();
+  J.endObject();
+}

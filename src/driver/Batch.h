@@ -1,0 +1,125 @@
+//===- driver/Batch.h - Multi-design batch analysis -------------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs one AnalysisSession per input design, concurrently over a small
+/// thread pool, and aggregates the per-design outcomes — program shape,
+/// graph sizes, policy verdicts, timings — into deterministic text or
+/// machine-readable JSON. This is the engine behind `vifc`'s multi-FILE /
+/// `--json` operation and the substrate for sweeping whole design suites
+/// the way SEIF's harness sweeps Verilog designs. A broken design never
+/// stops the batch: its diagnostics ride along in its result slot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_DRIVER_BATCH_H
+#define VIF_DRIVER_BATCH_H
+
+#include "driver/AnalysisSession.h"
+#include "ifa/Policy.h"
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vif {
+namespace driver {
+
+/// One batch input: a file path, or an in-memory source labeled \p Name.
+/// A path of "-" reads stdin; at most one input should do so — stdin is a
+/// single stream, so runBatch serializes the whole batch (Jobs = 1) when
+/// several "-" inputs appear, and every "-" after the first sees an empty
+/// stream.
+struct BatchInput {
+  std::string Name;
+  std::optional<std::string> Source;
+};
+
+/// What each design's session computes and reports.
+enum class BatchMode : uint8_t { Check, Flows, Matrices, Report };
+
+const char *batchModeName(BatchMode M);
+
+/// Which closure produces the flow graph in Flows mode.
+enum class FlowMethod : uint8_t { Native, Alfp, Kemmerer };
+
+const char *flowMethodName(FlowMethod M);
+
+struct BatchOptions {
+  BatchMode Mode = BatchMode::Check;
+  FlowMethod Method = FlowMethod::Native;
+  SessionOptions Session;
+  /// Evaluated in Report mode; violations count into the batch summary.
+  FlowPolicy Policy;
+  /// Worker threads; 0 picks min(#designs, #cores, 8).
+  unsigned Jobs = 0;
+  /// Capture the rendered matrix/report texts per design. printBatchText
+  /// needs them; JSON consumers (counts + verdicts only) turn this off so
+  /// large suites don't pay for formatting that is thrown away.
+  bool CaptureRenderedText = true;
+};
+
+/// The outcome of one design, in input order.
+struct DesignResult {
+  std::string Name;
+  bool Ok = false;
+  /// I/O failure reading the input (vs analysis diagnostics).
+  bool Unreadable = false;
+  /// Rendered diagnostics — errors on failure, warnings/notes otherwise.
+  std::string Diagnostics;
+  StageTimings Timings;
+
+  /// Program shape; valid once elaboration succeeded.
+  size_t NumProcesses = 0;
+  size_t NumSignals = 0;
+  size_t NumVariables = 0;
+
+  /// Flows / Report modes: the flow graph and its edge list.
+  size_t NumNodes = 0;
+  size_t NumEdges = 0;
+  std::vector<std::pair<std::string, std::string>> Edges;
+
+  /// Matrices mode: entry counts and the rendered matrices.
+  size_t RMloEntries = 0;
+  size_t RMglEntries = 0;
+  std::string RMloText;
+  std::string RMglText;
+
+  /// Report mode: the audit report and the policy verdicts.
+  std::string ReportText;
+  std::vector<PolicyViolation> Violations;
+};
+
+struct BatchResult {
+  std::vector<DesignResult> Designs;
+  size_t NumOk = 0;
+  size_t NumFailed = 0;
+  size_t NumViolations = 0;
+  /// End-to-end wall time of the batch (not the sum of per-design times).
+  double WallMs = 0;
+
+  bool allOk() const { return NumFailed == 0; }
+};
+
+/// Analyzes every input; failures are recorded, never fatal. Results come
+/// back in input order regardless of scheduling.
+BatchResult runBatch(const std::vector<BatchInput> &Inputs,
+                     const BatchOptions &Opts);
+
+/// Human-readable rendering, one block per design in input order.
+void printBatchText(std::ostream &OS, const BatchResult &R,
+                    const BatchOptions &Opts);
+
+/// One JSON document with a per-design array and a summary object.
+void printBatchJson(std::ostream &OS, const BatchResult &R,
+                    const BatchOptions &Opts);
+
+} // namespace driver
+} // namespace vif
+
+#endif // VIF_DRIVER_BATCH_H

@@ -8,35 +8,99 @@
 
 #include "ifa/LocalDeps.h"
 
-#include <deque>
+#include <algorithm>
+#include <iterator>
+#include <unordered_set>
 
 using namespace vif;
 
 Digraph IFAResult::interfaceGraph() const {
-  return Graph.inducedSubgraph([](const std::string &Name) {
-    // Interface nodes carry the ◦ / • suffix (see Resource::name).
-    auto EndsWith = [&](const char *Suffix) {
-      size_t N = std::string(Suffix).size();
-      return Name.size() >= N && Name.compare(Name.size() - N, N, Suffix) == 0;
-    };
-    return EndsWith("◦") || EndsWith("•");
-  });
+  // Interface nodes carry the ◦ / • suffix (see Resource::name).
+  return Graph.inducedSubgraph(
+      [](const std::string &Name) { return hasInterfaceMark(Name); });
+}
+
+namespace {
+
+/// Dense raw-resource-id -> graph-node-id table: one slot per (kind, id)
+/// pair the program can name. Each node's name is materialized exactly
+/// once, on first sighting; edges then flow as id pairs.
+class FlowNodeTable {
+public:
+  FlowNodeTable(const ElaboratedProgram &Program, Digraph &G)
+      : Program(Program), G(G),
+        Stride(std::max(Program.Variables.size(), Program.Signals.size())),
+        Ids(Stride * 6, NoNode) {
+    // Plain resources dominate the node set; decorated ◦/• nodes are the
+    // overshoot the vector absorbs.
+    G.reserveNodes(Program.Variables.size() + Program.Signals.size());
+  }
+
+  Digraph::NodeId nodeOf(uint32_t Raw) {
+    Digraph::NodeId &Id = Ids[(Raw >> 28) * Stride + (Raw & 0x0fffffff)];
+    if (Id == NoNode)
+      Id = G.addNode(Resource::fromRaw(Raw).name(Program));
+    return Id;
+  }
+
+private:
+  static constexpr Digraph::NodeId NoNode = ~Digraph::NodeId(0);
+  const ElaboratedProgram &Program;
+  Digraph &G;
+  size_t Stride;
+  std::vector<Digraph::NodeId> Ids;
+};
+
+} // namespace
+
+Digraph vif::extractFlowGraph(const LabelIndexedRM &RM,
+                              const ElaboratedProgram &Program) {
+  Digraph G;
+  FlowNodeTable Nodes(Program, G);
+  std::vector<std::pair<Digraph::NodeId, Digraph::NodeId>> EdgeList;
+  for (LabelId L = InitialLabel; L <= RM.maxLabel(); ++L) {
+    const std::vector<uint32_t> &Reads = RM.at(L, Access::R0);
+    if (Reads.empty())
+      continue;
+    for (Access MA : {Access::M0, Access::M1})
+      for (uint32_t M : RM.at(L, MA)) {
+        Digraph::NodeId To = Nodes.nodeOf(M);
+        for (uint32_t R : Reads)
+          EdgeList.emplace_back(Nodes.nodeOf(R), To);
+      }
+  }
+  G.addEdges(std::move(EdgeList));
+  return G;
 }
 
 Digraph vif::extractFlowGraph(const ResourceMatrix &RM,
                               const ElaboratedProgram &Program) {
+  // One pass over the ordered entry set: per label, the M0/M1 range comes
+  // first and is buffered, then each R0 entry fans out. No per-label
+  // vectors are allocated and no names are built per edge.
   Digraph G;
-  for (LabelId L : RM.labels()) {
-    std::vector<Resource> Reads = RM.resourcesAt(L, Access::R0);
-    if (Reads.empty())
-      continue;
-    std::vector<Resource> Mods = RM.resourcesAt(L, Access::M0);
-    std::vector<Resource> M1 = RM.resourcesAt(L, Access::M1);
-    Mods.insert(Mods.end(), M1.begin(), M1.end());
-    for (Resource M : Mods)
-      for (Resource R : Reads)
-        G.addEdge(R.name(Program), M.name(Program));
+  FlowNodeTable Nodes(Program, G);
+  std::vector<std::pair<Digraph::NodeId, Digraph::NodeId>> EdgeList;
+  std::vector<uint32_t> Mods; // scratch, reused across labels
+  for (auto It = RM.begin(), End = RM.end(); It != End;) {
+    LabelId L = It->L;
+    Mods.clear();
+    for (; It != End && It->L == L &&
+           (It->A == Access::M0 || It->A == Access::M1);
+         ++It)
+      Mods.push_back(It->N.raw());
+    for (; It != End && It->L == L && It->A == Access::R0; ++It) {
+      if (Mods.empty())
+        continue;
+      Digraph::NodeId From = Nodes.nodeOf(It->N.raw());
+      for (uint32_t M : Mods)
+        EdgeList.emplace_back(From, Nodes.nodeOf(M));
+    }
+    for (; It != End && It->L == L; ++It) {
+      // Skip the R1 range; synchronization reads don't induce edges here.
+    }
   }
+  G.addEdges(std::move(EdgeList));
   return G;
 }
 
@@ -44,19 +108,25 @@ namespace {
 
 /// Builds the static copy graph described in the header: an edge
 /// (Src -> Dst) means every (n, Src, R0) entry of RMgl induces
-/// (n, Dst, R0).
+/// (n, Dst, R0). Adjacency is a dense vector indexed by source label;
+/// duplicate detection is a hash probe on the packed edge.
 struct CopyGraph {
   /// Adjacency: for each source label, the labels it feeds.
-  std::map<LabelId, std::vector<LabelId>> Succs;
+  std::vector<std::vector<LabelId>> Succs;
+  std::unordered_set<uint64_t> Present;
 
   void addEdge(LabelId Src, LabelId Dst) {
     if (Src == Dst)
       return;
-    std::vector<LabelId> &V = Succs[Src];
-    for (LabelId Existing : V)
-      if (Existing == Dst)
-        return;
-    V.push_back(Dst);
+    if (!Present.insert((static_cast<uint64_t>(Src) << 32) | Dst).second)
+      return;
+    if (Succs.size() <= Src)
+      Succs.resize(static_cast<size_t>(Src) + 1);
+    Succs[Src].push_back(Dst);
+  }
+
+  bool hasSuccs(LabelId Src) const {
+    return Src < Succs.size() && !Succs[Src].empty();
   }
 };
 
@@ -194,46 +264,55 @@ IFAResult vif::analyzeInformationFlow(const ElaboratedProgram &Program,
   }
 
   // Fixpoint: propagate R0 sets along the copy graph. Since each edge
-  // copies the entire R0 set, this is a union-dataflow over labels.
-  std::map<LabelId, std::set<Resource>> R0;
+  // copies the entire R0 set, this is a union-dataflow over labels, run
+  // over dense label-indexed vectors of sorted raw resource ids (no
+  // per-iteration map lookups, no Resource sets).
+  LabelId MaxLabel = NextLabel - 1;
+  std::vector<std::vector<uint32_t>> R0(static_cast<size_t>(MaxLabel) + 1);
   for (const RMEntry &E : R.RMgl)
     if (E.A == Access::R0)
-      R0[E.L].insert(E.N);
+      // Entry order is (label, access, resource), so each R0[L] fills
+      // ascending and stays a sorted set.
+      R0[E.L].push_back(E.N.raw());
 
-  std::deque<LabelId> Work;
-  std::set<LabelId> InWork;
-  for (const auto &[Src, _] : Copies.Succs) {
-    Work.push_back(Src);
-    InWork.insert(Src);
-  }
+  std::vector<LabelId> Work;
+  std::vector<char> InWork(static_cast<size_t>(MaxLabel) + 1, 0);
+  for (LabelId Src = 0; Src < Copies.Succs.size(); ++Src)
+    if (!Copies.Succs[Src].empty()) {
+      Work.push_back(Src);
+      InWork[Src] = 1;
+    }
+  std::vector<uint32_t> Merged;
   while (!Work.empty()) {
-    LabelId Src = Work.front();
-    Work.pop_front();
-    InWork.erase(Src);
-    auto SrcIt = R0.find(Src);
-    if (SrcIt == R0.end() || SrcIt->second.empty())
+    LabelId Src = Work.back();
+    Work.pop_back();
+    InWork[Src] = 0;
+    const std::vector<uint32_t> &SrcSet = R0[Src];
+    if (SrcSet.empty())
       continue;
-    auto SuccIt = Copies.Succs.find(Src);
-    if (SuccIt == Copies.Succs.end())
-      continue;
-    for (LabelId Dst : SuccIt->second) {
-      std::set<Resource> &DstSet = R0[Dst];
-      size_t Before = DstSet.size();
-      DstSet.insert(SrcIt->second.begin(), SrcIt->second.end());
-      if (DstSet.size() != Before && !InWork.count(Dst) &&
-          Copies.Succs.count(Dst)) {
+    for (LabelId Dst : Copies.Succs[Src]) {
+      std::vector<uint32_t> &DstSet = R0[Dst];
+      Merged.clear();
+      std::set_union(DstSet.begin(), DstSet.end(), SrcSet.begin(),
+                     SrcSet.end(), std::back_inserter(Merged));
+      if (Merged.size() == DstSet.size())
+        continue;
+      DstSet.swap(Merged);
+      if (!InWork[Dst] && Copies.hasSuccs(Dst)) {
         Work.push_back(Dst);
-        InWork.insert(Dst);
+        InWork[Dst] = 1;
       }
     }
   }
 
-  for (const auto &[L, Set] : R0)
-    for (Resource N : Set)
-      R.RMgl.insert(N, L, Access::R0);
+  for (LabelId L = 0; L <= MaxLabel; ++L)
+    for (uint32_t Raw : R0[L])
+      R.RMgl.insert(Resource::fromRaw(Raw), L, Access::R0);
 
-  // Graph extraction.
-  R.Graph = extractFlowGraph(R.RMgl, Program);
+  // Graph extraction, through the label-indexed view: the post-closure
+  // RMgl is the largest matrix in the pipeline, so indexed (label, access)
+  // ranges amortize best here.
+  R.Graph = extractFlowGraph(LabelIndexedRM(R.RMgl), Program);
 
   // Ensure every resource appears as a node even when isolated, matching
   // the paper's figures which show unconnected nodes.

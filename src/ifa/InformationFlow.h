@@ -94,7 +94,11 @@ IFAResult analyzeInformationFlow(const ElaboratedProgram &Program,
 
 /// Extracts flow edges from a resource matrix: r -> m for every label with
 /// both (m, l, M0/M1) and (r, l, R0). Shared by this analysis and the
-/// Kemmerer baseline so that the two differ only in their closure.
+/// Kemmerer baseline so that the two differ only in their closure. Works
+/// id-based over a label-indexed view: node names are materialized once
+/// per node, never per edge, and edges are bulk-inserted as id pairs.
+Digraph extractFlowGraph(const LabelIndexedRM &RM,
+                         const ElaboratedProgram &Program);
 Digraph extractFlowGraph(const ResourceMatrix &RM,
                          const ElaboratedProgram &Program);
 

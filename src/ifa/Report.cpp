@@ -105,14 +105,18 @@ void vif::writeAuditReport(std::ostream &OS,
   }
 
   if (!Opts.Policy.Forbidden.empty()) {
-    std::vector<PolicyViolation> Violations =
-        checkFlowPolicy(G, Opts.Policy);
+    std::vector<PolicyViolation> Computed;
+    const std::vector<PolicyViolation> *Violations = Opts.Violations;
+    if (!Violations) {
+      Computed = checkFlowPolicy(G, Opts.Policy);
+      Violations = &Computed;
+    }
     OS << "\n-- policy: " << Opts.Policy.Forbidden.size()
-       << " forbidden flow(s), " << Violations.size() << " violation(s)\n";
+       << " forbidden flow(s), " << Violations->size() << " violation(s)\n";
     for (const FlowPolicy::Rule &R : Opts.Policy.Forbidden) {
       bool Violated = false;
       bool ViaPath = false;
-      for (const PolicyViolation &V : Violations)
+      for (const PolicyViolation &V : *Violations)
         if (V.From == R.From && V.To == R.To) {
           Violated = true;
           ViaPath = V.ViaPath;
@@ -124,8 +128,8 @@ void vif::writeAuditReport(std::ostream &OS,
       OS << '\n';
     }
     OS << "verdict: "
-       << (Violations.empty() ? "PASS — all flows permissible"
-                              : "FAIL — impermissible flows present")
+       << (Violations->empty() ? "PASS — all flows permissible"
+                               : "FAIL — impermissible flows present")
        << '\n';
   }
 }

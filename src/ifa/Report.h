@@ -28,6 +28,11 @@ struct ReportOptions {
   bool ListEdges = true;
   /// Policy to evaluate; empty policy sections are omitted.
   FlowPolicy Policy;
+  /// Precomputed checkFlowPolicy(Graph, Policy) result to render. When
+  /// null the report evaluates the policy itself; callers that already
+  /// hold the verdicts (batch runner, exit-code logic) pass them in so
+  /// the reachability scan runs once.
+  const std::vector<PolicyViolation> *Violations = nullptr;
 };
 
 /// Writes the audit report for \p Result to \p OS.

@@ -6,6 +6,7 @@
 
 #include "ifa/ResourceMatrix.h"
 
+#include <iterator>
 #include <ostream>
 
 using namespace vif;
@@ -38,6 +39,20 @@ std::vector<LabelId> ResourceMatrix::labels() const {
     if (Result.empty() || Result.back() != E.L)
       Result.push_back(E.L);
   return Result;
+}
+
+const std::vector<uint32_t> LabelIndexedRM::Empty;
+
+LabelIndexedRM::LabelIndexedRM(const ResourceMatrix &RM) {
+  if (RM.empty())
+    return;
+  // Entries are ordered (label, access, resource), so the last entry has
+  // the largest label and each slot fills in ascending resource order.
+  MaxLabel = std::prev(RM.end())->L;
+  Slots.resize((static_cast<size_t>(MaxLabel) + 1) * 4);
+  for (const RMEntry &E : RM)
+    Slots[static_cast<size_t>(E.L) * 4 + static_cast<size_t>(E.A)].push_back(
+        E.N.raw());
 }
 
 void ResourceMatrix::print(std::ostream &OS,

@@ -83,6 +83,33 @@ private:
   std::set<RMEntry> Entries;
 };
 
+/// A dense, label-indexed view over a matrix (the "RMgl view"): for each
+/// (label, access) pair, the raw() ids of the resources, ascending. Built
+/// in one pass over the ordered entry set; the closure fixpoint and the
+/// flow-graph extraction index it directly instead of re-scanning the set
+/// per label, and keep resources as raw ids so node names are materialized
+/// at most once, never per edge.
+class LabelIndexedRM {
+public:
+  explicit LabelIndexedRM(const ResourceMatrix &RM);
+
+  /// The largest label with an entry (0 for an empty matrix).
+  LabelId maxLabel() const { return MaxLabel; }
+
+  /// Raw ids of resources with an (n, l, A) entry, ascending; empty when
+  /// the label carries none.
+  const std::vector<uint32_t> &at(LabelId L, Access A) const {
+    size_t Slot = static_cast<size_t>(L) * 4 + static_cast<size_t>(A);
+    return Slot < Slots.size() ? Slots[Slot] : Empty;
+  }
+
+private:
+  LabelId MaxLabel = InitialLabel;
+  /// Slots[L * 4 + A], L in [0, MaxLabel].
+  std::vector<std::vector<uint32_t>> Slots;
+  static const std::vector<uint32_t> Empty;
+};
+
 } // namespace vif
 
 #endif // VIF_IFA_RESOURCEMATRIX_H

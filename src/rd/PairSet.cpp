@@ -20,6 +20,22 @@ std::string Resource::name(const ElaboratedProgram &Program) const {
   return Base;
 }
 
+static bool endsWith(std::string_view S, std::string_view Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.compare(S.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
+}
+
+bool vif::hasInterfaceMark(std::string_view Name) {
+  return endsWith(Name, "◦") || endsWith(Name, "•");
+}
+
+std::string_view vif::stripInterfaceMark(std::string_view Name) {
+  for (std::string_view Mark : {std::string_view("◦"), std::string_view("•")})
+    if (endsWith(Name, Mark))
+      return Name.substr(0, Name.size() - Mark.size());
+  return Name;
+}
+
 bool PairSet::insert(DefPair P) {
   auto It = std::lower_bound(Pairs.begin(), Pairs.end(), P);
   if (It != Pairs.end() && *It == P)

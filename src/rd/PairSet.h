@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace vif {
@@ -44,6 +45,15 @@ public:
 
   static Resource variable(unsigned Id) { return Resource(Kind::Variable, Id); }
   static Resource signal(unsigned Id) { return Resource(Kind::Signal, Id); }
+
+  /// Rebuilds a resource from its raw() encoding. The closure and graph
+  /// extraction hot paths carry resources as raw ids in dense vectors and
+  /// only round-trip to Resource when materializing names.
+  static Resource fromRaw(uint32_t Bits) {
+    Resource R;
+    R.Bits = Bits;
+    return R;
+  }
 
   static Resource fromRef(ObjectRef Ref) {
     assert(Ref.isResolved() && "resource from unresolved reference");
@@ -99,6 +109,15 @@ private:
 
   uint32_t Bits;
 };
+
+/// True if \p Name ends in the ◦ / • interface mark that Resource::name
+/// appends for incoming/outgoing decorations. Shared by every consumer
+/// that filters or merges interface nodes by name (graph restriction,
+/// figure presentation) so no caller re-derives the suffix lengths.
+bool hasInterfaceMark(std::string_view Name);
+
+/// \p Name with one trailing ◦ / • mark removed (unchanged when unmarked).
+std::string_view stripInterfaceMark(std::string_view Name);
 
 /// One reaching definition: resource n was (maybe) last defined at label l;
 /// l == InitialLabel is the paper's (n, ?).

@@ -31,6 +31,25 @@ void Digraph::addEdge(NodeId From, NodeId To) {
   Edges.insert({From, To});
 }
 
+void Digraph::addEdges(std::vector<std::pair<NodeId, NodeId>> EdgeList) {
+  std::sort(EdgeList.begin(), EdgeList.end());
+  EdgeList.erase(std::unique(EdgeList.begin(), EdgeList.end()),
+                 EdgeList.end());
+#ifndef NDEBUG
+  for (const auto &[From, To] : EdgeList)
+    assert(From < Names.size() && To < Names.size() &&
+           "edge endpoint unknown");
+#endif
+  // The list is now strictly ascending in the set's own order, so the
+  // range insert degenerates to an ordered merge.
+  Edges.insert(EdgeList.begin(), EdgeList.end());
+}
+
+void Digraph::reserveNodes(size_t N) {
+  Names.reserve(N);
+  Ids.reserve(N);
+}
+
 bool Digraph::hasNode(const std::string &Name) const {
   return Ids.count(Name) != 0;
 }

@@ -45,6 +45,15 @@ public:
   void addEdge(const std::string &From, const std::string &To);
   void addEdge(NodeId From, NodeId To);
 
+  /// Bulk-inserts edges given as id pairs over existing nodes. The list is
+  /// sorted and deduplicated internally, so callers — in particular the
+  /// id-based flow-graph extraction — can append pairs freely and hand
+  /// them over in one O(E log E) pass instead of E ordered-set insertions.
+  void addEdges(std::vector<std::pair<NodeId, NodeId>> EdgeList);
+
+  /// Pre-sizes the name table and index for \p N expected nodes.
+  void reserveNodes(size_t N);
+
   bool hasNode(const std::string &Name) const;
   bool hasEdge(const std::string &From, const std::string &To) const;
   bool hasEdge(NodeId From, NodeId To) const;

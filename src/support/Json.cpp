@@ -1,0 +1,134 @@
+//===- support/Json.cpp ---------------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+using namespace vif;
+
+std::string vif::jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+void JsonWriter::indent() {
+  for (size_t I = 0, E = Stack.size() * IndentWidth; I < E; ++I)
+    OS << ' ';
+}
+
+void JsonWriter::prefix() {
+  if (AfterKey) {
+    AfterKey = false;
+    return;
+  }
+  if (Stack.empty())
+    return;
+  if (Stack.back() != 0)
+    OS << ',';
+  OS << '\n';
+  indent();
+  ++Stack.back();
+}
+
+void JsonWriter::open(char C) {
+  prefix();
+  OS << C;
+  Stack.push_back(0);
+}
+
+void JsonWriter::close(char C) {
+  assert(!Stack.empty() && "unbalanced JSON container");
+  bool HadElements = Stack.back() != 0;
+  Stack.pop_back();
+  if (HadElements) {
+    OS << '\n';
+    indent();
+  }
+  OS << C;
+  if (Stack.empty())
+    OS << '\n';
+}
+
+void JsonWriter::key(std::string_view K) {
+  assert(!AfterKey && "key without a value");
+  prefix();
+  OS << '"' << jsonEscape(K) << "\": ";
+  AfterKey = true;
+}
+
+void JsonWriter::value(std::string_view V) {
+  prefix();
+  OS << '"' << jsonEscape(V) << '"';
+}
+
+void JsonWriter::value(bool V) {
+  prefix();
+  OS << (V ? "true" : "false");
+}
+
+void JsonWriter::value(double V) {
+  prefix();
+  if (!std::isfinite(V)) {
+    OS << "null"; // JSON has no Inf/NaN
+    return;
+  }
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  OS << Buf;
+}
+
+void JsonWriter::value(long long V) {
+  prefix();
+  OS << V;
+}
+
+void JsonWriter::value(unsigned long long V) {
+  prefix();
+  OS << V;
+}
+
+void JsonWriter::null() {
+  prefix();
+  OS << "null";
+}

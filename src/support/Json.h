@@ -1,0 +1,90 @@
+//===- support/Json.h - Streaming JSON writer -------------------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal streaming JSON writer for machine-readable tool output (the
+/// driver layer's batch reports, `vifc --json`). No external dependency,
+/// no DOM: values are emitted directly to an ostream, with the writer
+/// tracking nesting so commas, newlines and indentation come out right.
+/// Strings are escaped per RFC 8259; non-ASCII bytes pass through verbatim
+/// (the repo's node names carry UTF-8 ◦/• marks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_SUPPORT_JSON_H
+#define VIF_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vif {
+
+/// Escapes \p S for inclusion in a double-quoted JSON string (quotes not
+/// included).
+std::string jsonEscape(std::string_view S);
+
+/// Writes one JSON document. Usage:
+///
+///   JsonWriter J(OS);
+///   J.beginObject();
+///   J.key("designs"); J.beginArray(); ... J.endArray();
+///   J.endObject();   // emits the final newline
+class JsonWriter {
+public:
+  explicit JsonWriter(std::ostream &OS, unsigned IndentWidth = 2)
+      : OS(OS), IndentWidth(IndentWidth) {}
+
+  void beginObject() { open('{'); }
+  void endObject() { close('}'); }
+  void beginArray() { open('['); }
+  void endArray() { close(']'); }
+
+  /// Emits the key of the next object member.
+  void key(std::string_view K);
+
+  void value(std::string_view V);
+  void value(const char *V) { value(std::string_view(V)); }
+  void value(const std::string &V) { value(std::string_view(V)); }
+  void value(bool V);
+  void value(double V);
+  // One overload per standard integer width so size_t/uint64_t/unsigned
+  // all resolve exactly on every platform (size_t is unsigned long on
+  // LP64 Linux but maps differently elsewhere).
+  void value(long long V);
+  void value(unsigned long long V);
+  void value(long V) { value(static_cast<long long>(V)); }
+  void value(unsigned long V) { value(static_cast<unsigned long long>(V)); }
+  void value(int V) { value(static_cast<long long>(V)); }
+  void value(unsigned V) { value(static_cast<unsigned long long>(V)); }
+  void null();
+
+  /// key() + value() in one call.
+  template <typename T> void member(std::string_view K, const T &V) {
+    key(K);
+    value(V);
+  }
+
+private:
+  void open(char C);
+  void close(char C);
+  /// Emits the separator/indentation due before the next value.
+  void prefix();
+  void indent();
+
+  std::ostream &OS;
+  unsigned IndentWidth;
+  /// One entry per open container: the number of elements emitted so far.
+  std::vector<size_t> Stack;
+  /// True right after key(): the next value sits on the same line.
+  bool AfterKey = false;
+};
+
+} // namespace vif
+
+#endif // VIF_SUPPORT_JSON_H

@@ -1,8 +1,10 @@
-# CLI smoke test: exercise the built vifc binary end-to-end on a real VHDL
-# design. Invoked by ctest as
-#   cmake -DVIFC=<path> -DINPUT=<smoke.vhd> -P cli_smoke.cmake
-# Fails (FATAL_ERROR) if any subcommand exits non-zero or the flows output
-# lacks the expected implicit-flow edge sel -> q.
+# CLI smoke test: exercise the built vifc binary end-to-end on real VHDL
+# designs. Invoked by ctest as
+#   cmake -DVIFC=<path> -DINPUT=<smoke.vhd> -DINPUT2=<smoke2.vhd>
+#         -DBADINPUT=<broken.vhd> -P cli_smoke.cmake
+# Fails (FATAL_ERROR) if any subcommand misbehaves: wrong exit code,
+# missing implicit-flow edge, broken --json/batch output, or argument
+# errors that don't produce the usage exit code.
 
 function(run_vifc out_var)
   execute_process(COMMAND ${VIFC} ${ARGN} ${INPUT}
@@ -15,6 +17,19 @@ function(run_vifc out_var)
   set(${out_var} "${out}" PARENT_SCOPE)
 endfunction()
 
+# Expects rc == ${rc_want}; stdout+stderr are returned in ${out_var}.
+function(run_vifc_rc out_var rc_want)
+  execute_process(COMMAND ${VIFC} ${ARGN}
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL ${rc_want})
+    message(FATAL_ERROR
+            "vifc ${ARGN}: expected rc=${rc_want}, got rc=${rc}:\n${out}\n${err}")
+  endif()
+  set(${out_var} "${out}${err}" PARENT_SCOPE)
+endfunction()
+
 run_vifc(check_out check)
 run_vifc(flows_out flows)
 run_vifc(rm_out rm)
@@ -23,4 +38,39 @@ run_vifc(sim_out sim)
 if(NOT flows_out MATCHES "sel[ \t]*->[ \t]*q")
   message(FATAL_ERROR "vifc flows did not report the implicit flow sel -> q:\n${flows_out}")
 endif()
+
+# --json on a single file: machine-readable, status ok, same implicit flow.
+run_vifc(json_out flows --json)
+if(NOT json_out MATCHES [["status": "ok"]] OR NOT json_out MATCHES [["from": "sel"]])
+  message(FATAL_ERROR "vifc flows --json output malformed:\n${json_out}")
+endif()
+
+# Multi-FILE batch: both designs analyzed, summary says 2 ok.
+run_vifc_rc(batch_out 0 check --json ${INPUT} ${INPUT2})
+if(NOT batch_out MATCHES [["ok": 2]])
+  message(FATAL_ERROR "vifc batch over two designs did not report 2 ok:\n${batch_out}")
+endif()
+
+# A broken design must not stop the batch: the good design still reports
+# ok, the broken one reports error, and the exit code flags the failure.
+run_vifc_rc(mixed_out 1 flows --json ${INPUT} ${BADINPUT})
+if(NOT mixed_out MATCHES [["status": "ok"]] OR NOT mixed_out MATCHES [["status": "error"]])
+  message(FATAL_ERROR "vifc batch did not keep going past a broken design:\n${mixed_out}")
+endif()
+
+# Argument errors: a malformed --deltas value and a trailing value-taking
+# option must diagnose and return the usage exit code (2), not abort.
+run_vifc_rc(deltas_out 2 sim --deltas abc ${INPUT})
+if(NOT deltas_out MATCHES "expects a non-negative integer")
+  message(FATAL_ERROR "vifc --deltas abc did not diagnose:\n${deltas_out}")
+endif()
+run_vifc_rc(trailing_out 2 sim ${INPUT} --deltas)
+if(NOT trailing_out MATCHES "requires a value")
+  message(FATAL_ERROR "vifc trailing --deltas did not diagnose:\n${trailing_out}")
+endif()
+run_vifc_rc(stdin_out 2 check - -)
+if(NOT stdin_out MATCHES "at most once")
+  message(FATAL_ERROR "vifc did not reject duplicate stdin inputs:\n${stdin_out}")
+endif()
+
 message(STATUS "vifc CLI smoke test passed")

@@ -32,6 +32,20 @@ TEST(Digraph, NodesAndEdges) {
   EXPECT_FALSE(G.hasNode("d"));
 }
 
+TEST(Digraph, BulkEdgeInsertDeduplicatesAndMerges) {
+  Digraph G;
+  Digraph::NodeId A = G.addNode("a");
+  Digraph::NodeId B = G.addNode("b");
+  Digraph::NodeId C = G.addNode("c");
+  G.addEdge(A, B); // pre-existing edge must survive the bulk merge
+  G.addEdges({{B, C}, {A, B}, {B, C}, {C, A}});
+  EXPECT_EQ(G.numEdges(), 3u);
+  EXPECT_TRUE(G.hasEdge("a", "b"));
+  EXPECT_TRUE(G.hasEdge("b", "c"));
+  EXPECT_TRUE(G.hasEdge("c", "a"));
+  EXPECT_FALSE(G.hasEdge("a", "c"));
+}
+
 TEST(Digraph, DuplicateInsertionIsIdempotent) {
   Digraph G;
   G.addEdge("a", "b");

@@ -409,6 +409,30 @@ TEST(Closure, RMloSubsetOfRMgl) {
         << "[Initialization] rule";
 }
 
+TEST(Closure, LabelIndexedViewMatchesMatrix) {
+  IFAOptions Opts;
+  Opts.Improved = true;
+  Opts.ProgramEndOutgoing = true;
+  Analyzed A = analyzeStmts(
+      "if c then x := a; end if; y := x; s <= y; wait on s; z := s;", Opts);
+  LabelIndexedRM View(A.R.RMgl);
+  // The view is the same relation, label-indexed: every (l, A) range must
+  // reproduce resourcesAt, and extraction through it the same graph.
+  size_t Total = 0;
+  for (LabelId L = 0; L <= View.maxLabel(); ++L)
+    for (Access Acc : {Access::M0, Access::M1, Access::R0, Access::R1}) {
+      std::vector<Resource> FromSet = A.R.RMgl.resourcesAt(L, Acc);
+      const std::vector<uint32_t> &FromView = View.at(L, Acc);
+      ASSERT_EQ(FromView.size(), FromSet.size());
+      for (size_t I = 0; I < FromSet.size(); ++I)
+        EXPECT_EQ(FromView[I], FromSet[I].raw());
+      Total += FromView.size();
+    }
+  EXPECT_EQ(Total, A.R.RMgl.size());
+  EXPECT_TRUE(extractFlowGraph(View, A.Program)
+                  .sameFlows(extractFlowGraph(A.R.RMgl, A.Program)));
+}
+
 TEST(Closure, CopiesAreR0Only) {
   Analyzed A = analyzeStmts("b := a; c := b;");
   // RMgl \ RMlo contains only R0 entries.

@@ -1,0 +1,2 @@
+entity broken is port(d : in std_logic
+-- missing closing paren and everything after it

@@ -1,0 +1,9 @@
+entity reg is port(d : in std_logic; q : out std_logic); end reg;
+architecture rtl of reg is
+begin
+  p : process
+  begin
+    q <= d;
+    wait on d;
+  end process p;
+end rtl;

@@ -8,3 +8,13 @@ BUILD_DIR="${1:-build-ci}"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DVIFC_WERROR=ON
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+# Bench smoke: the perf binaries must keep running end-to-end so they can't
+# silently rot between perf PRs. Committed baselines live in
+# bench/baselines/ (see bench/baselines/README.md for how to regenerate).
+if [ -x "$BUILD_DIR/bench_fig5" ]; then
+  "$BUILD_DIR/bench_fig5" --benchmark_min_time=0.01x >/dev/null
+  echo "bench smoke passed (bench_fig5)"
+else
+  echo "bench_fig5 not built (Google Benchmark absent); skipping bench smoke"
+fi

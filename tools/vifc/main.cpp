@@ -7,24 +7,31 @@
 /// \file
 /// vifc: parse, check, simulate and analyze VHDL1 sources.
 ///
-///   vifc check  [--statements] FILE        parse + elaborate
+///   vifc check  [--statements] FILE...     parse + elaborate
 ///   vifc sim    [--deltas N] FILE          simulate to quiescence
-///   vifc flows  [--improved] [--end-out] [--kemmerer] [--dot] FILE
-///   vifc rm     FILE                       print local and global matrices
+///   vifc flows  [--improved] [--end-out] [--kemmerer] [--dot] FILE...
+///   vifc rm     FILE...                    print local and global matrices
 ///
-/// FILE may be "-" for stdin.
+/// FILE may be "-" for stdin. With several FILEs or --json the command
+/// runs as a batch over the driver layer's thread pool; single-file text
+/// output is byte-identical to the historical format.
+///
+/// Every command is a thin adapter over vifc::driver (AnalysisSession for
+/// one design, Batch for many); the pipeline itself lives in src/driver.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "alfp/AlfpParser.h"
-#include "ifa/AlfpClosure.h"
-#include "ifa/InformationFlow.h"
-#include "ifa/Kemmerer.h"
+#include "driver/AnalysisSession.h"
+#include "driver/Batch.h"
 #include "ifa/Report.h"
-#include "parse/Parser.h"
 #include "sim/Simulator.h"
 #include "sim/VcdWriter.h"
 
+#include <algorithm>
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -32,12 +39,13 @@
 #include <vector>
 
 using namespace vif;
+using driver::AnalysisSession;
 
 namespace {
 
 int usage() {
   std::cerr
-      << "usage: vifc <command> [options] <file|->\n"
+      << "usage: vifc <command> [options] <file|->...\n"
          "commands:\n"
          "  check   parse and elaborate, reporting diagnostics\n"
          "  sim     simulate to quiescence and print final signal values\n"
@@ -57,65 +65,58 @@ int usage() {
          "  --deltas N     delta-cycle budget for sim (default 65536)\n"
          "  --vcd FILE     write a VCD waveform of the simulation\n"
          "  --forbid A,B   (report) forbid the flow A -> B; repeatable;\n"
-         "                 the exit code is 1 when a policy is violated\n";
+         "                 the exit code is 1 when a policy is violated\n"
+         "  --json         emit one JSON document (check/flows/rm/report)\n"
+         "  --jobs N       batch worker threads (default: up to 8)\n"
+         "Several FILEs run as a batch; --json also works on one FILE.\n";
   return 2;
-}
-
-std::string readInput(const std::string &Path, bool &Ok) {
-  Ok = true;
-  if (Path == "-") {
-    std::ostringstream SS;
-    SS << std::cin.rdbuf();
-    return SS.str();
-  }
-  std::ifstream In(Path);
-  if (!In) {
-    Ok = false;
-    return "";
-  }
-  std::ostringstream SS;
-  SS << In.rdbuf();
-  return SS.str();
 }
 
 struct Options {
   std::string Command;
-  std::string File;
+  std::vector<std::string> Files;
   bool Statements = false;
   bool Improved = false;
   bool EndOut = false;
   bool Kemmerer = false;
   bool Alfp = false;
   bool Dot = false;
+  bool Json = false;
   unsigned Deltas = 1u << 16;
+  unsigned Jobs = 0;
+  bool JobsGiven = false;
   std::string VcdPath;
   std::vector<std::pair<std::string, std::string>> Forbidden;
+
+  driver::SessionOptions session() const {
+    driver::SessionOptions S;
+    S.Statements = Statements;
+    S.Ifa.Improved = Improved;
+    S.Ifa.ProgramEndOutgoing = EndOut;
+    return S;
+  }
 };
 
-std::optional<ElaboratedProgram> load(const Options &Opt,
-                                      DiagnosticEngine &Diags) {
-  bool Ok = false;
-  std::string Source = readInput(Opt.File, Ok);
-  if (!Ok) {
-    std::cerr << "error: cannot read '" << Opt.File << "'\n";
-    return std::nullopt;
-  }
-  if (Opt.Statements) {
-    StatementProgram Prog = parseStatementProgram(Source, Diags);
-    if (Diags.hasErrors())
-      return std::nullopt;
-    return elaborateStatements(*Prog.Body, Diags, &Prog.Decls);
-  }
-  DesignFile File = parseDesign(Source, Diags);
-  if (Diags.hasErrors())
-    return std::nullopt;
-  return elaborateDesign(File, Diags);
+/// Prints the session's diagnostics the way the historical CLI did: the
+/// cannot-read message first (if any), then every parse/elaboration
+/// diagnostic.
+void printDiags(AnalysisSession &S) {
+  if (S.unreadable())
+    std::cerr << "error: cannot read '" << S.name() << "'\n";
+  S.diagnostics().print(std::cerr);
+}
+
+/// Loads the single input through the pipeline; nullptr (after printing
+/// diagnostics) on failure.
+const ElaboratedProgram *loadSingle(AnalysisSession &S) {
+  const ElaboratedProgram *P = S.program();
+  printDiags(S);
+  return P;
 }
 
 int cmdCheck(const Options &Opt) {
-  DiagnosticEngine Diags;
-  std::optional<ElaboratedProgram> Program = load(Opt, Diags);
-  Diags.print(std::cerr);
+  AnalysisSession S = AnalysisSession::fromFile(Opt.Files[0], Opt.session());
+  const ElaboratedProgram *Program = loadSingle(S);
   if (!Program)
     return 1;
   std::cout << "ok: " << Program->Processes.size() << " process(es), "
@@ -125,9 +126,8 @@ int cmdCheck(const Options &Opt) {
 }
 
 int cmdSim(const Options &Opt) {
-  DiagnosticEngine Diags;
-  std::optional<ElaboratedProgram> Program = load(Opt, Diags);
-  Diags.print(std::cerr);
+  AnalysisSession S = AnalysisSession::fromFile(Opt.Files[0], Opt.session());
+  const ElaboratedProgram *Program = loadSingle(S);
   if (!Program)
     return 1;
   Simulator::Options SimOpts;
@@ -138,8 +138,8 @@ int cmdSim(const Options &Opt) {
             << Sim.deltasExecuted() << " delta cycle(s)\n";
   if (Status == SimStatus::Stuck)
     std::cout << "reason: " << Sim.stuckReason() << '\n';
-  for (const ElabSignal &S : Program->Signals)
-    std::cout << S.UniqueName << " = " << Sim.presentValue(S.Id).str()
+  for (const ElabSignal &Sig : Program->Signals)
+    std::cout << Sig.UniqueName << " = " << Sim.presentValue(Sig.Id).str()
               << '\n';
   if (!Opt.VcdPath.empty()) {
     if (Opt.VcdPath == "-") {
@@ -157,92 +157,79 @@ int cmdSim(const Options &Opt) {
 }
 
 int cmdFlows(const Options &Opt) {
-  DiagnosticEngine Diags;
-  std::optional<ElaboratedProgram> Program = load(Opt, Diags);
-  Diags.print(std::cerr);
+  AnalysisSession S = AnalysisSession::fromFile(Opt.Files[0], Opt.session());
+  const ElaboratedProgram *Program = loadSingle(S);
   if (!Program)
     return 1;
-  ProgramCFG CFG = ProgramCFG::build(*Program);
 
-  Digraph Graph;
+  const Digraph *Graph = nullptr;
+  Digraph AlfpGraph;
   std::string Title;
   if (Opt.Kemmerer) {
-    Graph = analyzeKemmerer(*Program, CFG).Graph;
+    Graph = &S.kemmerer()->Graph;
     Title = "kemmerer";
-  } else {
-    IFAOptions IfaOpts;
-    IfaOpts.Improved = Opt.Improved;
-    IfaOpts.ProgramEndOutgoing = Opt.EndOut;
-    IFAResult R = analyzeInformationFlow(*Program, CFG, IfaOpts);
-    if (Opt.Alfp) {
-      AlfpClosureResult A = closeWithAlfp(*Program, CFG, R, IfaOpts);
-      if (!A.Solved) {
-        std::cerr << "alfp error: " << A.Error << '\n';
-        return 1;
-      }
-      Graph = extractFlowGraph(A.RMgl, *Program);
-      Title = "flows-alfp";
-    } else {
-      Graph = R.Graph;
-      Title = "flows";
+  } else if (Opt.Alfp) {
+    const AlfpClosureResult *A = S.alfp();
+    if (!A->Solved) {
+      std::cerr << "alfp error: " << A->Error << '\n';
+      return 1;
     }
+    AlfpGraph = extractFlowGraph(A->RMgl, *Program);
+    Graph = &AlfpGraph;
+    Title = "flows-alfp";
+  } else {
+    Graph = &S.ifa()->Graph;
+    Title = "flows";
   }
   if (Opt.Dot) {
-    Graph.printDOT(std::cout, Title);
+    Graph->printDOT(std::cout, Title);
     return 0;
   }
-  std::cout << Graph.numNodes() << " node(s), " << Graph.numEdges()
+  std::cout << Graph->numNodes() << " node(s), " << Graph->numEdges()
             << " edge(s)\n";
-  for (const auto &[From, To] : Graph.sortedEdges())
+  for (const auto &[From, To] : Graph->sortedEdges())
     std::cout << From << " -> " << To << '\n';
   return 0;
 }
 
 int cmdRM(const Options &Opt) {
-  DiagnosticEngine Diags;
-  std::optional<ElaboratedProgram> Program = load(Opt, Diags);
-  Diags.print(std::cerr);
+  AnalysisSession S = AnalysisSession::fromFile(Opt.Files[0], Opt.session());
+  const ElaboratedProgram *Program = loadSingle(S);
   if (!Program)
     return 1;
-  ProgramCFG CFG = ProgramCFG::build(*Program);
-  IFAOptions IfaOpts;
-  IfaOpts.Improved = Opt.Improved;
-  IfaOpts.ProgramEndOutgoing = Opt.EndOut;
-  IFAResult R = analyzeInformationFlow(*Program, CFG, IfaOpts);
-  std::cout << "== RMlo (" << R.RMlo.size() << " entries)\n";
-  R.RMlo.print(std::cout, *Program);
-  std::cout << "== RMgl (" << R.RMgl.size() << " entries)\n";
-  R.RMgl.print(std::cout, *Program);
+  const IFAResult *R = S.ifa();
+  std::cout << "== RMlo (" << R->RMlo.size() << " entries)\n";
+  R->RMlo.print(std::cout, *Program);
+  std::cout << "== RMgl (" << R->RMgl.size() << " entries)\n";
+  R->RMgl.print(std::cout, *Program);
   return 0;
 }
 
 int cmdReport(const Options &Opt) {
-  DiagnosticEngine Diags;
-  std::optional<ElaboratedProgram> Program = load(Opt, Diags);
-  Diags.print(std::cerr);
+  AnalysisSession S = AnalysisSession::fromFile(Opt.Files[0], Opt.session());
+  const ElaboratedProgram *Program = loadSingle(S);
   if (!Program)
     return 1;
-  ProgramCFG CFG = ProgramCFG::build(*Program);
-  IFAOptions IfaOpts;
-  IfaOpts.Improved = Opt.Improved;
-  IfaOpts.ProgramEndOutgoing = Opt.EndOut;
-  IFAResult R = analyzeInformationFlow(*Program, CFG, IfaOpts);
+  const IFAResult *R = S.ifa();
   ReportOptions RepOpts;
   for (const auto &[From, To] : Opt.Forbidden)
     RepOpts.Policy.Forbidden.push_back({From, To});
-  writeAuditReport(std::cout, *Program, R, RepOpts);
-  return checkFlowPolicy(R.Graph, RepOpts.Policy).empty() ? 0 : 1;
+  std::vector<PolicyViolation> Violations =
+      checkFlowPolicy(R->Graph, RepOpts.Policy);
+  RepOpts.Violations = &Violations;
+  writeAuditReport(std::cout, *Program, *R, RepOpts);
+  return Violations.empty() ? 0 : 1;
 }
 
 int cmdDatalog(const Options &Opt) {
-  bool Ok = false;
-  std::string Source = readInput(Opt.File, Ok);
-  if (!Ok) {
-    std::cerr << "error: cannot read '" << Opt.File << "'\n";
+  AnalysisSession S = AnalysisSession::fromFile(Opt.Files[0], Opt.session());
+  const std::string *Source = S.source();
+  if (!Source) {
+    std::cerr << "error: cannot read '" << Opt.Files[0] << "'\n";
     return 1;
   }
   DiagnosticEngine Diags;
-  alfp::ParsedProgram PP = alfp::parseAlfp(Source, Diags);
+  alfp::ParsedProgram PP = alfp::parseAlfp(*Source, Diags);
   Diags.print(std::cerr);
   if (Diags.hasErrors())
     return 1;
@@ -259,6 +246,56 @@ int cmdDatalog(const Options &Opt) {
   return 0;
 }
 
+/// Multi-FILE and/or --json operation: run the batch engine and render.
+int cmdBatch(const Options &Opt, driver::BatchMode Mode) {
+  driver::BatchOptions B;
+  B.Mode = Mode;
+  B.Method = Opt.Kemmerer ? driver::FlowMethod::Kemmerer
+             : Opt.Alfp   ? driver::FlowMethod::Alfp
+                          : driver::FlowMethod::Native;
+  B.Session = Opt.session();
+  for (const auto &[From, To] : Opt.Forbidden)
+    B.Policy.Forbidden.push_back({From, To});
+  B.Jobs = Opt.Jobs;
+  B.CaptureRenderedText = !Opt.Json;
+
+  std::vector<driver::BatchInput> Inputs;
+  Inputs.reserve(Opt.Files.size());
+  for (const std::string &File : Opt.Files)
+    Inputs.push_back({File, std::nullopt});
+
+  driver::BatchResult R = driver::runBatch(Inputs, B);
+  if (Opt.Json)
+    driver::printBatchJson(std::cout, R, B);
+  else
+    driver::printBatchText(std::cout, R, B);
+
+  bool Bad = !R.allOk() ||
+             (Mode == driver::BatchMode::Report && R.NumViolations != 0);
+  return Bad ? 1 : 0;
+}
+
+/// Parses a non-negative integer option value; reports and fails on
+/// malformed or out-of-range input instead of aborting in std::stoul.
+bool parseCount(const std::string &Flag, const std::string &Value,
+                unsigned &Out) {
+  if (Value.empty() ||
+      Value.find_first_not_of("0123456789") != std::string::npos) {
+    std::cerr << "error: option '" << Flag
+              << "' expects a non-negative integer, got '" << Value << "'\n";
+    return false;
+  }
+  errno = 0;
+  unsigned long V = std::strtoul(Value.c_str(), nullptr, 10);
+  if (errno == ERANGE || V > UINT_MAX) {
+    std::cerr << "error: option '" << Flag << "' value '" << Value
+              << "' is out of range\n";
+    return false;
+  }
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -267,8 +304,24 @@ int main(int Argc, char **Argv) {
   if (Args.empty())
     return usage();
   Opt.Command = Args[0];
-  for (size_t I = 1; I < Args.size(); ++I) {
+
+  // Option values are consumed via this helper so a trailing --deltas /
+  // --vcd / --forbid / --jobs without a value is a diagnosed error, not a
+  // silently missing option.
+  size_t I = 1;
+  auto nextValue = [&](const std::string &Flag,
+                       std::string &Out) -> bool {
+    if (I + 1 >= Args.size()) {
+      std::cerr << "error: option '" << Flag << "' requires a value\n";
+      return false;
+    }
+    Out = Args[++I];
+    return true;
+  };
+
+  for (; I < Args.size(); ++I) {
     const std::string &A = Args[I];
+    std::string Value;
     if (A == "--statements")
       Opt.Statements = true;
     else if (A == "--improved")
@@ -281,39 +334,77 @@ int main(int Argc, char **Argv) {
       Opt.Alfp = true;
     else if (A == "--dot")
       Opt.Dot = true;
-    else if (A == "--deltas" && I + 1 < Args.size())
-      Opt.Deltas = static_cast<unsigned>(std::stoul(Args[++I]));
-    else if (A == "--vcd" && I + 1 < Args.size())
-      Opt.VcdPath = Args[++I];
-    else if (A == "--forbid" && I + 1 < Args.size()) {
-      std::string Pair = Args[++I];
-      size_t Comma = Pair.find(',');
+    else if (A == "--json")
+      Opt.Json = true;
+    else if (A == "--deltas") {
+      if (!nextValue(A, Value) || !parseCount(A, Value, Opt.Deltas))
+        return usage();
+    } else if (A == "--jobs") {
+      if (!nextValue(A, Value) || !parseCount(A, Value, Opt.Jobs))
+        return usage();
+      Opt.JobsGiven = true;
+    } else if (A == "--vcd") {
+      if (!nextValue(A, Value))
+        return usage();
+      Opt.VcdPath = Value;
+    } else if (A == "--forbid") {
+      if (!nextValue(A, Value))
+        return usage();
+      size_t Comma = Value.find(',');
       if (Comma == std::string::npos) {
         std::cerr << "--forbid expects 'from,to'\n";
         return usage();
       }
-      Opt.Forbidden.emplace_back(Pair.substr(0, Comma),
-                                 Pair.substr(Comma + 1));
-    }
-    else if (!A.empty() && A[0] == '-' && A != "-") {
+      Opt.Forbidden.emplace_back(Value.substr(0, Comma),
+                                 Value.substr(Comma + 1));
+    } else if (!A.empty() && A[0] == '-' && A != "-") {
       std::cerr << "unknown option '" << A << "'\n";
       return usage();
     } else
-      Opt.File = A;
+      Opt.Files.push_back(A);
   }
-  if (Opt.File.empty())
+  if (Opt.Files.empty())
     return usage();
+  // stdin is a single stream: two sessions draining it (possibly from
+  // different batch workers) would split it nondeterministically.
+  if (std::count(Opt.Files.begin(), Opt.Files.end(), "-") > 1) {
+    std::cerr << "error: '-' (stdin) may be given at most once\n";
+    return usage();
+  }
 
+  bool SingleOnly = Opt.Command == "sim" || Opt.Command == "datalog";
+  if (SingleOnly && Opt.Files.size() > 1) {
+    std::cerr << "error: '" << Opt.Command
+              << "' accepts exactly one FILE\n";
+    return usage();
+  }
+  if (SingleOnly && Opt.Json) {
+    std::cerr << "error: --json is not supported by '" << Opt.Command
+              << "'\n";
+    return usage();
+  }
+  if (Opt.Dot && (Opt.Json || Opt.Files.size() > 1)) {
+    std::cerr << "error: --dot requires a single FILE without --json\n";
+    return usage();
+  }
+
+  bool Batch = Opt.Json || Opt.Files.size() > 1;
+  if (Opt.JobsGiven && !Batch) {
+    std::cerr << "error: --jobs only applies to batch operation "
+                 "(several FILEs or --json)\n";
+    return usage();
+  }
   if (Opt.Command == "check")
-    return cmdCheck(Opt);
+    return Batch ? cmdBatch(Opt, driver::BatchMode::Check) : cmdCheck(Opt);
   if (Opt.Command == "sim")
     return cmdSim(Opt);
   if (Opt.Command == "flows")
-    return cmdFlows(Opt);
+    return Batch ? cmdBatch(Opt, driver::BatchMode::Flows) : cmdFlows(Opt);
   if (Opt.Command == "rm")
-    return cmdRM(Opt);
+    return Batch ? cmdBatch(Opt, driver::BatchMode::Matrices) : cmdRM(Opt);
   if (Opt.Command == "report")
-    return cmdReport(Opt);
+    return Batch ? cmdBatch(Opt, driver::BatchMode::Report)
+                 : cmdReport(Opt);
   if (Opt.Command == "datalog")
     return cmdDatalog(Opt);
   return usage();
