@@ -32,6 +32,21 @@ inline ElaboratedProgram mustElaborateStatements(const std::string &Source) {
   return std::move(*P);
 }
 
+/// Where a bench binary's figure/table regeneration dump should go: stdout
+/// normally, stderr whenever a machine-readable --benchmark_format is
+/// requested, so `bench_x --benchmark_format=json > BENCH_x.json` stays one
+/// parseable JSON document. Call before benchmark::Initialize (which
+/// consumes the flags it recognizes).
+inline std::FILE *figureStream(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--benchmark_format=", 0) == 0 &&
+        Arg != "--benchmark_format=console")
+      return stderr;
+  }
+  return stdout;
+}
+
 /// Parses + elaborates a design; aborts on any diagnostic.
 inline ElaboratedProgram mustElaborateDesign(const std::string &Source) {
   DiagnosticEngine Diags;

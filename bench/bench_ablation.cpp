@@ -78,8 +78,8 @@ std::string producerConsumer(unsigned Phases) {
   return S;
 }
 
-void regenerateTable() {
-  std::printf("== ABL-RD: effect of the under-approximation kill\n");
+void regenerateTable(std::FILE *Out) {
+  std::fprintf(Out, "== ABL-RD: effect of the under-approximation kill\n");
   for (unsigned Phases : {2u, 4u, 8u}) {
     ElaboratedProgram P = mustElaborateDesign(phasedDesign(Phases));
     ProgramCFG CFG = ProgramCFG::build(P);
@@ -89,7 +89,7 @@ void regenerateTable() {
     IFAResult RWith = analyzeInformationFlow(P, CFG, With);
     IFAResult RWithout = analyzeInformationFlow(P, CFG, Without);
     size_t Spurious = RWithout.Graph.edgesNotIn(RWith.Graph).size();
-    std::printf("  phased(%2u): RMgl with kill=%5zu  without=%5zu  graph "
+    std::fprintf(Out, "  phased(%2u): RMgl with kill=%5zu  without=%5zu  graph "
                 "edges %3zu -> %3zu  spurious=%zu\n",
                 Phases, RWith.RMgl.size(), RWithout.RMgl.size(),
                 RWith.Graph.numEdges(), RWithout.Graph.numEdges(),
@@ -99,9 +99,9 @@ void regenerateTable() {
     // positive that only the under-approximation kill removes.
     if (RWith.Graph.hasEdge("c_1", "q_0") ||
         !RWithout.Graph.hasEdge("c_1", "q_0"))
-      std::printf("  UNEXPECTED precision result!\n");
+      std::fprintf(Out, "  UNEXPECTED precision result!\n");
   }
-  std::printf("\n== ABL-HL: Hsieh-Levitan-style cross-flow (Section 1 "
+  std::fprintf(Out, "\n== ABL-HL: Hsieh-Levitan-style cross-flow (Section 1 "
               "related work)\n");
   for (unsigned Phases : {2u, 4u, 8u}) {
     ElaboratedProgram P = mustElaborateDesign(producerConsumer(Phases));
@@ -111,12 +111,12 @@ void regenerateTable() {
     HL.RD.HsiehLevitanCrossFlow = true;
     IFAResult ROurs = analyzeInformationFlow(P, CFG, Ours);
     IFAResult RHL = analyzeInformationFlow(P, CFG, HL);
-    std::printf("  prodcons(%2u): ours=%3zu edges  hsieh-levitan=%3zu "
+    std::fprintf(Out, "  prodcons(%2u): ours=%3zu edges  hsieh-levitan=%3zu "
                 "edges  missed flows=%zu (real mid-process flows lost)\n",
                 Phases, ROurs.Graph.numEdges(), RHL.Graph.numEdges(),
                 ROurs.Graph.edgesNotIn(RHL.Graph).size());
   }
-  std::printf("\n");
+  std::fprintf(Out, "\n");
 }
 
 void BM_Ablation_WithMustKill(benchmark::State &State) {
@@ -172,7 +172,7 @@ BENCHMARK(BM_Ablation_EnumeratedCrossFlow);
 } // namespace
 
 int main(int argc, char **argv) {
-  regenerateTable();
+  regenerateTable(vif::bench::figureStream(argc, argv));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

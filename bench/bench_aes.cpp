@@ -27,13 +27,13 @@ using vif::bench::mustElaborateStatements;
 
 namespace {
 
-void reportComponent(const char *Name, const std::string &Source) {
+void reportComponent(std::FILE *Out, const char *Name, const std::string &Source) {
   ElaboratedProgram P = mustElaborateStatements(Source);
   ProgramCFG CFG = ProgramCFG::build(P);
   IFAResult Ours = analyzeInformationFlow(P, CFG);
   KemmererResult Base = analyzeKemmerer(P, CFG);
   size_t FP = Base.Graph.edgesNotIn(Ours.Graph).size();
-  std::printf("  %-14s labels=%4zu  kemmerer=%4zu edges  rd-guided=%4zu "
+  std::fprintf(Out, "  %-14s labels=%4zu  kemmerer=%4zu edges  rd-guided=%4zu "
               "edges  false-positives=%4zu (%.0f%%)\n",
               Name, CFG.numLabels(), Base.Graph.numEdges(),
               Ours.Graph.numEdges(), FP,
@@ -43,13 +43,13 @@ void reportComponent(const char *Name, const std::string &Source) {
                   : 0.0);
 }
 
-void regenerateTable() {
-  std::printf("== SEC6: precision on the AES reference components\n");
-  reportComponent("shiftrows", workloads::shiftRowsStatements());
-  reportComponent("addroundkey", workloads::addRoundKeyStatements(16));
-  reportComponent("subbytes(4)", workloads::subBytesStatements(4));
-  reportComponent("mixcolumns", workloads::mixColumnsStatements());
-  std::printf("\n");
+void regenerateTable(std::FILE *Out) {
+  std::fprintf(Out, "== SEC6: precision on the AES reference components\n");
+  reportComponent(Out, "shiftrows", workloads::shiftRowsStatements());
+  reportComponent(Out, "addroundkey", workloads::addRoundKeyStatements(16));
+  reportComponent(Out, "subbytes(4)", workloads::subBytesStatements(4));
+  reportComponent(Out, "mixcolumns", workloads::mixColumnsStatements());
+  std::fprintf(Out, "\n");
 }
 
 void BM_Aes_AddRoundKey(benchmark::State &State) {
@@ -112,7 +112,7 @@ BENCHMARK(BM_Aes_CoreParseElaborate)->Unit(benchmark::kMillisecond);
 } // namespace
 
 int main(int argc, char **argv) {
-  regenerateTable();
+  regenerateTable(vif::bench::figureStream(argc, argv));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

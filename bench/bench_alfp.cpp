@@ -27,8 +27,8 @@ using vif::bench::mustElaborateStatements;
 
 namespace {
 
-void regenerateTable() {
-  std::printf("== ABL-SOLVER: native closure vs ALFP encoding\n");
+void regenerateTable(std::FILE *Out) {
+  std::fprintf(Out, "== ABL-SOLVER: native closure vs ALFP encoding\n");
   struct Row {
     const char *Name;
     ElaboratedProgram P;
@@ -45,12 +45,12 @@ void regenerateTable() {
     IFAOptions Opts;
     IFAResult Native = analyzeInformationFlow(R.P, CFG, Opts);
     AlfpClosureResult Alfp = closeWithAlfp(R.P, CFG, Native, Opts);
-    std::printf("  %-12s RMgl=%5zu entries  alfp-derived=%6zu tuples  "
+    std::fprintf(Out, "  %-12s RMgl=%5zu entries  alfp-derived=%6zu tuples  "
                 "agree=%s\n",
                 R.Name, Native.RMgl.size(), Alfp.DerivedTuples,
                 Alfp.Solved && Alfp.RMgl == Native.RMgl ? "yes" : "NO");
   }
-  std::printf("\n");
+  std::fprintf(Out, "\n");
 }
 
 void BM_Closure_Native(benchmark::State &State) {
@@ -104,13 +104,13 @@ void BM_Alfp_TransitiveClosure(benchmark::State &State) {
 }
 BENCHMARK(BM_Alfp_TransitiveClosure)
     ->RangeMultiplier(2)
-    ->Range(4, 32)
+    ->Range(4, 64)
     ->Complexity();
 
 } // namespace
 
 int main(int argc, char **argv) {
-  regenerateTable();
+  regenerateTable(vif::bench::figureStream(argc, argv));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -26,16 +26,16 @@ namespace {
 const char *ProgramA = "c := b; b := a;";
 const char *ProgramB = "b := a; c := b;";
 
-void printGraph(const char *Title, const Digraph &G) {
-  std::printf("  %s: %zu nodes, %zu edges:", Title, G.numNodes(),
+void printGraph(std::FILE *Out, const char *Title, const Digraph &G) {
+  std::fprintf(Out, "  %s: %zu nodes, %zu edges:", Title, G.numNodes(),
               G.numEdges());
   for (const auto &[From, To] : G.sortedEdges())
-    std::printf("  %s->%s", From.c_str(), To.c_str());
-  std::printf("\n");
+    std::fprintf(Out, "  %s->%s", From.c_str(), To.c_str());
+  std::fprintf(Out, "\n");
 }
 
-void regenerateFigure() {
-  std::printf("== FIG3: information-flow graphs of the running examples\n");
+void regenerateFigure(std::FILE *Out) {
+  std::fprintf(Out, "== FIG3: information-flow graphs of the running examples\n");
   for (const auto &[Name, Source] :
        {std::pair{"(a) c:=b; b:=a", ProgramA},
         std::pair{"(b) b:=a; c:=b", ProgramB}}) {
@@ -43,13 +43,13 @@ void regenerateFigure() {
     ProgramCFG CFG = ProgramCFG::build(P);
     IFAResult Ours = analyzeInformationFlow(P, CFG);
     KemmererResult Base = analyzeKemmerer(P, CFG);
-    std::printf("program %s\n", Name);
-    printGraph("RD-guided", Ours.Graph);
-    printGraph("Kemmerer ", Base.Graph);
-    std::printf("  RD-guided graph transitive: %s\n",
+    std::fprintf(Out, "program %s\n", Name);
+    printGraph(Out, "RD-guided", Ours.Graph);
+    printGraph(Out, "Kemmerer ", Base.Graph);
+    std::fprintf(Out, "  RD-guided graph transitive: %s\n",
                 Ours.Graph.isTransitive() ? "yes" : "no");
   }
-  std::printf("\n");
+  std::fprintf(Out, "\n");
 }
 
 void BM_Fig3_Ours(benchmark::State &State) {
@@ -83,7 +83,7 @@ BENCHMARK(BM_Fig3_FrontEnd);
 } // namespace
 
 int main(int argc, char **argv) {
-  regenerateFigure();
+  regenerateFigure(vif::bench::figureStream(argc, argv));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

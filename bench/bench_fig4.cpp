@@ -25,27 +25,27 @@ namespace {
 
 const char *ProgramB = "b := a; c := b;";
 
-void regenerateFigure() {
-  std::printf("== FIG4: improved analysis of program (b)\n");
+void regenerateFigure(std::FILE *Out) {
+  std::fprintf(Out, "== FIG4: improved analysis of program (b)\n");
   ElaboratedProgram P = mustElaborateStatements(ProgramB);
   ProgramCFG CFG = ProgramCFG::build(P);
 
   IFAResult Plain = analyzeInformationFlow(P, CFG);
-  std::printf("Figure 4(a) — basic graph:");
+  std::fprintf(Out, "Figure 4(a) — basic graph:");
   for (const auto &[From, To] : Plain.Graph.sortedEdges())
-    std::printf("  %s->%s", From.c_str(), To.c_str());
-  std::printf("\n");
+    std::fprintf(Out, "  %s->%s", From.c_str(), To.c_str());
+  std::fprintf(Out, "\n");
 
   IFAOptions Opts;
   Opts.ProgramEndOutgoing = true;
   IFAResult Improved = analyzeInformationFlow(P, CFG, Opts);
   Digraph Interface = Improved.interfaceGraph();
-  std::printf("Figure 4(b) — interface graph (%zu nodes):",
+  std::fprintf(Out, "Figure 4(b) — interface graph (%zu nodes):",
               Interface.numNodes());
   for (const auto &[From, To] : Interface.sortedEdges())
-    std::printf("  %s->%s", From.c_str(), To.c_str());
-  std::printf("\n");
-  std::printf("b-initial leaks to c: %s (paper: must be no)\n\n",
+    std::fprintf(Out, "  %s->%s", From.c_str(), To.c_str());
+  std::fprintf(Out, "\n");
+  std::fprintf(Out, "b-initial leaks to c: %s (paper: must be no)\n\n",
               Interface.hasEdge("b◦", "c•") ? "YES (bug!)" : "no");
 }
 
@@ -77,7 +77,7 @@ BENCHMARK(BM_Fig4_InterfaceExtraction);
 } // namespace
 
 int main(int argc, char **argv) {
-  regenerateFigure();
+  regenerateFigure(vif::bench::figureStream(argc, argv));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -102,17 +102,7 @@ BENCHMARK(BM_Fig5_DesignVariant);
 } // namespace
 
 int main(int argc, char **argv) {
-  // The figure dump moves to stderr when a machine-readable benchmark
-  // format is requested, so `--benchmark_format=json > BENCH_closure.json`
-  // stays a parseable document.
-  std::FILE *FigOut = stdout;
-  for (int I = 1; I < argc; ++I) {
-    std::string Arg = argv[I];
-    if (Arg.rfind("--benchmark_format=", 0) == 0 &&
-        Arg != "--benchmark_format=console")
-      FigOut = stderr;
-  }
-  regenerateFigure(FigOut);
+  regenerateFigure(vif::bench::figureStream(argc, argv));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

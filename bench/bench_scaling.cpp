@@ -41,7 +41,7 @@ void BM_Scaling_Chain_Ours(benchmark::State &State) {
 }
 BENCHMARK(BM_Scaling_Chain_Ours)
     ->RangeMultiplier(2)
-    ->Range(8, 256)
+    ->Range(8, 1024)
     ->Complexity();
 
 void BM_Scaling_Chain_Kemmerer(benchmark::State &State) {
@@ -57,7 +57,7 @@ void BM_Scaling_Chain_Kemmerer(benchmark::State &State) {
 }
 BENCHMARK(BM_Scaling_Chain_Kemmerer)
     ->RangeMultiplier(2)
-    ->Range(8, 256)
+    ->Range(8, 1024)
     ->Complexity();
 
 void BM_Scaling_Ladder(benchmark::State &State) {
@@ -121,7 +121,7 @@ void BM_Scaling_RDOnly(benchmark::State &State) {
 }
 BENCHMARK(BM_Scaling_RDOnly)
     ->RangeMultiplier(2)
-    ->Range(8, 256)
+    ->Range(8, 1024)
     ->Complexity();
 
 } // namespace

@@ -31,8 +31,8 @@ unsigned sigId(const ElaboratedProgram &P, const std::string &Name) {
   std::abort();
 }
 
-void regenerateTable() {
-  std::printf("== SIM: one AES-128 block under the SOS simulator\n");
+void regenerateTable(std::FILE *Out) {
+  std::fprintf(Out, "== SIM: one AES-128 block under the SOS simulator\n");
   ElaboratedProgram P = mustElaborateDesign(workloads::aesCoreDesign(10));
   aes::Block Plain = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
                       0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
@@ -55,7 +55,7 @@ void regenerateTable() {
                  .toUInt();
     Match &= B && *B == Expected[I];
   }
-  std::printf("  status=%s deltas=%u fips197-match=%s\n\n",
+  std::fprintf(Out, "  status=%s deltas=%u fips197-match=%s\n\n",
               simStatusName(St), Sim.deltasExecuted(),
               Match ? "yes" : "NO");
 }
@@ -142,7 +142,7 @@ BENCHMARK(BM_Sim_WhileLoopInterpretation);
 } // namespace
 
 int main(int argc, char **argv) {
-  regenerateTable();
+  regenerateTable(vif::bench::figureStream(argc, argv));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

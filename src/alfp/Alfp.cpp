@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <set>
 
 using namespace vif;
 using namespace vif::alfp;
@@ -27,6 +28,50 @@ const std::string &Interner::name(Atom A) const {
   return Names[A];
 }
 
+//===----------------------------------------------------------------------===//
+// TupleStore
+//===----------------------------------------------------------------------===//
+
+uint64_t TupleStore::hashRow(const Atom *T) const {
+  // FNV-1a over the row's atoms; collisions are resolved by content
+  // comparison inside the bucket.
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned I = 0; I < ArityVal; ++I) {
+    H ^= T[I];
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+bool TupleStore::insert(const Atom *T) {
+  uint64_t H = hashRow(T);
+  std::vector<uint32_t> &Bucket = HashBuckets[H];
+  for (uint32_t R : Bucket)
+    if (std::equal(T, T + ArityVal, Data.data() + size_t(R) * ArityVal))
+      return false;
+  uint32_t NewRow = static_cast<uint32_t>(NumRows);
+  Bucket.push_back(NewRow);
+  Data.insert(Data.end(), T, T + ArityVal);
+  if (ArityVal != 0)
+    Col0[T[0]].push_back(NewRow);
+  ++NumRows;
+  return true;
+}
+
+bool TupleStore::contains(const Atom *T) const {
+  auto It = HashBuckets.find(hashRow(T));
+  if (It == HashBuckets.end())
+    return false;
+  for (uint32_t R : It->second)
+    if (std::equal(T, T + ArityVal, Data.data() + size_t(R) * ArityVal))
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Program
+//===----------------------------------------------------------------------===//
+
 RelId Program::relation(const std::string &Name, unsigned Arity) {
   auto It = RelIds.find(Name);
   if (It != RelIds.end()) {
@@ -35,7 +80,7 @@ RelId Program::relation(const std::string &Name, unsigned Arity) {
     return It->second;
   }
   RelId R = static_cast<RelId>(Relations.size());
-  Relations.push_back(Relation{Name, Arity, {}});
+  Relations.push_back(Relation{Name, Arity, TupleStore(Arity)});
   RelIds.emplace(Name, R);
   return R;
 }
@@ -60,19 +105,30 @@ unsigned Program::relationArity(RelId R) const {
 void Program::fact(RelId R, Tuple T) {
   assert(R < Relations.size() && "unknown relation");
   assert(T.size() == Relations[R].Arity && "fact arity mismatch");
-  Relations[R].Facts.insert(std::move(T));
+  Relations[R].Facts.insert(T);
 }
 
-const std::set<Tuple> &Program::tuples(RelId R) const {
+const TupleStore &Program::tuples(RelId R) const {
   assert(R < Relations.size() && "unknown relation");
   return Relations[R].Facts;
 }
 
 bool Program::contains(RelId R, const Tuple &T) const {
-  return tuples(R).count(T) != 0;
+  return tuples(R).contains(T);
 }
 
 bool Program::checkSafety(const Clause &C, std::string *Error) const {
+  // The join loop tracks freshly bound argument positions in a 64-bit
+  // mask; diagnose wider literals up front instead of corrupting
+  // bindings at solve time.
+  for (const Literal &L : C.Body)
+    if (L.Args.size() > MaxLiteralArity) {
+      if (Error)
+        *Error = "literal of '" + Relations[L.Rel].Name +
+                 "' exceeds the supported arity of " +
+                 std::to_string(MaxLiteralArity);
+      return false;
+    }
   std::set<uint32_t> Bound;
   for (const Literal &L : C.Body) {
     if (L.Negated)
@@ -139,39 +195,46 @@ bool Program::stratify(std::vector<std::vector<size_t>> &ClausesByStratum,
 }
 
 void Program::matchFrom(const Clause &C, size_t LitIdx, int DeltaPos,
-                        const std::vector<std::set<Tuple>> &Delta,
-                        std::map<uint32_t, Atom> &Bindings,
-                        std::set<Tuple> &NewTuples) {
+                        const std::vector<TupleStore> &Delta,
+                        MatchContext &Ctx, TupleStore &Pending) {
   if (LitIdx == C.Body.size()) {
-    // Instantiate the head.
-    Tuple T;
-    T.reserve(C.Head.Args.size());
+    // Instantiate the head; Pending dedups repeats within this
+    // application, the caller dedups against the full relation.
+    Ctx.Scratch.clear();
     for (const Term &A : C.Head.Args)
-      T.push_back(A.IsVar ? Bindings.at(A.Id) : A.Id);
-    if (!Relations[C.Head.Rel].Facts.count(T))
-      NewTuples.insert(std::move(T));
+      Ctx.Scratch.push_back(A.IsVar ? Ctx.BindVal[A.Id] : A.Id);
+    if (!Relations[C.Head.Rel].Facts.contains(Ctx.Scratch.data()))
+      Pending.insert(Ctx.Scratch.data());
     return;
   }
 
   const Literal &L = C.Body[LitIdx];
-  ++Applications;
 
   if (L.Negated) {
-    Tuple T;
-    T.reserve(L.Args.size());
+    // Safety guarantees every variable is bound here: one membership
+    // probe, counted as one application (the same unit of work as one
+    // candidate unification on a positive literal).
+    ++Applications;
+    Ctx.Scratch.clear();
     for (const Term &A : L.Args)
-      T.push_back(A.IsVar ? Bindings.at(A.Id) : A.Id);
-    if (!Relations[L.Rel].Facts.count(T))
-      matchFrom(C, LitIdx + 1, DeltaPos, Delta, Bindings, NewTuples);
+      Ctx.Scratch.push_back(A.IsVar ? Ctx.BindVal[A.Id] : A.Id);
+    if (!Relations[L.Rel].Facts.contains(Ctx.Scratch.data()))
+      matchFrom(C, LitIdx + 1, DeltaPos, Delta, Ctx, Pending);
     return;
   }
 
-  const std::set<Tuple> &Source = (static_cast<int>(LitIdx) == DeltaPos)
-                                      ? Delta[L.Rel]
-                                      : Relations[L.Rel].Facts;
-  for (const Tuple &T : Source) {
-    // Unify T against L.Args under the current bindings.
-    std::vector<uint32_t> NewlyBound;
+  const TupleStore &Source = (static_cast<int>(LitIdx) == DeltaPos)
+                                 ? Delta[L.Rel]
+                                 : Relations[L.Rel].Facts;
+
+  // checkSafety rejects wider literals before solving starts, so the
+  // unbind mask below cannot overflow.
+  assert(L.Args.size() <= MaxLiteralArity && "unchecked literal arity");
+  auto TryRow = [&](const Atom *T) {
+    ++Applications;
+    // Unify T against L.Args under the current bindings; remember which
+    // argument positions bound a fresh variable so they can be undone.
+    uint64_t FreshMask = 0;
     bool Ok = true;
     for (size_t I = 0; I < L.Args.size() && Ok; ++I) {
       const Term &A = L.Args[I];
@@ -179,26 +242,56 @@ void Program::matchFrom(const Clause &C, size_t LitIdx, int DeltaPos,
         Ok = A.Id == T[I];
         continue;
       }
-      auto It = Bindings.find(A.Id);
-      if (It == Bindings.end()) {
-        Bindings.emplace(A.Id, T[I]);
-        NewlyBound.push_back(A.Id);
+      if (!Ctx.BindSet[A.Id]) {
+        Ctx.BindSet[A.Id] = 1;
+        Ctx.BindVal[A.Id] = T[I];
+        FreshMask |= uint64_t(1) << I;
       } else {
-        Ok = It->second == T[I];
+        Ok = Ctx.BindVal[A.Id] == T[I];
       }
     }
     if (Ok)
-      matchFrom(C, LitIdx + 1, DeltaPos, Delta, Bindings, NewTuples);
-    for (uint32_t V : NewlyBound)
-      Bindings.erase(V);
+      matchFrom(C, LitIdx + 1, DeltaPos, Delta, Ctx, Pending);
+    while (FreshMask) {
+      unsigned I = static_cast<unsigned>(__builtin_ctzll(FreshMask));
+      FreshMask &= FreshMask - 1;
+      Ctx.BindSet[L.Args[I].Id] = 0;
+    }
+  };
+
+  // First-column index: when the leading argument is already a known atom
+  // (a constant or a bound variable), only the rows keyed by it can match.
+  if (!L.Args.empty()) {
+    const Term &A0 = L.Args[0];
+    bool Known = !A0.IsVar || Ctx.BindSet[A0.Id];
+    if (Known) {
+      Atom Key = A0.IsVar ? Ctx.BindVal[A0.Id] : A0.Id;
+      if (const std::vector<uint32_t> *Rows = Source.rowsWithCol0(Key))
+        for (uint32_t R : *Rows)
+          TryRow(Source.row(R));
+      return;
+    }
   }
+  for (const Atom *T : Source)
+    TryRow(T);
 }
 
 void Program::applyClause(const Clause &C, int DeltaPos,
-                          const std::vector<std::set<Tuple>> &Delta,
-                          std::set<Tuple> &NewTuples) {
-  std::map<uint32_t, Atom> Bindings;
-  matchFrom(C, 0, DeltaPos, Delta, Bindings, NewTuples);
+                          const std::vector<TupleStore> &Delta,
+                          TupleStore &Pending) {
+  uint32_t NumVars = 0;
+  auto Scan = [&NumVars](const Literal &L) {
+    for (const Term &T : L.Args)
+      if (T.IsVar)
+        NumVars = std::max(NumVars, T.Id + 1);
+  };
+  Scan(C.Head);
+  for (const Literal &L : C.Body)
+    Scan(L);
+  MatchContext Ctx;
+  Ctx.BindVal.assign(NumVars, 0);
+  Ctx.BindSet.assign(NumVars, 0);
+  matchFrom(C, 0, DeltaPos, Delta, Ctx, Pending);
 }
 
 bool Program::solve(std::string *Error) {
@@ -210,37 +303,45 @@ bool Program::solve(std::string *Error) {
   if (!stratify(ByStratum, Error))
     return false;
 
+  auto FreshDeltas = [this] {
+    std::vector<TupleStore> D(Relations.size());
+    for (size_t R = 0; R < Relations.size(); ++R)
+      D[R].reset(Relations[R].Arity);
+    return D;
+  };
+
+  TupleStore Pending;
   for (const std::vector<size_t> &Stratum : ByStratum) {
     // Naive first round (all-full evaluation) seeds the deltas.
-    std::vector<std::set<Tuple>> Delta(Relations.size());
+    std::vector<TupleStore> Delta = FreshDeltas();
     for (size_t CI : Stratum) {
-      std::set<Tuple> New;
-      applyClause(Clauses[CI], -1, Delta, New);
-      for (const Tuple &T : New)
-        if (Relations[Clauses[CI].Head.Rel].Facts.insert(T).second) {
-          Delta[Clauses[CI].Head.Rel].insert(T);
+      const Clause &C = Clauses[CI];
+      Pending.reset(Relations[C.Head.Rel].Arity);
+      applyClause(C, -1, Delta, Pending);
+      for (const Atom *T : Pending)
+        if (Relations[C.Head.Rel].Facts.insert(T)) {
+          Delta[C.Head.Rel].insert(T);
           ++Derived;
         }
     }
     // Semi-naive iteration: at least one same-stratum positive literal is
     // bound to the delta of the previous round.
-    std::set<RelId> StratumRels;
+    std::vector<uint8_t> StratumRels(Relations.size(), 0);
     for (size_t CI : Stratum)
-      StratumRels.insert(Clauses[CI].Head.Rel);
+      StratumRels[Clauses[CI].Head.Rel] = 1;
     while (true) {
-      std::vector<std::set<Tuple>> NewDelta(Relations.size());
+      std::vector<TupleStore> NewDelta = FreshDeltas();
       bool Any = false;
       for (size_t CI : Stratum) {
         const Clause &C = Clauses[CI];
         for (size_t LI = 0; LI < C.Body.size(); ++LI) {
           const Literal &L = C.Body[LI];
-          if (L.Negated || !StratumRels.count(L.Rel) ||
-              Delta[L.Rel].empty())
+          if (L.Negated || !StratumRels[L.Rel] || Delta[L.Rel].empty())
             continue;
-          std::set<Tuple> New;
-          applyClause(C, static_cast<int>(LI), Delta, New);
-          for (const Tuple &T : New)
-            if (Relations[C.Head.Rel].Facts.insert(T).second) {
+          Pending.reset(Relations[C.Head.Rel].Arity);
+          applyClause(C, static_cast<int>(LI), Delta, Pending);
+          for (const Atom *T : Pending)
+            if (Relations[C.Head.Rel].Facts.insert(T)) {
               NewDelta[C.Head.Rel].insert(T);
               ++Derived;
               Any = true;

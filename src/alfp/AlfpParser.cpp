@@ -236,14 +236,15 @@ ParsedProgram vif::alfp::parseAlfp(const std::string &Source,
 }
 
 std::string vif::alfp::dumpRelation(const Program &P, RelId Rel) {
-  // Tuples print in the set's lexicographic atom-id order, which is
-  // deterministic; sort the rendered lines so output is stable even across
+  // The store iterates in (deterministic) insertion order; sort the
+  // rendered lines so output is stable across derivation orders and
   // interner orderings.
   std::vector<std::string> Lines;
-  for (const Tuple &T : P.tuples(Rel)) {
+  unsigned Arity = P.relationArity(Rel);
+  for (const Atom *T : P.tuples(Rel)) {
     std::ostringstream OS;
     OS << P.relationName(Rel) << '(';
-    for (size_t I = 0; I < T.size(); ++I)
+    for (unsigned I = 0; I < Arity; ++I)
       OS << (I ? ", " : "") << P.atoms().name(T[I]);
     OS << ").";
     Lines.push_back(OS.str());

@@ -6,11 +6,40 @@
 
 #include "cfg/CFG.h"
 
+#include "cfg/FlowIndex.h"
 #include "support/Casting.h"
 
 #include <algorithm>
 
 using namespace vif;
+
+// Out of line because the FlowIndex cache member needs the complete type.
+ProgramCFG::ProgramCFG() = default;
+ProgramCFG::~ProgramCFG() = default;
+ProgramCFG::ProgramCFG(ProgramCFG &&) noexcept = default;
+ProgramCFG &ProgramCFG::operator=(ProgramCFG &&) noexcept = default;
+
+ProgramCFG::ProgramCFG(const ProgramCFG &O)
+    : Blocks(O.Blocks), Procs(O.Procs), StmtLabels(O.StmtLabels),
+      CondLabels(O.CondLabels) {}
+
+ProgramCFG &ProgramCFG::operator=(const ProgramCFG &O) {
+  Blocks = O.Blocks;
+  Procs = O.Procs;
+  StmtLabels = O.StmtLabels;
+  CondLabels = O.CondLabels;
+  FlowIndexes.clear();
+  return *this;
+}
+
+const FlowIndex &ProgramCFG::flowIndex(unsigned ProcessId) const {
+  assert(ProcessId < Procs.size() && "process id out of range");
+  if (FlowIndexes.size() < Procs.size())
+    FlowIndexes.resize(Procs.size());
+  if (!FlowIndexes[ProcessId])
+    FlowIndexes[ProcessId] = std::make_unique<FlowIndex>(Procs[ProcessId]);
+  return *FlowIndexes[ProcessId];
+}
 
 std::vector<LabelId> ProcessCFG::predecessors(LabelId L) const {
   std::vector<LabelId> Result;

@@ -32,9 +32,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 namespace vif {
+
+class FlowIndex;
 
 /// A program point label. Real blocks get labels 1..numLabels(); label 0 is
 /// the paper's special "?" pseudo-label standing for "defined by the initial
@@ -82,6 +85,14 @@ struct ProcessCFG {
 /// Whole-program control flow facts.
 class ProgramCFG {
 public:
+  ProgramCFG();
+  ~ProgramCFG();
+  ProgramCFG(ProgramCFG &&) noexcept;
+  ProgramCFG &operator=(ProgramCFG &&) noexcept;
+  /// Copies share no cache; the copy rebuilds its flow indices on demand.
+  ProgramCFG(const ProgramCFG &O);
+  ProgramCFG &operator=(const ProgramCFG &O);
+
   /// Builds the CFG for every process of \p Program. The program must have
   /// been elaborated without errors.
   static ProgramCFG build(const ElaboratedProgram &Program);
@@ -121,11 +132,19 @@ public:
   std::vector<std::vector<LabelId>>
   crossFlowTuples(size_t MaxTuples = 1u << 20) const;
 
+  /// The CSR successor/predecessor adjacency + reverse postorder of
+  /// process \p ProcessId (cfg/FlowIndex.h), built on first use and cached
+  /// so the dense rd solvers share one copy per design. First access is
+  /// not thread-safe; per-design analyses are single-threaded (the driver
+  /// hands each design to exactly one batch worker).
+  const FlowIndex &flowIndex(unsigned ProcessId) const;
+
 private:
   std::vector<CFGBlock> Blocks; ///< Blocks[l-1] is the block labeled l
   std::vector<ProcessCFG> Procs;
   std::map<const Stmt *, LabelId> StmtLabels;
   std::map<const Stmt *, LabelId> CondLabels;
+  mutable std::vector<std::unique_ptr<FlowIndex>> FlowIndexes;
 };
 
 } // namespace vif

@@ -218,7 +218,7 @@ AlfpClosureResult vif::closeWithAlfp(const ElaboratedProgram &Program,
     return Result;
   Result.DerivedTuples = P.derivedCount();
   Result.Applications = P.applications();
-  for (const alfp::Tuple &T : P.tuples(RMgl)) {
+  for (const Atom *T : P.tuples(RMgl)) {
     Resource RN = E.AtomResources.at(T[0]);
     LabelId RL = E.AtomLabels.at(T[1]);
     Result.RMgl.insert(RN, RL, E.accessOf(T[2]));

@@ -121,10 +121,10 @@ AlfpRdResult vif::solveRdWithAlfp(const ElaboratedProgram &Program,
   Result.DerivedTuples = P.derivedCount();
   Result.MayPhiEntry.resize(CFG.numLabels() + 1);
   Result.CfEntry.resize(CFG.numLabels() + 1);
-  for (const alfp::Tuple &T : P.tuples(PhiEntry))
+  for (const Atom *T : P.tuples(PhiEntry))
     Result.MayPhiEntry[AtomLabels.at(T[2])].insert(
         DefPair{AtomResources.at(T[0]), AtomLabels.at(T[1])});
-  for (const alfp::Tuple &T : P.tuples(CfEntry))
+  for (const Atom *T : P.tuples(CfEntry))
     Result.CfEntry[AtomLabels.at(T[2])].insert(
         DefPair{AtomResources.at(T[0]), AtomLabels.at(T[1])});
   return Result;

@@ -9,7 +9,9 @@
 #include "ifa/LocalDeps.h"
 
 #include <algorithm>
+#include <deque>
 #include <iterator>
+#include <unordered_map>
 #include <unordered_set>
 
 using namespace vif;
@@ -137,22 +139,38 @@ IFAResult vif::analyzeInformationFlow(const ElaboratedProgram &Program,
                                       const IFAOptions &Opts) {
   IFAResult R;
   R.RMlo = computeLocalDeps(Program, CFG);
-  R.Active = analyzeActiveSignals(Program, CFG);
-  R.RD = analyzeReachingDefs(Program, CFG, R.Active, Opts.RD);
+  if (Opts.RD.ReferenceSolver) {
+    R.Active = analyzeActiveSignalsReference(Program, CFG);
+    R.RD = analyzeReachingDefsReference(Program, CFG, R.Active, Opts.RD);
+  } else {
+    R.Active = analyzeActiveSignals(Program, CFG);
+    R.RD = analyzeReachingDefs(Program, CFG, R.Active, Opts.RD);
+  }
 
   size_t NumLabels = CFG.numLabels();
   R.RDDagger.resize(NumLabels + 1);
   R.RDDaggerPhi.resize(NumLabels + 1);
 
-  // Table 7: specialize the RD results to actual uses.
-  for (LabelId L = 1; L <= NumLabels; ++L) {
-    for (const DefPair &P : R.RD.Entry[L])
-      if (R.RMlo.contains(P.N, L, Access::R0))
-        R.RDDagger[L].insert(P);
-    if (CFG.isWaitLabel(L))
-      for (const DefPair &P : R.Active.MayEntry[L])
-        if (R.RMlo.contains(P.N, L, Access::R1))
-          R.RDDaggerPhi[L].insert(P);
+  // Table 7: specialize the RD results to actual uses. Driven by the small
+  // per-label read sets, answered straight off the dense RD representation
+  // (forEachPairOf), so the full Entry sets are never materialized here.
+  {
+    LabelIndexedRM LoIdx(R.RMlo);
+    for (LabelId L = 1; L <= NumLabels; ++L) {
+      for (uint32_t Raw : LoIdx.at(L, Access::R0)) {
+        Resource N = Resource::fromRaw(Raw);
+        R.RD.Entry.forEachPairOf(L, N, [&](LabelId DefL) {
+          R.RDDagger[L].append(DefPair{N, DefL});
+        });
+      }
+      if (CFG.isWaitLabel(L))
+        for (uint32_t Raw : LoIdx.at(L, Access::R1)) {
+          Resource N = Resource::fromRaw(Raw);
+          R.Active.MayEntry.forEachPairOf(L, N, [&](LabelId DefL) {
+            R.RDDaggerPhi[L].append(DefPair{N, DefL});
+          });
+        }
+    }
   }
 
   // [Initialization].
@@ -184,7 +202,22 @@ IFAResult vif::analyzeInformationFlow(const ElaboratedProgram &Program,
   // l'' -> l. Under the Hsieh-Levitan emulation (ABL-HL), definitions of
   // other processes are only visible at their final synchronization, so
   // l_j is then restricted to each foreign process's last wait.
+  //
+  // The RD†ϕ tables are queried per resource here and again for the
+  // outgoing rules below, so build the resource-indexed view once: for
+  // every resource raw id, all its (wait label l_j, def label l'') pairs.
   std::vector<LabelId> WaitLabels = CFG.allWaitLabels();
+  std::unordered_map<uint32_t, std::vector<std::pair<LabelId, LabelId>>>
+      PhiByResource;
+  for (LabelId LJ : WaitLabels)
+    for (const DefPair &Phi : R.RDDaggerPhi[LJ])
+      PhiByResource[Phi.N.raw()].emplace_back(LJ, Phi.L);
+  auto PhiOf = [&PhiByResource](Resource N)
+      -> const std::vector<std::pair<LabelId, LabelId>> * {
+    auto It = PhiByResource.find(N.raw());
+    return It == PhiByResource.end() ? nullptr : &It->second;
+  };
+
   std::vector<LabelId> LastWaitOf(CFG.processes().size(), InitialLabel);
   for (const ProcessCFG &Proc : CFG.processes())
     if (!Proc.WaitLabels.empty())
@@ -193,15 +226,17 @@ IFAResult vif::analyzeInformationFlow(const ElaboratedProgram &Program,
     for (const DefPair &P : R.RDDagger[L]) {
       if (P.L == InitialLabel || !CFG.isWaitLabel(P.L))
         continue;
-      for (LabelId LJ : WaitLabels) {
+      const auto *Phis = PhiOf(P.N);
+      if (!Phis)
+        continue;
+      for (const auto &[LJ, PhiL] : *Phis) {
         if (!CFG.cfCompatible(P.L, LJ))
           continue;
         if (Opts.RD.HsiehLevitanCrossFlow &&
             CFG.processOf(LJ) != CFG.processOf(P.L) &&
             LJ != LastWaitOf[CFG.processOf(LJ)])
           continue;
-        for (const DefPair &Phi : R.RDDaggerPhi[LJ].pairsFor(P.N))
-          Copies.addEdge(Phi.L, L);
+        Copies.addEdge(PhiL, L);
       }
     }
 
@@ -231,9 +266,11 @@ IFAResult vif::analyzeInformationFlow(const ElaboratedProgram &Program,
       Resource N = Resource::signal(Sig);
       LabelId LOut = outgoingLabel(N);
       R.RMgl.insert(N.outgoing(), LOut, Access::M1);
-      for (LabelId L : WaitLabels)
-        for (const DefPair &Phi : R.RDDaggerPhi[L].pairsFor(N))
-          Copies.addEdge(Phi.L, LOut);
+      if (const auto *Phis = PhiOf(N))
+        for (const auto &[LJ, PhiL] : *Phis) {
+          (void)LJ; // any wait feeds the outgoing pseudo-label
+          Copies.addEdge(PhiL, LOut);
+        }
     }
   }
 
@@ -253,11 +290,12 @@ IFAResult vif::analyzeInformationFlow(const ElaboratedProgram &Program,
         LabelId LOut = outgoingLabel(N);
         R.RMgl.insert(N.outgoing(), LOut,
                       N.isVariable() ? Access::M0 : Access::M1);
-        for (const DefPair &D : EndDefs.pairsFor(N)) {
-          if (D.L == InitialLabel)
+        auto [It, End] = EndDefs.equalRange(N);
+        for (; It != End; ++It) {
+          if (It->L == InitialLabel)
             R.RMgl.insert(N.incoming(), LOut, Access::R0);
           else
-            Copies.addEdge(D.L, LOut);
+            Copies.addEdge(It->L, LOut);
         }
       }
     }
@@ -275,7 +313,13 @@ IFAResult vif::analyzeInformationFlow(const ElaboratedProgram &Program,
       // ascending and stays a sorted set.
       R0[E.L].push_back(E.N.raw());
 
-  std::vector<LabelId> Work;
+  // FIFO worklist seeded in ascending label order: copy edges mostly point
+  // from textually earlier definitions to later uses, so this approximates
+  // a topological sweep and each label's set is usually complete before it
+  // is propagated onward (a LIFO seeded the same way pops the *last*
+  // sources first and re-propagates every downstream suffix per source —
+  // O(n³) on an n-assignment chain instead of O(n²)).
+  std::deque<LabelId> Work;
   std::vector<char> InWork(static_cast<size_t>(MaxLabel) + 1, 0);
   for (LabelId Src = 0; Src < Copies.Succs.size(); ++Src)
     if (!Copies.Succs[Src].empty()) {
@@ -284,8 +328,8 @@ IFAResult vif::analyzeInformationFlow(const ElaboratedProgram &Program,
     }
   std::vector<uint32_t> Merged;
   while (!Work.empty()) {
-    LabelId Src = Work.back();
-    Work.pop_back();
+    LabelId Src = Work.front();
+    Work.pop_front();
     InWork[Src] = 0;
     const std::vector<uint32_t> &SrcSet = R0[Src];
     if (SrcSet.empty())
@@ -305,9 +349,7 @@ IFAResult vif::analyzeInformationFlow(const ElaboratedProgram &Program,
     }
   }
 
-  for (LabelId L = 0; L <= MaxLabel; ++L)
-    for (uint32_t Raw : R0[L])
-      R.RMgl.insert(Resource::fromRaw(Raw), L, Access::R0);
+  R.RMgl.insertR0Rows(R0);
 
   // Graph extraction, through the label-indexed view: the post-closure
   // RMgl is the largest matrix in the pipeline, so indexed (label, access)

@@ -25,6 +25,24 @@ const char *vif::accessName(Access A) {
   return "?";
 }
 
+void ResourceMatrix::insertR0Rows(
+    const std::vector<std::vector<uint32_t>> &Rows) {
+  // Rows are visited in (label, resource) ascending order, which is entry
+  // order for the fixed R0 access — each hinted insert lands just before
+  // the hint, so the sweep is amortized O(1) per entry.
+  auto Hint = Entries.begin();
+  for (LabelId L = 0; L < Rows.size(); ++L)
+    for (uint32_t Raw : Rows[L]) {
+      RMEntry E{L, Access::R0, Resource::fromRaw(Raw)};
+      while (Hint != Entries.end() && *Hint < E)
+        ++Hint;
+      if (Hint != Entries.end() && *Hint == E)
+        continue; // already present (an RMlo entry the closure re-derived)
+      Hint = Entries.insert(Hint, E);
+      ++Hint;
+    }
+}
+
 std::vector<Resource> ResourceMatrix::resourcesAt(LabelId L, Access A) const {
   std::vector<Resource> Result;
   auto It = Entries.lower_bound(RMEntry{L, A, Resource()});

@@ -60,6 +60,13 @@ public:
     return Entries.count(RMEntry{L, A, N}) != 0;
   }
 
+  /// Bulk-inserts R0 entries from per-label rows of ascending raw resource
+  /// ids (\p Rows[L] are the resources read at label L). The rows arrive
+  /// in entry order, so one hinted sweep inserts them in amortized
+  /// constant time each — this is how the closure writes its fixpoint
+  /// back (post-closure RMgl is the largest matrix in the pipeline).
+  void insertR0Rows(const std::vector<std::vector<uint32_t>> &Rows);
+
   size_t size() const { return Entries.size(); }
   bool empty() const { return Entries.empty(); }
 

@@ -6,9 +6,11 @@
 
 #include "rd/ActiveSignals.h"
 
+#include "cfg/FlowIndex.h"
 #include "support/Casting.h"
 
 #include <deque>
+#include <map>
 
 using namespace vif;
 
@@ -81,14 +83,110 @@ vif::analyzeActiveSignals(const ElaboratedProgram &Program,
   ActiveKillGen KG = computeActiveKillGen(CFG);
 
   for (const ProcessCFG &P : CFG.processes()) {
+    // The dense domain: only gen'd pairs can ever be present (⊥ = ∅ and
+    // the transfer functions add nothing else).
+    auto Dom = std::make_shared<DefPairDomain>();
+    for (LabelId L : P.Labels)
+      Dom->addAll(KG.Gen[L]);
+    Dom->finalize();
+    size_t K = Dom->size();
+    if (K == 0)
+      continue; // no signal definitions: every set stays ∅ (the default)
 
-    // Precompute predecessor lists once.
+    const FlowIndex &FI = CFG.flowIndex(P.ProcessId);
+    size_t NL = FI.numLabels();
+
+    std::vector<BitSet> Kill(NL), Gen(NL);
+    for (uint32_t I = 0; I < NL; ++I) {
+      Kill[I] = Dom->maskOf(KG.Kill[FI.label(I)]);
+      Gen[I] = Dom->maskOf(KG.Gen[FI.label(I)]);
+    }
+
+    std::vector<BitSet> MayEn(NL, BitSet(K)), MayEx(NL, BitSet(K));
+    std::vector<BitSet> MustEn(NL, BitSet(K)), MustEx(NL, BitSet(K));
+
+    // Chaotic iteration from ⊥ = ∅ to the least fixpoint; both transfer
+    // functions are monotone (⋂˙ ranges over a fixed predecessor family).
+    // The worklist starts in reverse postorder so the first sweep sees
+    // predecessors first on acyclic stretches.
+    std::deque<uint32_t> Work(FI.rpo().begin(), FI.rpo().end());
+    std::vector<uint8_t> InWork(NL, 1);
+    uint32_t InitLocal = FI.localOf(P.Init);
+
+    BitSet MayIn(K), MustIn(K);
+    while (!Work.empty()) {
+      uint32_t I = Work.front();
+      Work.pop_front();
+      InWork[I] = 0;
+      ++R.Iterations;
+
+      // Entry equations. The paper assumes isolated entries (the
+      // null;while wrapper guarantees them for processes); bare statement
+      // programs may re-enter their init label, so the may analysis also
+      // merges predecessor exits there. The must analysis keeps ∅ at init:
+      // the program-start path carries no active signals and dominates the
+      // ⋂˙ — and ⋂˙ over an empty predecessor family is ∅ as well.
+      FlowIndex::Range Preds = FI.preds(I);
+      MayIn.clearAll();
+      for (uint32_t Pred : Preds)
+        MayIn.unionWith(MayEx[Pred]);
+      MustIn.clearAll();
+      if (I != InitLocal && !Preds.empty()) {
+        MustIn = MustEx[Preds.First[0]];
+        for (const uint32_t *It = Preds.First + 1; It != Preds.Last; ++It)
+          MustIn.intersectWith(MustEx[*It]);
+      }
+      MayEn[I] = MayIn;
+      MustEn[I] = MustIn;
+
+      // Exit equations: (entry \ kill) ∪ gen.
+      MayIn.subtract(Kill[I]);
+      MayIn.unionWith(Gen[I]);
+      MustIn.subtract(Kill[I]);
+      MustIn.unionWith(Gen[I]);
+
+      if (MayIn == MayEx[I] && MustIn == MustEx[I])
+        continue;
+      MayEx[I] = MayIn;
+      MustEx[I] = MustIn;
+      for (uint32_t Succ : FI.succs(I))
+        if (!InWork[Succ]) {
+          Work.push_back(Succ);
+          InWork[Succ] = 1;
+        }
+    }
+
+    for (uint32_t I = 0; I < NL; ++I) {
+      LabelId L = FI.label(I);
+      R.MayEntry.setDense(L, Dom, std::move(MayEn[I]));
+      R.MayExit.setDense(L, Dom, std::move(MayEx[I]));
+      R.MustEntry.setDense(L, Dom, std::move(MustEn[I]));
+      R.MustExit.setDense(L, Dom, std::move(MustEx[I]));
+    }
+  }
+  return R;
+}
+
+ActiveSignalsResult
+vif::analyzeActiveSignalsReference(const ElaboratedProgram &Program,
+                                   const ProgramCFG &CFG) {
+  (void)Program;
+  size_t NumLabels = CFG.numLabels();
+  ActiveSignalsResult R;
+  R.MayEntry.resize(NumLabels + 1);
+  R.MayExit.resize(NumLabels + 1);
+  R.MustEntry.resize(NumLabels + 1);
+  R.MustExit.resize(NumLabels + 1);
+
+  ActiveKillGen KG = computeActiveKillGen(CFG);
+
+  for (const ProcessCFG &P : CFG.processes()) {
+    std::vector<PairSet> MayExit(NumLabels + 1), MustExit(NumLabels + 1);
+
     std::map<LabelId, std::vector<LabelId>> Preds;
     for (const auto &[From, To] : P.Flow)
       Preds[To].push_back(From);
 
-    // Chaotic iteration from ⊥ = ∅ to the least fixpoint; both transfer
-    // functions are monotone (⋂˙ ranges over a fixed predecessor family).
     std::deque<LabelId> Work(P.Labels.begin(), P.Labels.end());
     std::vector<bool> InWork(NumLabels + 1, false);
     for (LabelId L : P.Labels)
@@ -100,24 +198,17 @@ vif::analyzeActiveSignals(const ElaboratedProgram &Program,
       InWork[L] = false;
       ++R.Iterations;
 
-      // Entry equations. The paper assumes isolated entries (the
-      // null;while wrapper guarantees them for processes); bare statement
-      // programs may re-enter their init label, so the may analysis also
-      // merges predecessor exits there. The must analysis keeps ∅ at init:
-      // the program-start path carries no active signals and dominates the
-      // ⋂˙.
       PairSet MayIn, MustIn;
       std::vector<const PairSet *> PredExitsMust;
       for (LabelId Pred : Preds[L]) {
-        MayIn.unionWith(R.MayExit[Pred]);
-        PredExitsMust.push_back(&R.MustExit[Pred]);
+        MayIn.unionWith(MayExit[Pred]);
+        PredExitsMust.push_back(&MustExit[Pred]);
       }
       if (L != P.Init)
         MustIn = PairSet::dottedIntersection(PredExitsMust);
-      R.MayEntry[L] = MayIn;
-      R.MustEntry[L] = MustIn;
+      R.MayEntry.setEager(L, MayIn);
+      R.MustEntry.setEager(L, MustIn);
 
-      // Exit equations: (entry \ kill) ∪ gen.
       PairSet MayOut = std::move(MayIn);
       MayOut.subtract(KG.Kill[L]);
       MayOut.unionWith(KG.Gen[L]);
@@ -125,10 +216,9 @@ vif::analyzeActiveSignals(const ElaboratedProgram &Program,
       MustOut.subtract(KG.Kill[L]);
       MustOut.unionWith(KG.Gen[L]);
 
-      bool Changed =
-          !(MayOut == R.MayExit[L]) || !(MustOut == R.MustExit[L]);
-      R.MayExit[L] = std::move(MayOut);
-      R.MustExit[L] = std::move(MustOut);
+      bool Changed = !(MayOut == MayExit[L]) || !(MustOut == MustExit[L]);
+      MayExit[L] = std::move(MayOut);
+      MustExit[L] = std::move(MustOut);
       if (!Changed)
         continue;
       for (const auto &[From, To] : P.Flow)
@@ -136,6 +226,11 @@ vif::analyzeActiveSignals(const ElaboratedProgram &Program,
           Work.push_back(To);
           InWork[To] = true;
         }
+    }
+
+    for (LabelId L : P.Labels) {
+      R.MayExit.setEager(L, std::move(MayExit[L]));
+      R.MustExit.setEager(L, std::move(MustExit[L]));
     }
   }
   return R;

@@ -31,25 +31,36 @@
 #ifndef VIF_RD_ACTIVESIGNALS_H
 #define VIF_RD_ACTIVESIGNALS_H
 
+#include "rd/DenseDomain.h"
 #include "rd/PairSet.h"
 
 namespace vif {
 
-/// Per-label results of the active-signal analyses; vectors are indexed by
-/// label (entry 0, the "?" label, is unused).
+/// Per-label results of the active-signal analyses; tables are indexed by
+/// label (entry 0, the "?" label, is unused). The solver runs densely over
+/// per-process BitSet domains; `Result.MayEntry[L]` etc. materialize the
+/// classic sorted-vector PairSet on first access (see rd/DenseDomain.h).
 struct ActiveSignalsResult {
-  std::vector<PairSet> MayEntry;  ///< RD∪ϕ entry(l)
-  std::vector<PairSet> MayExit;   ///< RD∪ϕ exit(l)
-  std::vector<PairSet> MustEntry; ///< RD∩ϕ entry(l)
-  std::vector<PairSet> MustExit;  ///< RD∩ϕ exit(l)
+  LazyPairSets MayEntry;  ///< RD∪ϕ entry(l)
+  LazyPairSets MayExit;   ///< RD∪ϕ exit(l)
+  LazyPairSets MustEntry; ///< RD∩ϕ entry(l)
+  LazyPairSets MustExit;  ///< RD∩ϕ exit(l)
 
   /// Number of worklist iterations used (for the complexity experiments).
   size_t Iterations = 0;
 };
 
-/// Runs both analyses for every process of \p Program.
+/// Runs both analyses for every process of \p Program, as a bit-vector
+/// framework: dense (Sig, Lab) domains, CSR adjacency, RPO-seeded worklist.
 ActiveSignalsResult analyzeActiveSignals(const ElaboratedProgram &Program,
                                          const ProgramCFG &CFG);
+
+/// The original sorted-vector-PairSet chaotic-iteration solver, retained as
+/// the oracle for the dense one: the differential tests assert that both
+/// compute identical May/Must Entry/Exit sets on every workload family.
+ActiveSignalsResult
+analyzeActiveSignalsReference(const ElaboratedProgram &Program,
+                              const ProgramCFG &CFG);
 
 /// The Table 4 kill/gen sets per label (shared by the worklist solver and
 /// the ALFP encoding of the equations; vectors indexed by label).

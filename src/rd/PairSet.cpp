@@ -96,10 +96,17 @@ std::vector<Resource> PairSet::firstComponents() const {
 }
 
 std::vector<DefPair> PairSet::pairsFor(Resource N) const {
-  std::vector<DefPair> Result;
+  auto [It, End] = equalRange(N);
+  return std::vector<DefPair>(It, End);
+}
+
+std::pair<std::vector<DefPair>::const_iterator,
+          std::vector<DefPair>::const_iterator>
+PairSet::equalRange(Resource N) const {
   auto It = std::lower_bound(Pairs.begin(), Pairs.end(),
                              DefPair{N, InitialLabel});
-  for (; It != Pairs.end() && It->N == N; ++It)
-    Result.push_back(*It);
-  return Result;
+  auto End = It;
+  while (End != Pairs.end() && End->N == N)
+    ++End;
+  return {It, End};
 }

@@ -137,6 +137,13 @@ public:
   PairSet() = default;
 
   bool insert(DefPair P);
+  /// Appends \p P, which must be strictly greater than every present pair;
+  /// the O(1) path for building a set in ascending order (dense
+  /// materialization, Table 7 specialization).
+  void append(DefPair P) {
+    assert((Pairs.empty() || Pairs.back() < P) && "append out of order");
+    Pairs.push_back(P);
+  }
   bool contains(DefPair P) const;
   bool empty() const { return Pairs.empty(); }
   size_t size() const { return Pairs.size(); }
@@ -157,6 +164,12 @@ public:
 
   /// All pairs whose resource equals \p N.
   std::vector<DefPair> pairsFor(Resource N) const;
+
+  /// The contiguous range of pairs whose resource equals \p N — the
+  /// allocation-free form of pairsFor.
+  std::pair<std::vector<DefPair>::const_iterator,
+            std::vector<DefPair>::const_iterator>
+  equalRange(Resource N) const;
 
   bool operator==(const PairSet &O) const { return Pairs == O.Pairs; }
 

@@ -6,6 +6,7 @@
 
 #include "rd/ReachingDefs.h"
 
+#include "cfg/FlowIndex.h"
 #include "support/Casting.h"
 
 #include <deque>
@@ -226,16 +227,105 @@ vif::analyzeReachingDefs(const ElaboratedProgram &Program,
   R.Exit.resize(NumLabels + 1);
 
   ReachingDefsKillGen KG = computeReachingDefsKillGen(CFG, Active, Opts);
-  const std::vector<PairSet> &Kill = KG.Kill;
-  const std::vector<PairSet> &Gen = KG.Gen;
 
-  // Forward may analysis, per-process flow.
+  // Forward may analysis, per-process flow, run densely: every pair that
+  // can ever be present comes from the initial {(n, ?)} set or some gen
+  // set, so those pairs form the process's bit-vector domain.
   for (const ProcessCFG &P : CFG.processes()) {
     PairSet Initial;
     for (unsigned Var : P.FreeVars)
       Initial.insert(DefPair{Resource::variable(Var), InitialLabel});
     for (unsigned Sig : P.FreeSigs)
       Initial.insert(DefPair{Resource::signal(Sig), InitialLabel});
+
+    auto Dom = std::make_shared<DefPairDomain>();
+    Dom->addAll(Initial);
+    for (LabelId L : P.Labels)
+      Dom->addAll(KG.Gen[L]);
+    Dom->finalize();
+    size_t K = Dom->size();
+    if (K == 0)
+      continue; // nothing is ever defined: every set stays ∅ (the default)
+
+    const FlowIndex &FI = CFG.flowIndex(P.ProcessId);
+    size_t NL = FI.numLabels();
+
+    BitSet InitialMask = Dom->maskOf(Initial);
+    std::vector<BitSet> Kill(NL), Gen(NL);
+    for (uint32_t I = 0; I < NL; ++I) {
+      Kill[I] = Dom->maskOf(KG.Kill[FI.label(I)]);
+      Gen[I] = Dom->maskOf(KG.Gen[FI.label(I)]);
+    }
+
+    std::vector<BitSet> Entry(NL, BitSet(K)), Exit(NL, BitSet(K));
+
+    std::deque<uint32_t> Work(FI.rpo().begin(), FI.rpo().end());
+    std::vector<uint8_t> InWork(NL, 1);
+    uint32_t InitLocal = FI.localOf(P.Init);
+
+    BitSet In(K);
+    while (!Work.empty()) {
+      uint32_t I = Work.front();
+      Work.pop_front();
+      InWork[I] = 0;
+      ++R.Iterations;
+
+      // The init label carries the initial {(n, ?)} definitions; if it is
+      // re-entered (possible in bare statement programs without the
+      // isolated-entry wrapper) predecessor exits are merged as well.
+      if (I == InitLocal)
+        In = InitialMask;
+      else
+        In.clearAll();
+      for (uint32_t Pred : FI.preds(I))
+        In.unionWith(Exit[Pred]);
+      Entry[I] = In;
+
+      In.subtract(Kill[I]);
+      In.unionWith(Gen[I]);
+
+      if (In == Exit[I])
+        continue;
+      Exit[I] = In;
+      for (uint32_t Succ : FI.succs(I))
+        if (!InWork[Succ]) {
+          Work.push_back(Succ);
+          InWork[Succ] = 1;
+        }
+    }
+
+    for (uint32_t I = 0; I < NL; ++I) {
+      LabelId L = FI.label(I);
+      R.Entry.setDense(L, Dom, std::move(Entry[I]));
+      R.Exit.setDense(L, Dom, std::move(Exit[I]));
+    }
+  }
+  (void)Program;
+  return R;
+}
+
+ReachingDefsResult
+vif::analyzeReachingDefsReference(const ElaboratedProgram &Program,
+                                  const ProgramCFG &CFG,
+                                  const ActiveSignalsResult &Active,
+                                  const ReachingDefsOptions &Opts) {
+  size_t NumLabels = CFG.numLabels();
+  ReachingDefsResult R;
+  R.Entry.resize(NumLabels + 1);
+  R.Exit.resize(NumLabels + 1);
+
+  ReachingDefsKillGen KG = computeReachingDefsKillGen(CFG, Active, Opts);
+  const std::vector<PairSet> &Kill = KG.Kill;
+  const std::vector<PairSet> &Gen = KG.Gen;
+
+  for (const ProcessCFG &P : CFG.processes()) {
+    PairSet Initial;
+    for (unsigned Var : P.FreeVars)
+      Initial.insert(DefPair{Resource::variable(Var), InitialLabel});
+    for (unsigned Sig : P.FreeSigs)
+      Initial.insert(DefPair{Resource::signal(Sig), InitialLabel});
+
+    std::vector<PairSet> Exit(NumLabels + 1);
 
     std::map<LabelId, std::vector<LabelId>> Preds;
     for (const auto &[From, To] : P.Flow)
@@ -252,29 +342,29 @@ vif::analyzeReachingDefs(const ElaboratedProgram &Program,
       InWork[L] = false;
       ++R.Iterations;
 
-      // The init label carries the initial {(n, ?)} definitions; if it is
-      // re-entered (possible in bare statement programs without the
-      // isolated-entry wrapper) predecessor exits are merged as well.
       PairSet In;
       if (L == P.Init)
         In = Initial;
       for (LabelId Pred : Preds[L])
-        In.unionWith(R.Exit[Pred]);
-      R.Entry[L] = In;
+        In.unionWith(Exit[Pred]);
+      R.Entry.setEager(L, In);
 
       PairSet Out = std::move(In);
       Out.subtract(Kill[L]);
       Out.unionWith(Gen[L]);
 
-      if (Out == R.Exit[L])
+      if (Out == Exit[L])
         continue;
-      R.Exit[L] = std::move(Out);
+      Exit[L] = std::move(Out);
       for (const auto &[From, To] : P.Flow)
         if (From == L && !InWork[To]) {
           Work.push_back(To);
           InWork[To] = true;
         }
     }
+
+    for (LabelId L : P.Labels)
+      R.Exit.setEager(L, std::move(Exit[L]));
   }
   (void)Program;
   return R;

@@ -41,6 +41,12 @@ struct ReachingDefsOptions {
   /// Computes the wait kill/gen sets by explicit enumeration of cf tuples
   /// instead of the factored form (validation only; exponential).
   bool EnumerateCrossFlowTuples = false;
+  /// Routes the whole pipeline through the retained sorted-vector
+  /// reference solvers (analyzeActiveSignalsReference /
+  /// analyzeReachingDefsReference) instead of the dense bit-vector ones.
+  /// Used by the differential tests to compare complete IFA results, and
+  /// available as an escape hatch while the dense solvers are young.
+  bool ReferenceSolver = false;
   /// Emulates the Reaching Definitions component of Hsieh & Levitan's
   /// analysis as the paper characterizes it (Section 1): definitions from
   /// *other* processes are only sampled at their process ends, so "a
@@ -51,10 +57,14 @@ struct ReachingDefsOptions {
   bool HsiehLevitanCrossFlow = false;
 };
 
-/// Per-label results of RDcf; vectors indexed by label.
+/// Per-label results of RDcf; tables indexed by label. Solved densely over
+/// per-process (Resource, Label) BitSet domains; `Result.Entry[L]` /
+/// `Result.Exit[L]` materialize sorted-vector PairSets on first access
+/// (see rd/DenseDomain.h), and forEachPairOf serves resource-indexed
+/// queries straight off the dense representation.
 struct ReachingDefsResult {
-  std::vector<PairSet> Entry; ///< RDcf entry(l)
-  std::vector<PairSet> Exit;  ///< RDcf exit(l)
+  LazyPairSets Entry; ///< RDcf entry(l)
+  LazyPairSets Exit;  ///< RDcf exit(l)
   size_t Iterations = 0;
 
   /// Definitions reaching the end of process \p P: the union of exits of
@@ -67,6 +77,15 @@ ReachingDefsResult analyzeReachingDefs(const ElaboratedProgram &Program,
                                        const ProgramCFG &CFG,
                                        const ActiveSignalsResult &Active,
                                        const ReachingDefsOptions &Opts = {});
+
+/// The original sorted-vector-PairSet worklist solver, retained as the
+/// oracle for the dense one (differential tests assert identical Entry and
+/// Exit sets on every workload family).
+ReachingDefsResult
+analyzeReachingDefsReference(const ElaboratedProgram &Program,
+                             const ProgramCFG &CFG,
+                             const ActiveSignalsResult &Active,
+                             const ReachingDefsOptions &Opts = {});
 
 /// The Table 5 kill/gen sets per label (shared by the worklist solver and
 /// the ALFP encoding of the equations; vectors indexed by label).

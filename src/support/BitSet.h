@@ -1,0 +1,129 @@
+//===- support/BitSet.h - Packed fixed-universe bit set ---------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A packed bit set over a fixed universe 0..size()-1, stored as uint64
+/// words with word-at-a-time lattice operations. This is the dense carrier
+/// the paper's Section 7 has in mind when it calls the analysis "a
+/// combination of three bit-vector frameworks": the rd solvers number
+/// their (Resource, Label) domains densely (rd/DenseDomain.h) and run the
+/// fixpoints over BitSets instead of sorted-vector PairSets.
+///
+/// All binary operations require both operands to share one universe size;
+/// unionWith returns whether any bit was newly set, which is exactly the
+/// grew-check the worklist solvers need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_SUPPORT_BITSET_H
+#define VIF_SUPPORT_BITSET_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vif {
+
+class BitSet {
+public:
+  BitSet() = default;
+  explicit BitSet(size_t NumBits) { resize(NumBits); }
+
+  /// Resets to \p NumBits bits, all clear.
+  void resize(size_t NumBits) {
+    NumBitsVal = NumBits;
+    Words.assign((NumBits + 63) / 64, 0);
+  }
+
+  size_t size() const { return NumBitsVal; }
+
+  void set(size_t I) {
+    assert(I < NumBitsVal && "bit index out of range");
+    Words[I >> 6] |= uint64_t(1) << (I & 63);
+  }
+
+  void reset(size_t I) {
+    assert(I < NumBitsVal && "bit index out of range");
+    Words[I >> 6] &= ~(uint64_t(1) << (I & 63));
+  }
+
+  bool test(size_t I) const {
+    assert(I < NumBitsVal && "bit index out of range");
+    return (Words[I >> 6] >> (I & 63)) & 1;
+  }
+
+  /// this := this ∪ O; returns true if this grew.
+  bool unionWith(const BitSet &O) {
+    assert(O.NumBitsVal == NumBitsVal && "universe mismatch");
+    uint64_t GrewBits = 0;
+    for (size_t I = 0; I < Words.size(); ++I) {
+      uint64_t New = Words[I] | O.Words[I];
+      GrewBits |= New ^ Words[I];
+      Words[I] = New;
+    }
+    return GrewBits != 0;
+  }
+
+  /// this := this ∩ O.
+  void intersectWith(const BitSet &O) {
+    assert(O.NumBitsVal == NumBitsVal && "universe mismatch");
+    for (size_t I = 0; I < Words.size(); ++I)
+      Words[I] &= O.Words[I];
+  }
+
+  /// this := this \ O (and-not).
+  void subtract(const BitSet &O) {
+    assert(O.NumBitsVal == NumBitsVal && "universe mismatch");
+    for (size_t I = 0; I < Words.size(); ++I)
+      Words[I] &= ~O.Words[I];
+  }
+
+  /// Clears every bit, keeping the universe size.
+  void clearAll() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  bool none() const {
+    for (uint64_t W : Words)
+      if (W)
+        return false;
+    return true;
+  }
+
+  size_t count() const {
+    size_t N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<size_t>(__builtin_popcountll(W));
+    return N;
+  }
+
+  /// Calls \p F(index) for every set bit, ascending.
+  template <typename Fn> void forEach(Fn F) const {
+    for (size_t WI = 0; WI < Words.size(); ++WI) {
+      uint64_t W = Words[WI];
+      while (W) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(W));
+        F((WI << 6) + Bit);
+        W &= W - 1;
+      }
+    }
+  }
+
+  bool operator==(const BitSet &O) const {
+    return NumBitsVal == O.NumBitsVal && Words == O.Words;
+  }
+  bool operator!=(const BitSet &O) const { return !(*this == O); }
+
+private:
+  size_t NumBitsVal = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace vif
+
+#endif // VIF_SUPPORT_BITSET_H

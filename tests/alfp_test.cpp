@@ -33,6 +33,42 @@ TEST(Alfp, FactsAndQueries) {
   EXPECT_EQ(P.derivedCount(), 0u);
 }
 
+TEST(Alfp, NullaryRelationsIterateAndDerive) {
+  // Arity-0 relations hold at most one (empty) row; the flat store must
+  // still iterate and derive it (regression: a pointer-striding iterator
+  // with stride 0 made begin() == end() while size() == 1).
+  alfp::Program P;
+  RelId Go = P.relation("go", 0);
+  RelId Done = P.relation("done", 0);
+  P.fact(Go, {});
+  P.clause({Literal{Done, false, {}}, {Literal{Go, false, {}}}});
+  ASSERT_TRUE(P.solve());
+  EXPECT_TRUE(P.contains(Done, {}));
+  EXPECT_EQ(P.derivedCount(), 1u);
+  size_t Rows = 0;
+  for (const Atom *T : P.tuples(Go)) {
+    (void)T;
+    ++Rows;
+  }
+  EXPECT_EQ(Rows, 1u);
+}
+
+TEST(Alfp, OverwideLiteralIsDiagnosed) {
+  // The join loop tracks fresh bindings in a 64-bit position mask; wider
+  // body literals must be rejected up front, not silently corrupted.
+  alfp::Program P;
+  unsigned Wide = static_cast<unsigned>(alfp::Program::MaxLiteralArity) + 1;
+  RelId R = P.relation("r", Wide);
+  RelId Q = P.relation("q", 1);
+  std::vector<Term> Args;
+  for (unsigned I = 0; I < Wide; ++I)
+    Args.push_back(Term::var(I));
+  P.clause({Literal{Q, false, {Term::var(0)}}, {Literal{R, false, Args}}});
+  std::string Error;
+  EXPECT_FALSE(P.solve(&Error));
+  EXPECT_NE(Error.find("arity"), std::string::npos) << Error;
+}
+
 TEST(Alfp, TransitiveClosure) {
   alfp::Program P;
   RelId Edge = P.relation("edge", 2);

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Compare fresh google-benchmark JSON runs against committed baselines.
+
+Usage:
+    tools/bench_compare.py FRESH.json [FRESH2.json ...]
+        [--baselines bench/baselines] [--baseline FILE]
+        [--tolerance 1.5]
+
+Each FRESH.json (as produced by `bench_x --benchmark_format=json`) is
+matched against the baseline of the same basename inside --baselines,
+unless --baseline names one file explicitly (only valid with a single
+fresh file). A benchmark regresses when
+
+    fresh_real_time > tolerance * baseline_real_time
+
+Aggregate rows (`*_BigO`, `*_RMS`, mean/median/stddev) are skipped;
+benchmarks present on only one side are reported but never fail the
+check, so adding or retiring benchmarks does not break CI.
+
+Exit status: 0 all within tolerance, 1 at least one regression, 2 bad
+invocation or unreadable files.
+
+Baselines are machine-dependent (see bench/baselines/README.md): run the
+comparison on the machine that produced the baselines, and keep the
+tolerance generous — the default 1.5x absorbs normal scheduler noise
+while still catching order-of-magnitude rots.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    """Returns {name: real_time_ns} for the comparable rows of one run."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_compare: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for row in doc.get("benchmarks", []):
+        name = row.get("name", "")
+        if row.get("run_type") == "aggregate":
+            continue
+        if name.endswith("_BigO") or name.endswith("_RMS"):
+            continue
+        if "real_time" not in row:
+            continue
+        out[name] = row["real_time"] * _UNIT_NS.get(row.get("time_unit", "ns"), 1.0)
+    return out
+
+
+def human(ns):
+    for unit, div in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= div:
+            return f"{ns / div:.2f}{unit}"
+    return f"{ns:.0f}ns"
+
+
+def compare(fresh_path, baseline_path, tolerance):
+    fresh = load_benchmarks(fresh_path)
+    base = load_benchmarks(baseline_path)
+    regressions = []
+    print(f"== {os.path.basename(fresh_path)} vs {baseline_path} "
+          f"(tolerance {tolerance:.2f}x)")
+    for name in sorted(set(fresh) | set(base)):
+        if name not in fresh:
+            print(f"  {name:44s} only in baseline (retired?)")
+            continue
+        if name not in base:
+            print(f"  {name:44s} only in fresh run (new)")
+            continue
+        ratio = fresh[name] / base[name] if base[name] else float("inf")
+        status = "ok"
+        if ratio > tolerance:
+            status = "REGRESSED"
+            regressions.append((name, ratio))
+        elif ratio < 1.0 / tolerance:
+            status = "faster"
+        print(f"  {name:44s} {human(base[name]):>10s} -> "
+              f"{human(fresh[name]):>10s}  x{ratio:5.2f}  {status}")
+    return regressions
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("fresh", nargs="+", help="fresh benchmark JSON file(s)")
+    ap.add_argument("--baselines", default="bench/baselines",
+                    help="directory of committed BENCH_*.json baselines")
+    ap.add_argument("--baseline", default=None,
+                    help="explicit baseline file (single fresh file only)")
+    ap.add_argument("--tolerance", type=float, default=1.5,
+                    help="allowed fresh/baseline real_time ratio (default 1.5)")
+    args = ap.parse_args()
+    if args.baseline and len(args.fresh) != 1:
+        ap.error("--baseline requires exactly one fresh file")
+
+    all_regressions = []
+    for fresh_path in args.fresh:
+        baseline_path = args.baseline or os.path.join(
+            args.baselines, os.path.basename(fresh_path))
+        if not os.path.exists(baseline_path):
+            print(f"bench_compare: no baseline {baseline_path}; skipping "
+                  f"(commit one to start tracking)", file=sys.stderr)
+            continue
+        all_regressions += compare(fresh_path, baseline_path, args.tolerance)
+
+    if all_regressions:
+        print(f"bench_compare: {len(all_regressions)} regression(s):",
+              file=sys.stderr)
+        for name, ratio in all_regressions:
+            print(f"  {name}: x{ratio:.2f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

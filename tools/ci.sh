@@ -18,3 +18,21 @@ if [ -x "$BUILD_DIR/bench_fig5" ]; then
 else
   echo "bench_fig5 not built (Google Benchmark absent); skipping bench smoke"
 fi
+
+# Opt-in bench regression check: VIFC_BENCH_COMPARE=1 re-runs the key
+# binaries and diffs them against bench/baselines/ via
+# tools/bench_compare.py. Off by default — baselines are machine-
+# dependent, so this only means something on the machine that produced
+# them. Tune the allowed slowdown with VIFC_BENCH_TOLERANCE (ratio).
+if [ "${VIFC_BENCH_COMPARE:-0}" = "1" ] && [ -x "$BUILD_DIR/bench_fig5" ]; then
+  mkdir -p "$BUILD_DIR/bench-json"
+  for b in bench_fig5 bench_scaling bench_alfp; do
+    name=$(sed -e 's/bench_fig5/BENCH_closure/' -e 's/bench_/BENCH_/' <<<"$b")
+    "$BUILD_DIR/$b" --benchmark_format=json --benchmark_min_time=0.1 \
+      2>/dev/null > "$BUILD_DIR/bench-json/$name.json"
+  done
+  python3 tools/bench_compare.py "$BUILD_DIR"/bench-json/*.json \
+    --baselines bench/baselines \
+    --tolerance "${VIFC_BENCH_TOLERANCE:-1.5}"
+  echo "bench compare passed"
+fi
