@@ -1,0 +1,81 @@
+//===- bench/bench_serve.cpp - Serve-mode cache hit vs miss ---------------===//
+//
+// Part of the vif project; see DESIGN.md (Service architecture).
+//
+// What a warm session buys: the same `flows` request answered by a cold
+// server (full parse → elaborate → CFG → RD → IFA per request) vs a warm
+// one (content-hash lookup + serialization only), across design sizes.
+// The gap is the recompute cost the SessionCache elides, which is the
+// whole point of `vifc serve`; Serve_Hit also bounds the per-request
+// protocol overhead (JSON parse + response serialization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Serve.h"
+#include "driver/SessionCache.h"
+#include "support/Json.h"
+#include "workloads/Synthetic.h"
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+using namespace vif;
+
+namespace {
+
+std::string flowsRequest(const std::string &Source) {
+  return std::string("{\"schema\":\"vifc.v1\",\"command\":\"flows\","
+                     "\"source\":\"") +
+         jsonEscape(Source) + "\"}";
+}
+
+/// Every request misses: a fresh server per iteration, so each request
+/// pays the full pipeline.
+void BM_Serve_Miss(benchmark::State &State) {
+  std::string Req =
+      flowsRequest(workloads::pipelineDesign(
+          static_cast<unsigned>(State.range(0))));
+  for (auto _ : State) {
+    driver::Server S;
+    benchmark::DoNotOptimize(S.handleLine(Req));
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_Serve_Miss)->RangeMultiplier(4)->Range(4, 64)->Complexity();
+
+/// Every request after the first hits the warm session.
+void BM_Serve_Hit(benchmark::State &State) {
+  std::string Req =
+      flowsRequest(workloads::pipelineDesign(
+          static_cast<unsigned>(State.range(0))));
+  driver::Server S;
+  benchmark::DoNotOptimize(S.handleLine(Req)); // warm the cache
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.handleLine(Req));
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_Serve_Hit)->RangeMultiplier(4)->Range(4, 64)->Complexity();
+
+/// The cache layer alone, without the JSON protocol around it: acquire on
+/// a warm entry (hash + LRU bump + per-entry lock).
+void BM_SessionCache_AcquireHit(benchmark::State &State) {
+  std::string Source =
+      workloads::pipelineDesign(static_cast<unsigned>(State.range(0)));
+  driver::SessionCache Cache;
+  driver::SessionOptions Opts;
+  { Cache.acquire("warm", Source, Opts).session().ifa(); }
+  for (auto _ : State) {
+    driver::SessionCache::Ref R = Cache.acquire("warm", Source, Opts);
+    benchmark::DoNotOptimize(R.session().ifa());
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_SessionCache_AcquireHit)
+    ->RangeMultiplier(4)
+    ->Range(4, 64)
+    ->Complexity();
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -53,24 +53,28 @@ AnalysisSession AnalysisSession::fromSource(std::string Name,
   return S;
 }
 
+bool vif::driver::readSourceFile(const std::string &Path, std::string &Out) {
+  if (Path == "-") {
+    std::ostringstream SS;
+    SS << std::cin.rdbuf();
+    Out = SS.str();
+    return true;
+  }
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
 const std::string *AnalysisSession::source() {
   if (SourceState == State::NotComputed) {
     SourceState = State::Failed;
     StageTimer T(Times.ReadMs);
-    if (Name == "-") {
-      std::ostringstream SS;
-      SS << std::cin.rdbuf();
-      Src = SS.str();
+    if (readSourceFile(Name, Src))
       SourceState = State::Ok;
-    } else {
-      std::ifstream In(Name);
-      if (In) {
-        std::ostringstream SS;
-        SS << In.rdbuf();
-        Src = SS.str();
-        SourceState = State::Ok;
-      }
-    }
   }
   return SourceState == State::Ok ? &Src : nullptr;
 }

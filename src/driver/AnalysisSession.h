@@ -56,6 +56,12 @@ struct SessionOptions {
   IFAOptions Ifa;
 };
 
+/// Reads \p Path into \p Out ("-" drains stdin); false on I/O failure.
+/// The same reader AnalysisSession::source() uses, exposed so callers
+/// that need the content up front (the content-addressed SessionCache)
+/// read it identically.
+bool readSourceFile(const std::string &Path, std::string &Out);
+
 /// One design's trip through the pipeline, artifacts computed on demand.
 class AnalysisSession {
 public:

@@ -6,8 +6,9 @@
 
 #include "driver/Batch.h"
 
+#include "driver/Serialize.h"
+#include "driver/SessionCache.h"
 #include "ifa/Report.h"
-#include "support/Json.h"
 
 #include <algorithm>
 #include <atomic>
@@ -53,13 +54,13 @@ void recordGraph(DesignResult &D, const Digraph &G) {
   D.Edges = G.sortedEdges();
 }
 
-DesignResult analyzeOne(const BatchInput &In, const BatchOptions &Opts) {
-  AnalysisSession S =
-      In.Source ? AnalysisSession::fromSource(In.Name, *In.Source,
-                                              Opts.Session)
-                : AnalysisSession::fromFile(In.Name, Opts.Session);
+/// Drives \p S through the artifacts \p Opts.Mode needs and records the
+/// outcome under the *requested* name (a cached session may have been
+/// inserted under a different path with identical content).
+DesignResult resultFromSession(AnalysisSession &S, const std::string &Name,
+                               const BatchOptions &Opts) {
   DesignResult D;
-  D.Name = In.Name;
+  D.Name = Name;
 
   const ElaboratedProgram *P = S.program();
   if (P) {
@@ -139,6 +140,41 @@ DesignResult analyzeOne(const BatchInput &In, const BatchOptions &Opts) {
 
 } // namespace
 
+DesignResult vif::driver::analyzeDesign(const BatchInput &In,
+                                        const BatchOptions &Opts) {
+  if (Opts.Cache) {
+    // Content-addressed path: read the input first so the cache can key
+    // on its bytes. Unreadable inputs fall through to the uncached path,
+    // which reproduces the cannot-read result cheaply.
+    auto ReadStart = std::chrono::steady_clock::now();
+    std::string FileSource;
+    bool Readable = In.Source || readSourceFile(In.Name, FileSource);
+    double ReadMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - ReadStart)
+                        .count();
+    if (Readable) {
+      // Inline sources go in as a view (no copy on a hit); file reads
+      // hand their buffer over.
+      SessionCache::Ref Ref =
+          In.Source
+              ? Opts.Cache->acquire(In.Name, *In.Source, Opts.Session)
+              : Opts.Cache->acquireOwned(In.Name, std::move(FileSource),
+                                         Opts.Session);
+      DesignResult D = resultFromSession(Ref.session(), In.Name, Opts);
+      D.CacheHit = Ref.hit();
+      // The session never read a file (it was built fromSource), so its
+      // ReadMs is 0; report this request's read instead.
+      D.Timings.ReadMs += ReadMs;
+      return D;
+    }
+  }
+  AnalysisSession S =
+      In.Source ? AnalysisSession::fromSource(In.Name, *In.Source,
+                                              Opts.Session)
+                : AnalysisSession::fromFile(In.Name, Opts.Session);
+  return resultFromSession(S, In.Name, Opts);
+}
+
 BatchResult vif::driver::runBatch(const std::vector<BatchInput> &Inputs,
                                   const BatchOptions &Opts) {
   auto Start = std::chrono::steady_clock::now();
@@ -160,12 +196,12 @@ BatchResult vif::driver::runBatch(const std::vector<BatchInput> &Inputs,
 
   if (Jobs <= 1) {
     for (size_t I = 0; I < N; ++I)
-      R.Designs[I] = analyzeOne(Inputs[I], Opts);
+      R.Designs[I] = analyzeDesign(Inputs[I], Opts);
   } else {
     std::atomic<size_t> Next{0};
     auto Worker = [&] {
       for (size_t I = Next.fetch_add(1); I < N; I = Next.fetch_add(1))
-        R.Designs[I] = analyzeOne(Inputs[I], Opts);
+        R.Designs[I] = analyzeDesign(Inputs[I], Opts);
     };
     std::vector<std::thread> Pool;
     Pool.reserve(Jobs);
@@ -222,86 +258,5 @@ void vif::driver::printBatchText(std::ostream &OS, const BatchResult &R,
 
 void vif::driver::printBatchJson(std::ostream &OS, const BatchResult &R,
                                  const BatchOptions &Opts) {
-  JsonWriter J(OS);
-  J.beginObject();
-  J.member("command", batchModeName(Opts.Mode));
-  if (Opts.Mode == BatchMode::Flows)
-    J.member("method", flowMethodName(Opts.Method));
-
-  J.key("designs");
-  J.beginArray();
-  for (const DesignResult &D : R.Designs) {
-    J.beginObject();
-    J.member("file", D.Name);
-    J.member("status", D.Ok ? "ok" : "error");
-    if (D.Unreadable)
-      J.member("unreadable", true);
-    if (!D.Diagnostics.empty())
-      J.member("diagnostics", D.Diagnostics);
-    if (D.Ok) {
-      J.member("processes", D.NumProcesses);
-      J.member("signals", D.NumSignals);
-      J.member("variables", D.NumVariables);
-    }
-    if (D.Ok &&
-        (Opts.Mode == BatchMode::Flows || Opts.Mode == BatchMode::Report)) {
-      J.key("graph");
-      J.beginObject();
-      J.member("nodes", D.NumNodes);
-      J.member("edges", D.NumEdges);
-      J.key("edgeList");
-      J.beginArray();
-      for (const auto &[From, To] : D.Edges) {
-        J.beginObject();
-        J.member("from", From);
-        J.member("to", To);
-        J.endObject();
-      }
-      J.endArray();
-      J.endObject();
-    }
-    if (D.Ok && Opts.Mode == BatchMode::Matrices) {
-      J.key("matrices");
-      J.beginObject();
-      J.member("rmlo", D.RMloEntries);
-      J.member("rmgl", D.RMglEntries);
-      J.endObject();
-    }
-    if (D.Ok && Opts.Mode == BatchMode::Report) {
-      J.key("violations");
-      J.beginArray();
-      for (const PolicyViolation &V : D.Violations) {
-        J.beginObject();
-        J.member("from", V.From);
-        J.member("to", V.To);
-        J.member("viaPath", V.ViaPath);
-        J.endObject();
-      }
-      J.endArray();
-    }
-    J.key("timings");
-    J.beginObject();
-    J.member("readMs", D.Timings.ReadMs);
-    J.member("parseMs", D.Timings.ParseMs);
-    J.member("elaborateMs", D.Timings.ElaborateMs);
-    J.member("cfgMs", D.Timings.CfgMs);
-    J.member("ifaMs", D.Timings.IfaMs);
-    J.member("kemmererMs", D.Timings.KemmererMs);
-    J.member("alfpMs", D.Timings.AlfpMs);
-    J.member("totalMs", D.Timings.totalMs());
-    J.endObject();
-    J.endObject();
-  }
-  J.endArray();
-
-  J.key("summary");
-  J.beginObject();
-  J.member("designs", R.Designs.size());
-  J.member("ok", R.NumOk);
-  J.member("failed", R.NumFailed);
-  if (Opts.Mode == BatchMode::Report)
-    J.member("violations", R.NumViolations);
-  J.member("wallMs", R.WallMs);
-  J.endObject();
-  J.endObject();
+  writeBatchDocument(OS, R, Opts);
 }

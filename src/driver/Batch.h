@@ -30,6 +30,8 @@
 namespace vif {
 namespace driver {
 
+class SessionCache;
+
 /// One batch input: a file path, or an in-memory source labeled \p Name.
 /// A path of "-" reads stdin; at most one input should do so — stdin is a
 /// single stream, so runBatch serializes the whole batch (Jobs = 1) when
@@ -62,6 +64,12 @@ struct BatchOptions {
   /// needs them; JSON consumers (counts + verdicts only) turn this off so
   /// large suites don't pay for formatting that is thrown away.
   bool CaptureRenderedText = true;
+  /// When set, sessions come from this content-addressed cache instead of
+  /// being built fresh: designs whose (source, options) were seen before —
+  /// in this batch or by an earlier request against the same cache (the
+  /// `vifc serve` case) — reuse every artifact already computed. Inputs
+  /// that cannot be read bypass the cache. Not owned.
+  SessionCache *Cache = nullptr;
 };
 
 /// The outcome of one design, in input order.
@@ -70,6 +78,9 @@ struct DesignResult {
   bool Ok = false;
   /// I/O failure reading the input (vs analysis diagnostics).
   bool Unreadable = false;
+  /// The session came out of BatchOptions::Cache warm (meaningless when
+  /// no cache was configured).
+  bool CacheHit = false;
   /// Rendered diagnostics — errors on failure, warnings/notes otherwise.
   std::string Diagnostics;
   StageTimings Timings;
@@ -106,6 +117,11 @@ struct BatchResult {
   bool allOk() const { return NumFailed == 0; }
 };
 
+/// Analyzes one input end-to-end — through BatchOptions::Cache when set —
+/// and never fails fatally. The unit runBatch fans out and `vifc serve`
+/// answers single requests with.
+DesignResult analyzeDesign(const BatchInput &In, const BatchOptions &Opts);
+
 /// Analyzes every input; failures are recorded, never fatal. Results come
 /// back in input order regardless of scheduling.
 BatchResult runBatch(const std::vector<BatchInput> &Inputs,
@@ -115,7 +131,8 @@ BatchResult runBatch(const std::vector<BatchInput> &Inputs,
 void printBatchText(std::ostream &OS, const BatchResult &R,
                     const BatchOptions &Opts);
 
-/// One JSON document with a per-design array and a summary object.
+/// One vifc.v1 JSON document with a per-design array and a summary
+/// object (delegates to driver/Serialize.h's writeBatchDocument).
 void printBatchJson(std::ostream &OS, const BatchResult &R,
                     const BatchOptions &Opts);
 

@@ -1,0 +1,415 @@
+//===- driver/Serve.cpp ---------------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Serve.h"
+
+#include "driver/Batch.h"
+#include "driver/Serialize.h"
+#include "support/JsonParse.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include <csignal>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace vif;
+using namespace vif::driver;
+
+namespace {
+
+/// One decoded, validated request. Validation is strict: the wire format
+/// is versioned, so an unknown member is a client bug to report, not
+/// noise to ignore (docs/SERVER.md).
+struct ServeRequest {
+  std::string Command;
+  std::string Path;
+  bool HasSource = false;
+  std::string Source;
+  std::string Name;
+  BatchMode Mode = BatchMode::Check;
+  FlowMethod Method = FlowMethod::Native;
+  SessionOptions Session;
+  FlowPolicy Policy;
+};
+
+bool isAnalysisCommand(const std::string &C, BatchMode &Mode) {
+  if (C == "check")
+    Mode = BatchMode::Check;
+  else if (C == "flows")
+    Mode = BatchMode::Flows;
+  else if (C == "rm")
+    Mode = BatchMode::Matrices;
+  else if (C == "report")
+    Mode = BatchMode::Report;
+  else
+    return false;
+  return true;
+}
+
+/// Returns the name of the first duplicated member of \p Obj, or "".
+/// The protocol is strict about duplicates: last-one-wins would silently
+/// analyze the wrong input, and our find() lookups take the first.
+std::string firstDuplicateMember(const JsonValue &Obj) {
+  for (size_t I = 0; I < Obj.members().size(); ++I)
+    for (size_t J = I + 1; J < Obj.members().size(); ++J)
+      if (Obj.members()[I].first == Obj.members()[J].first)
+        return Obj.members()[I].first;
+  return "";
+}
+
+/// Fills \p R from the request's "options" object; returns an error
+/// message, or "" on success.
+std::string parseRequestOptions(const JsonValue &Options, ServeRequest &R) {
+  if (!Options.isObject())
+    return "\"options\" must be an object";
+  if (std::string Dup = firstDuplicateMember(Options); !Dup.empty())
+    return "duplicate option \"" + Dup + "\"";
+  for (const auto &[Key, Value] : Options.members()) {
+    if (Key == "statements" || Key == "improved" || Key == "endOut") {
+      if (!Value.isBool())
+        return "option \"" + Key + "\" must be a boolean";
+      if (Key == "statements")
+        R.Session.Statements = Value.asBool();
+      else if (Key == "improved")
+        R.Session.Ifa.Improved = Value.asBool();
+      else
+        R.Session.Ifa.ProgramEndOutgoing = Value.asBool();
+    } else if (Key == "method") {
+      if (R.Mode != BatchMode::Flows)
+        return "option \"method\" only applies to \"flows\"";
+      if (!Value.isString())
+        return "option \"method\" must be a string";
+      const std::string &M = Value.asString();
+      if (M == "native")
+        R.Method = FlowMethod::Native;
+      else if (M == "alfp")
+        R.Method = FlowMethod::Alfp;
+      else if (M == "kemmerer")
+        R.Method = FlowMethod::Kemmerer;
+      else
+        return "unknown method \"" + M + "\"";
+    } else if (Key == "forbid") {
+      if (R.Mode != BatchMode::Report)
+        return "option \"forbid\" only applies to \"report\"";
+      if (!Value.isArray())
+        return "option \"forbid\" must be an array";
+      for (const JsonValue &Rule : Value.elements()) {
+        const JsonValue *From = Rule.isObject() ? Rule.find("from") : nullptr;
+        const JsonValue *To = Rule.isObject() ? Rule.find("to") : nullptr;
+        if (!From || !To || !From->isString() || !To->isString() ||
+            Rule.members().size() != 2)
+          return "each \"forbid\" rule must be {\"from\": ..., \"to\": ...}";
+        R.Policy.Forbidden.push_back({From->asString(), To->asString()});
+      }
+    } else {
+      return "unknown option \"" + Key + "\"";
+    }
+  }
+  return "";
+}
+
+/// Decodes the already-parsed request object into \p R; returns an error
+/// message, or "" on success. "schema" and "id" were handled by the
+/// caller.
+std::string parseRequest(const JsonValue &Doc, ServeRequest &R) {
+  if (std::string Dup = firstDuplicateMember(Doc); !Dup.empty())
+    return "duplicate member \"" + Dup + "\"";
+  const JsonValue *Options = nullptr;
+  for (const auto &[Key, Value] : Doc.members()) {
+    if (Key == "schema" || Key == "id")
+      continue;
+    if (Key == "command") {
+      if (!Value.isString())
+        return "\"command\" must be a string";
+      R.Command = Value.asString();
+    } else if (Key == "path") {
+      if (!Value.isString())
+        return "\"path\" must be a string";
+      R.Path = Value.asString();
+    } else if (Key == "source") {
+      if (!Value.isString())
+        return "\"source\" must be a string";
+      R.HasSource = true;
+      R.Source = Value.asString();
+    } else if (Key == "name") {
+      if (!Value.isString())
+        return "\"name\" must be a string";
+      R.Name = Value.asString();
+    } else if (Key == "options") {
+      Options = &Value;
+    } else {
+      return "unknown member \"" + Key + "\"";
+    }
+  }
+
+  if (R.Command.empty())
+    return "missing \"command\"";
+  bool Analysis = isAnalysisCommand(R.Command, R.Mode);
+  if (!Analysis && R.Command != "ping" && R.Command != "stats" &&
+      R.Command != "shutdown")
+    return "unknown command \"" + R.Command + "\"";
+
+  if (!Analysis) {
+    if (!R.Path.empty() || R.HasSource || !R.Name.empty() || Options)
+      return "\"" + R.Command + "\" takes no input or options";
+    return "";
+  }
+
+  if (R.HasSource == !R.Path.empty())
+    return "exactly one of \"path\" or \"source\" is required";
+  if (R.Path == "-")
+    return "\"path\": \"-\" is not valid here: stdin is the transport";
+  if (!R.Name.empty() && !R.HasSource)
+    return "\"name\" only labels an inline \"source\"";
+  if (Options)
+    return parseRequestOptions(*Options, R);
+  return "";
+}
+
+/// Echoes the request's "id" member (validated as string/number/null).
+/// Integral numbers round-trip exactly; fractional ones go through the
+/// writer's %.6g double formatting (SERVER.md tells clients to use
+/// strings or integers).
+void writeId(JsonWriter &J, const JsonValue *Id) {
+  if (!Id)
+    return;
+  J.key("id");
+  if (Id->isString()) {
+    J.value(Id->asString());
+  } else if (Id->isNumber()) {
+    double N = Id->asNumber();
+    // 2^53: the largest range where double holds integers exactly.
+    if (N == std::floor(N) && std::abs(N) <= 9007199254740992.0)
+      J.value(static_cast<long long>(N));
+    else
+      J.value(N);
+  } else {
+    J.null();
+  }
+}
+
+std::string errorResponse(const JsonValue *Id, std::string_view Code,
+                          std::string_view Message) {
+  std::ostringstream OS;
+  JsonWriter J(OS, JsonStyle::Compact);
+  J.beginObject();
+  writeSchemaTag(J);
+  writeId(J, Id);
+  J.member("status", "error");
+  writeErrorObject(J, Code, Message);
+  J.endObject();
+  return OS.str();
+}
+
+} // namespace
+
+Server::Server(ServeOptions Opts)
+    : Opts(Opts), Cache(Opts.CacheCapacity) {}
+
+std::string Server::handleLine(const std::string &Line) {
+  ++Requests;
+  auto Start = std::chrono::steady_clock::now();
+
+  std::string ParseError;
+  std::optional<JsonValue> Doc = parseJson(Line, &ParseError);
+  if (!Doc)
+    return errorResponse(nullptr, "parse-error", ParseError);
+  if (!Doc->isObject())
+    return errorResponse(nullptr, "bad-request",
+                         "request must be a JSON object");
+
+  const JsonValue *Id = Doc->find("id");
+  if (Id && !Id->isString() && !Id->isNumber() && !Id->isNull())
+    return errorResponse(nullptr, "bad-request",
+                         "\"id\" must be a string, number or null");
+  if (const JsonValue *Schema = Doc->find("schema")) {
+    if (!Schema->isString() || Schema->asString() != SchemaVersion)
+      return errorResponse(Id, "unsupported-schema",
+                           std::string("this server speaks \"") +
+                               SchemaVersion + "\"");
+  }
+
+  ServeRequest R;
+  R.Session = Opts.Session;
+  if (std::string Msg = parseRequest(*Doc, R); !Msg.empty())
+    return errorResponse(Id, "bad-request", Msg);
+
+  std::ostringstream OS;
+  JsonWriter J(OS, JsonStyle::Compact);
+
+  if (R.Command == "ping" || R.Command == "shutdown") {
+    if (R.Command == "shutdown")
+      ShuttingDown = true;
+    J.beginObject();
+    writeSchemaTag(J);
+    writeId(J, Id);
+    J.member("command", R.Command);
+    J.member("status", "ok");
+    J.endObject();
+    return OS.str();
+  }
+
+  if (R.Command == "stats") {
+    J.beginObject();
+    writeSchemaTag(J);
+    writeId(J, Id);
+    J.member("command", R.Command);
+    J.member("status", "ok");
+    J.member("requests", Requests);
+    writeCacheObject(J, Cache);
+    J.endObject();
+    return OS.str();
+  }
+
+  BatchOptions B;
+  B.Mode = R.Mode;
+  B.Method = R.Method;
+  B.Session = R.Session;
+  B.Policy = std::move(R.Policy);
+  B.CaptureRenderedText = false;
+  B.Cache = &Cache;
+
+  BatchInput In;
+  if (R.HasSource) {
+    In.Name = R.Name.empty() ? "<request>" : R.Name;
+    In.Source = std::move(R.Source);
+  } else {
+    In.Name = R.Path;
+  }
+
+  DesignResult D = analyzeDesign(In, B);
+  double WallMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+
+  J.beginObject();
+  writeSchemaTag(J);
+  writeId(J, Id);
+  J.member("command", R.Command);
+  if (R.Mode == BatchMode::Flows)
+    J.member("method", flowMethodName(R.Method));
+  writeDesignBody(J, D, B);
+  J.member("wallMs", WallMs);
+  writeCacheObject(J, Cache);
+  J.endObject();
+  return OS.str();
+}
+
+void Server::run(std::istream &In, std::ostream &Out) {
+  std::string Line;
+  while (!ShuttingDown && std::getline(In, Line)) {
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    if (Line.empty())
+      continue;
+    Out << handleLine(Line) << '\n' << std::flush;
+  }
+}
+
+bool Server::serveFd(int Fd, std::string *Error) {
+  // A peer that disconnects before reading its response must cost us an
+  // EPIPE write error (handled below), not a fatal SIGPIPE — also when
+  // callers hand us their own fd without going through listenAndServe.
+  std::signal(SIGPIPE, SIG_IGN);
+  auto fail = [&](const char *What) {
+    if (Error)
+      *Error = std::string(What) + ": " + std::strerror(errno);
+    return false;
+  };
+  auto respond = [&](std::string Line) {
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    if (Line.empty())
+      return true;
+    std::string Resp = handleLine(Line);
+    Resp += '\n';
+    size_t Off = 0;
+    while (Off < Resp.size()) {
+      ssize_t W = ::write(Fd, Resp.data() + Off, Resp.size() - Off);
+      if (W < 0) {
+        if (errno == EINTR)
+          continue;
+        return fail("write");
+      }
+      Off += static_cast<size_t>(W);
+    }
+    return true;
+  };
+
+  std::string Buf;
+  char Chunk[4096];
+  while (!ShuttingDown) {
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return fail("read");
+    }
+    if (N == 0)
+      break;
+    Buf.append(Chunk, static_cast<size_t>(N));
+    size_t NL;
+    while (!ShuttingDown && (NL = Buf.find('\n')) != std::string::npos) {
+      std::string Line = Buf.substr(0, NL);
+      Buf.erase(0, NL + 1);
+      if (!respond(std::move(Line)))
+        return false;
+    }
+  }
+  // A final request without a trailing newline still deserves an answer.
+  if (!ShuttingDown && !Buf.empty())
+    return respond(std::move(Buf));
+  return true;
+}
+
+bool Server::listenAndServe(uint16_t Port, std::string *Error) {
+  auto fail = [&](const char *What, int Sock) {
+    if (Error)
+      *Error = std::string(What) + ": " + std::strerror(errno);
+    if (Sock >= 0)
+      ::close(Sock);
+    return false;
+  };
+
+  int Sock = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Sock < 0)
+    return fail("socket", -1);
+  int One = 1;
+  ::setsockopt(Sock, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(Sock, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0)
+    return fail("bind", Sock);
+  if (::listen(Sock, 8) < 0)
+    return fail("listen", Sock);
+
+  while (!ShuttingDown) {
+    int Conn = ::accept(Sock, nullptr, nullptr);
+    if (Conn < 0) {
+      if (errno == EINTR)
+        continue;
+      return fail("accept", Sock);
+    }
+    // One client at a time; a dropped connection is the client's
+    // problem, not the listener's.
+    serveFd(Conn, nullptr);
+    ::close(Conn);
+  }
+  ::close(Sock);
+  return true;
+}

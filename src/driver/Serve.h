@@ -1,0 +1,85 @@
+//===- driver/Serve.h - Long-lived analysis server --------------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `vifc serve`: a long-lived request loop that keeps AnalysisSessions
+/// warm behind a content-addressed SessionCache, so re-analyzing an
+/// unchanged design answers from cached artifacts instead of recomputing
+/// the pipeline. The protocol is line-delimited JSON — one request object
+/// per line in, one vifc.v1 response document per line out — spoken over
+/// stdin/stdout or an optional loopback TCP listener. docs/SERVER.md is
+/// the normative protocol walkthrough; docs/SCHEMA.md specifies the
+/// response documents.
+///
+/// The core is transport-agnostic: handleLine() maps one request string
+/// to one response string, and the stdio/fd/TCP loops are thin wrappers —
+/// which is also what makes the server testable in-process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_DRIVER_SERVE_H
+#define VIF_DRIVER_SERVE_H
+
+#include "driver/SessionCache.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace vif {
+namespace driver {
+
+struct ServeOptions {
+  /// LRU capacity of the session cache (entries, not bytes).
+  size_t CacheCapacity = SessionCache::DefaultCapacity;
+  /// Session defaults a request's "options" object overrides per field.
+  SessionOptions Session;
+};
+
+/// One server: a session cache plus request counters. Not itself
+/// thread-safe — requests are handled one at a time per server (the cache
+/// underneath is thread-safe, so sharing one across servers is fine).
+class Server {
+public:
+  explicit Server(ServeOptions Opts = ServeOptions());
+
+  /// Handles one request line and returns the one-line JSON response
+  /// (no trailing newline). Never throws; malformed input yields an
+  /// error-object response. A "shutdown" request flips shuttingDown().
+  std::string handleLine(const std::string &Line);
+
+  /// True once a shutdown request was served; loops exit after writing
+  /// its response.
+  bool shuttingDown() const { return ShuttingDown; }
+
+  /// The stdio loop: one request per line on \p In, one response per
+  /// line on \p Out (flushed per response). Returns at EOF or shutdown.
+  /// Blank lines are ignored.
+  void run(std::istream &In, std::ostream &Out);
+
+  /// The same loop over a connected file descriptor (one client).
+  /// Returns false with \p Error set on a transport failure.
+  bool serveFd(int Fd, std::string *Error = nullptr);
+
+  /// Binds 127.0.0.1:\p Port and serves connections one at a time until
+  /// a shutdown request arrives. Loopback only: the protocol has no
+  /// authentication, so it must not listen on routable interfaces.
+  bool listenAndServe(uint16_t Port, std::string *Error = nullptr);
+
+  SessionCache &cache() { return Cache; }
+  uint64_t requestsHandled() const { return Requests; }
+
+private:
+  ServeOptions Opts;
+  SessionCache Cache;
+  uint64_t Requests = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace driver
+} // namespace vif
+
+#endif // VIF_DRIVER_SERVE_H

@@ -1,0 +1,137 @@
+//===- driver/SessionCache.h - Content-addressed session cache -*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe LRU cache of AnalysisSessions keyed by the content hash
+/// of the VHDL source text plus the analysis options. Re-analyzing an
+/// unchanged design reuses every artifact the cached session already
+/// computed (parse → elaborate → CFG → RD → IFA, lazily, at most once —
+/// AnalysisSession's contract), so a cache hit that only needs `check`
+/// data costs nothing beyond the hash, and a later `flows` request on the
+/// same source extends the same session instead of starting over. This is
+/// the warm-session substrate behind `vifc serve` and the batch runner
+/// (docs/SERVER.md describes the service semantics).
+///
+/// The key is content-addressed: the input's *name* does not participate,
+/// so identical sources under different paths share one entry (rendered
+/// diagnostics carry line:col only, never the name, which keeps that
+/// sharing observable only as a speedup). The analysis mode (check vs
+/// flows vs report) and the policy are not in the key either — they
+/// select which artifacts of the session are consumed, not how they are
+/// computed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_DRIVER_SESSIONCACHE_H
+#define VIF_DRIVER_SESSIONCACHE_H
+
+#include "driver/AnalysisSession.h"
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+
+namespace vif {
+namespace driver {
+
+/// The cache key for one (source text, analysis options) pair. Every
+/// option that changes any computable artifact must be folded in —
+/// adding a knob to SessionOptions/IFAOptions/ReachingDefsOptions means
+/// extending the foreachOptionBit fold in SessionCache.cpp, which this
+/// key and the collision verifier both derive from
+/// (tests/session_cache_test.cpp pins the sensitivity of each existing
+/// knob).
+uint64_t sessionCacheKey(std::string_view Source, const SessionOptions &Opts);
+
+class SessionCache {
+public:
+  static constexpr size_t DefaultCapacity = 32;
+
+  explicit SessionCache(size_t Capacity = DefaultCapacity)
+      : Cap(Capacity ? Capacity : 1) {}
+  SessionCache(const SessionCache &) = delete;
+  SessionCache &operator=(const SessionCache &) = delete;
+
+  struct Stats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Evictions = 0;
+  };
+
+  /// An acquired session: keeps the entry alive (even across eviction)
+  /// and holds its per-entry lock, so concurrent batch workers that land
+  /// on the same content serialize their lazy computations instead of
+  /// racing. Release it (let it go out of scope) promptly.
+  class Ref {
+  public:
+    Ref(Ref &&) = default;
+    // No move-assignment: member-wise assignment would destroy the old
+    // entry (and its mutex) before Lock releases it. Bind a fresh
+    // acquire to a fresh Ref instead.
+    Ref &operator=(Ref &&) = delete;
+
+    AnalysisSession &session() const { return E->S; }
+    /// True when the session already existed (a cache hit).
+    bool hit() const { return Hit; }
+    uint64_t key() const { return E->Key; }
+
+  private:
+    friend class SessionCache;
+    struct Entry {
+      Entry(uint64_t Key, AnalysisSession S) : Key(Key), S(std::move(S)) {}
+      uint64_t Key;
+      AnalysisSession S;
+      std::mutex M;
+    };
+    Ref(std::shared_ptr<Entry> E, bool Hit)
+        : E(std::move(E)), Hit(Hit), Lock(this->E->M) {}
+
+    std::shared_ptr<Entry> E;
+    bool Hit;
+    std::unique_lock<std::mutex> Lock;
+  };
+
+  /// Returns the cached session for (\p Source, \p Opts), inserting a
+  /// fresh one (labeled \p Name) on miss and evicting the least recently
+  /// used entry beyond capacity. On a hit the session keeps the name it
+  /// was first inserted under, and the source is never copied: acquire()
+  /// only materializes an owned string on miss, acquireOwned() moves the
+  /// caller's buffer in (for callers that just read it and would
+  /// otherwise pay a second copy).
+  Ref acquire(std::string Name, std::string_view Source,
+              const SessionOptions &Opts);
+  Ref acquireOwned(std::string Name, std::string Source,
+                   const SessionOptions &Opts);
+
+  Stats stats() const;
+  size_t size() const;
+  size_t capacity() const { return Cap; }
+  void clear();
+
+private:
+  using Entry = Ref::Entry;
+
+  /// \p Owned, when non-null, is the string \p Source views and may be
+  /// moved from on miss.
+  Ref acquireImpl(std::string Name, std::string_view Source,
+                  std::string *Owned, const SessionOptions &Opts);
+
+  size_t Cap;
+  mutable std::mutex M;
+  /// Front = most recently used.
+  std::list<std::shared_ptr<Entry>> Lru;
+  std::unordered_map<uint64_t, std::list<std::shared_ptr<Entry>>::iterator>
+      Index;
+  Stats St;
+};
+
+} // namespace driver
+} // namespace vif
+
+#endif // VIF_DRIVER_SESSIONCACHE_H

@@ -66,8 +66,10 @@ void JsonWriter::prefix() {
     return;
   if (Stack.back() != 0)
     OS << ',';
-  OS << '\n';
-  indent();
+  if (!Compact) {
+    OS << '\n';
+    indent();
+  }
   ++Stack.back();
 }
 
@@ -81,19 +83,19 @@ void JsonWriter::close(char C) {
   assert(!Stack.empty() && "unbalanced JSON container");
   bool HadElements = Stack.back() != 0;
   Stack.pop_back();
-  if (HadElements) {
+  if (HadElements && !Compact) {
     OS << '\n';
     indent();
   }
   OS << C;
-  if (Stack.empty())
+  if (Stack.empty() && !Compact)
     OS << '\n';
 }
 
 void JsonWriter::key(std::string_view K) {
   assert(!AfterKey && "key without a value");
   prefix();
-  OS << '"' << jsonEscape(K) << "\": ";
+  OS << '"' << jsonEscape(K) << (Compact ? "\":" : "\": ");
   AfterKey = true;
 }
 

@@ -29,16 +29,25 @@ namespace vif {
 /// included).
 std::string jsonEscape(std::string_view S);
 
+/// Layout of an emitted document: Pretty is the human-facing multi-line
+/// form (`vifc --json`); Compact packs the whole document onto one line
+/// with no trailing newline — the shape the line-delimited `vifc serve`
+/// protocol requires (docs/SERVER.md).
+enum class JsonStyle : uint8_t { Pretty, Compact };
+
 /// Writes one JSON document. Usage:
 ///
 ///   JsonWriter J(OS);
 ///   J.beginObject();
 ///   J.key("designs"); J.beginArray(); ... J.endArray();
-///   J.endObject();   // emits the final newline
+///   J.endObject();   // emits the final newline (Pretty style only)
 class JsonWriter {
 public:
   explicit JsonWriter(std::ostream &OS, unsigned IndentWidth = 2)
       : OS(OS), IndentWidth(IndentWidth) {}
+  JsonWriter(std::ostream &OS, JsonStyle Style, unsigned IndentWidth = 2)
+      : OS(OS), IndentWidth(IndentWidth),
+        Compact(Style == JsonStyle::Compact) {}
 
   void beginObject() { open('{'); }
   void endObject() { close('}'); }
@@ -79,6 +88,8 @@ private:
 
   std::ostream &OS;
   unsigned IndentWidth;
+  /// Compact style: no newlines, no indentation, no trailing newline.
+  bool Compact = false;
   /// One entry per open container: the number of elements emitted so far.
   std::vector<size_t> Stack;
   /// True right after key(): the next value sits on the same line.

@@ -1,0 +1,370 @@
+//===- support/JsonParse.cpp ----------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/JsonParse.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace vif;
+
+JsonValue JsonValue::makeBool(bool B) {
+  JsonValue V;
+  V.K = Kind::Bool;
+  V.B = B;
+  return V;
+}
+
+JsonValue JsonValue::makeNumber(double N) {
+  JsonValue V;
+  V.K = Kind::Number;
+  V.Num = N;
+  return V;
+}
+
+JsonValue JsonValue::makeString(std::string S) {
+  JsonValue V;
+  V.K = Kind::String;
+  V.Str = std::move(S);
+  return V;
+}
+
+JsonValue JsonValue::makeArray() {
+  JsonValue V;
+  V.K = Kind::Array;
+  return V;
+}
+
+JsonValue JsonValue::makeObject() {
+  JsonValue V;
+  V.K = Kind::Object;
+  return V;
+}
+
+const JsonValue *JsonValue::find(std::string_view Key) const {
+  for (const auto &[Name, Value] : Members)
+    if (Name == Key)
+      return &Value;
+  return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view; fails fast with an
+/// offset-tagged message.
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  std::optional<JsonValue> run(std::string *Error) {
+    JsonValue V;
+    if (!parseValue(V, 0) || !expectEnd()) {
+      if (Error)
+        *Error = Err;
+      return std::nullopt;
+    }
+    return V;
+  }
+
+private:
+  /// Nested containers beyond this fail cleanly instead of deepening the
+  /// C++ call stack on hostile input.
+  static constexpr unsigned MaxDepth = 64;
+
+  bool fail(const std::string &What) {
+    if (Err.empty())
+      Err = "offset " + std::to_string(Pos) + ": " + What;
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool expectEnd() {
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing characters after the document");
+    return true;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos >= Text.size() || Text[Pos] != C)
+      return fail(std::string("expected '") + C + "'");
+    ++Pos;
+    return true;
+  }
+
+  bool literal(std::string_view Word) {
+    if (Text.compare(Pos, Word.size(), Word) != 0)
+      return fail("invalid literal");
+    Pos += Word.size();
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out, unsigned Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case 'n':
+      return literal("null") ? (Out = JsonValue(), true) : false;
+    case 't':
+      return literal("true") ? (Out = JsonValue::makeBool(true), true)
+                             : false;
+    case 'f':
+      return literal("false") ? (Out = JsonValue::makeBool(false), true)
+                              : false;
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = JsonValue::makeString(std::move(S));
+      return true;
+    }
+    case '[':
+      return parseArray(Out, Depth);
+    case '{':
+      return parseObject(Out, Depth);
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseArray(JsonValue &Out, unsigned Depth) {
+    ++Pos; // '['
+    Out = JsonValue::makeArray();
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      JsonValue Elem;
+      if (!parseValue(Elem, Depth + 1))
+        return false;
+      Out.elements().push_back(std::move(Elem));
+      skipWs();
+      if (Pos >= Text.size())
+        return fail("unterminated array");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parseObject(JsonValue &Out, unsigned Depth) {
+    ++Pos; // '{'
+    Out = JsonValue::makeObject();
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected a member name");
+      std::string Name;
+      if (!parseString(Name))
+        return false;
+      if (!consume(':'))
+        return false;
+      JsonValue Member;
+      if (!parseValue(Member, Depth + 1))
+        return false;
+      Out.members().emplace_back(std::move(Name), std::move(Member));
+      skipWs();
+      if (Pos >= Text.size())
+        return fail("unterminated object");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // opening quote
+    Out.clear();
+    while (true) {
+      if (Pos >= Text.size())
+        return fail("unterminated string");
+      unsigned char C = static_cast<unsigned char>(Text[Pos]);
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C < 0x20)
+        return fail("unescaped control character in string");
+      if (C != '\\') {
+        Out += static_cast<char>(C);
+        ++Pos;
+        continue;
+      }
+      ++Pos;
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      switch (Text[Pos]) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        ++Pos;
+        unsigned CP = 0;
+        if (!parseHex4(CP))
+          return false;
+        // Surrogate pair: a high surrogate must be followed by \uDC00-
+        // \uDFFF; combine into one code point.
+        if (CP >= 0xD800 && CP <= 0xDBFF) {
+          if (Pos + 1 >= Text.size() || Text[Pos] != '\\' ||
+              Text[Pos + 1] != 'u')
+            return fail("unpaired surrogate");
+          Pos += 2;
+          unsigned Low = 0;
+          if (!parseHex4(Low))
+            return false;
+          if (Low < 0xDC00 || Low > 0xDFFF)
+            return fail("invalid low surrogate");
+          CP = 0x10000 + ((CP - 0xD800) << 10) + (Low - 0xDC00);
+        } else if (CP >= 0xDC00 && CP <= 0xDFFF) {
+          return fail("unpaired surrogate");
+        }
+        appendUtf8(Out, CP);
+        continue; // parseHex4 already advanced Pos
+      }
+      default:
+        return fail("invalid escape");
+      }
+      ++Pos;
+    }
+  }
+
+  /// Reads exactly four hex digits at Pos into \p Out, advancing Pos.
+  bool parseHex4(unsigned &Out) {
+    if (Pos + 4 > Text.size())
+      return fail("truncated \\u escape");
+    Out = 0;
+    for (int I = 0; I < 4; ++I) {
+      char C = Text[Pos + static_cast<size_t>(I)];
+      unsigned Digit;
+      if (C >= '0' && C <= '9')
+        Digit = static_cast<unsigned>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Digit = static_cast<unsigned>(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        Digit = static_cast<unsigned>(C - 'A' + 10);
+      else
+        return fail("invalid \\u escape");
+      Out = Out * 16 + Digit;
+    }
+    Pos += 4;
+    return true;
+  }
+
+  static void appendUtf8(std::string &Out, unsigned CP) {
+    if (CP < 0x80) {
+      Out += static_cast<char>(CP);
+    } else if (CP < 0x800) {
+      Out += static_cast<char>(0xC0 | (CP >> 6));
+      Out += static_cast<char>(0x80 | (CP & 0x3F));
+    } else if (CP < 0x10000) {
+      Out += static_cast<char>(0xE0 | (CP >> 12));
+      Out += static_cast<char>(0x80 | ((CP >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (CP & 0x3F));
+    } else {
+      Out += static_cast<char>(0xF0 | (CP >> 18));
+      Out += static_cast<char>(0x80 | ((CP >> 12) & 0x3F));
+      Out += static_cast<char>(0x80 | ((CP >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (CP & 0x3F));
+    }
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    auto digits = [&] {
+      size_t N = 0;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9') {
+        ++Pos;
+        ++N;
+      }
+      return N;
+    };
+    // JSON forbids leading zeros ("01") and a bare '-'.
+    size_t IntStart = Pos;
+    if (digits() == 0)
+      return fail("invalid number");
+    if (Text[IntStart] == '0' && Pos - IntStart > 1)
+      return fail("leading zero in number");
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      ++Pos;
+      if (digits() == 0)
+        return fail("digits required after '.'");
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (digits() == 0)
+        return fail("digits required in exponent");
+    }
+    std::string Num(Text.substr(Start, Pos - Start));
+    Out = JsonValue::makeNumber(std::strtod(Num.c_str(), nullptr));
+    return true;
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  std::string Err;
+};
+
+} // namespace
+
+std::optional<JsonValue> vif::parseJson(std::string_view Text,
+                                        std::string *Error) {
+  return Parser(Text).run(Error);
+}

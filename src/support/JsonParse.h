@@ -1,0 +1,87 @@
+//===- support/JsonParse.h - Minimal JSON parser ----------------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The read side of support/Json.h: a small RFC 8259 parser producing an
+/// owning DOM (JsonValue). It exists for the `vifc serve` request decoder
+/// and for tests that validate emitted documents, so it favors strictness
+/// and clear error messages over speed: no trailing garbage, no
+/// comments, a fixed nesting-depth limit (serve parses untrusted lines —
+/// a deep bomb must fail, not overflow the stack).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_SUPPORT_JSONPARSE_H
+#define VIF_SUPPORT_JSONPARSE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vif {
+
+/// One parsed JSON value. Object members keep their source order (and
+/// duplicates), which the schema-conformance tests rely on to see every
+/// emitted field.
+class JsonValue {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() : K(Kind::Null) {}
+  static JsonValue makeBool(bool B);
+  static JsonValue makeNumber(double N);
+  static JsonValue makeString(std::string S);
+  static JsonValue makeArray();
+  static JsonValue makeObject();
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return B; }
+  double asNumber() const { return Num; }
+  const std::string &asString() const { return Str; }
+
+  /// Array elements (valid for arrays; empty otherwise).
+  const std::vector<JsonValue> &elements() const { return Elems; }
+  std::vector<JsonValue> &elements() { return Elems; }
+
+  /// Object members in source order (valid for objects; empty otherwise).
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return Members;
+  }
+  std::vector<std::pair<std::string, JsonValue>> &members() {
+    return Members;
+  }
+
+  /// First member named \p Key, or nullptr (objects only).
+  const JsonValue *find(std::string_view Key) const;
+
+private:
+  Kind K;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Elems;
+  std::vector<std::pair<std::string, JsonValue>> Members;
+};
+
+/// Parses exactly one JSON document covering all of \p Text (surrounding
+/// whitespace allowed). On failure returns nullopt and, when \p Error is
+/// non-null, stores "offset N: what went wrong".
+std::optional<JsonValue> parseJson(std::string_view Text,
+                                   std::string *Error = nullptr);
+
+} // namespace vif
+
+#endif // VIF_SUPPORT_JSONPARSE_H

@@ -39,10 +39,22 @@ if(NOT flows_out MATCHES "sel[ \t]*->[ \t]*q")
   message(FATAL_ERROR "vifc flows did not report the implicit flow sel -> q:\n${flows_out}")
 endif()
 
-# --json on a single file: machine-readable, status ok, same implicit flow.
+# --json on a single file: machine-readable, status ok, same implicit
+# flow, and the versioned schema tag leading the document.
 run_vifc(json_out flows --json)
 if(NOT json_out MATCHES [["status": "ok"]] OR NOT json_out MATCHES [["from": "sel"]])
   message(FATAL_ERROR "vifc flows --json output malformed:\n${json_out}")
+endif()
+if(NOT json_out MATCHES [["schema": "vifc.v1"]])
+  message(FATAL_ERROR "vifc flows --json lacks the vifc.v1 schema tag:\n${json_out}")
+endif()
+
+# sim and datalog also speak vifc.v1 under --json.
+run_vifc(simjson_out sim --json)
+if(NOT simjson_out MATCHES [["schema": "vifc.v1"]] OR
+   NOT simjson_out MATCHES [["command": "sim"]] OR
+   NOT simjson_out MATCHES [["status": "quiescent"]])
+  message(FATAL_ERROR "vifc sim --json output malformed:\n${simjson_out}")
 endif()
 
 # Multi-FILE batch: both designs analyzed, summary says 2 ok.
@@ -71,6 +83,40 @@ endif()
 run_vifc_rc(stdin_out 2 check - -)
 if(NOT stdin_out MATCHES "at most once")
   message(FATAL_ERROR "vifc did not reject duplicate stdin inputs:\n${stdin_out}")
+endif()
+
+# --help (anywhere) prints usage on stdout and exits 0; unknown options,
+# unknown commands and command/flag mismatches all exit 2.
+run_vifc_rc(help_out 0 --help)
+if(NOT help_out MATCHES "usage: vifc")
+  message(FATAL_ERROR "vifc --help did not print usage:\n${help_out}")
+endif()
+run_vifc_rc(help2_out 0 help)
+run_vifc_rc(help3_out 0 flows --help)
+run_vifc_rc(unknown_out 2 flows --no-such-flag ${INPUT})
+if(NOT unknown_out MATCHES "unknown option")
+  message(FATAL_ERROR "vifc unknown option not diagnosed:\n${unknown_out}")
+endif()
+run_vifc_rc(unknowncmd_out 2 frobnicate ${INPUT})
+if(NOT unknowncmd_out MATCHES "unknown command")
+  message(FATAL_ERROR "vifc unknown command not diagnosed:\n${unknowncmd_out}")
+endif()
+# ... also without a FILE, and before any flag diagnostics.
+run_vifc_rc(unknowncmd2_out 2 frobnicate)
+if(NOT unknowncmd2_out MATCHES "unknown command")
+  message(FATAL_ERROR "bare unknown command not diagnosed:\n${unknowncmd2_out}")
+endif()
+run_vifc_rc(unknowncmd3_out 2 frobnicate --json ${INPUT})
+if(NOT unknowncmd3_out MATCHES "unknown command")
+  message(FATAL_ERROR "unknown command with flag misdiagnosed:\n${unknowncmd3_out}")
+endif()
+run_vifc_rc(mismatch_out 2 check --dot ${INPUT})
+if(NOT mismatch_out MATCHES "does not apply")
+  message(FATAL_ERROR "vifc command/flag mismatch not diagnosed:\n${mismatch_out}")
+endif()
+run_vifc_rc(servefile_out 2 serve ${INPUT})
+if(NOT servefile_out MATCHES "takes no FILE")
+  message(FATAL_ERROR "vifc serve with FILE not diagnosed:\n${servefile_out}")
 endif()
 
 message(STATUS "vifc CLI smoke test passed")

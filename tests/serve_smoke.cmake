@@ -1,0 +1,55 @@
+# Serve-mode smoke test: drive the built `vifc serve` binary end-to-end
+# over stdin/stdout. Invoked by ctest as
+#   cmake -DVIFC=<path> -DINPUT=<smoke.vhd> -P serve_smoke.cmake
+# Asserts the line-delimited vifc.v1 protocol: one response per request,
+# a cache hit on the repeated request, an error object for a malformed
+# line, stats counters, and that shutdown stops the loop before later
+# requests are read.
+
+set(reqs "${CMAKE_CURRENT_BINARY_DIR}/serve_smoke_requests.jsonl")
+file(WRITE "${reqs}"
+"{\"schema\":\"vifc.v1\",\"id\":1,\"command\":\"flows\",\"path\":\"${INPUT}\"}
+{\"schema\":\"vifc.v1\",\"id\":2,\"command\":\"flows\",\"path\":\"${INPUT}\"}
+this is not json
+{\"schema\":\"vifc.v1\",\"id\":3,\"command\":\"stats\"}
+{\"schema\":\"vifc.v1\",\"id\":4,\"command\":\"shutdown\"}
+{\"schema\":\"vifc.v1\",\"id\":99,\"command\":\"ping\"}
+")
+
+execute_process(COMMAND ${VIFC} serve
+                INPUT_FILE "${reqs}"
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "vifc serve failed (rc=${rc}):\n${out}\n${err}")
+endif()
+
+# One response line per handled request (the post-shutdown ping is never
+# read): 5 lines.
+string(REGEX MATCHALL "\n" newlines "${out}")
+list(LENGTH newlines n)
+if(NOT n EQUAL 5)
+  message(FATAL_ERROR "expected 5 response lines, got ${n}:\n${out}")
+endif()
+
+foreach(want
+    [["schema":"vifc.v1"]]
+    [["id":1,"command":"flows"]]
+    [["cacheHit":false]]
+    [["cacheHit":true]]
+    [[sel]]
+    [["code":"parse-error"]]
+    [["id":3,"command":"stats","status":"ok"]]
+    [["hits":1]]
+    [["id":4,"command":"shutdown","status":"ok"]])
+  if(NOT out MATCHES "${want}")
+    message(FATAL_ERROR "serve output lacks ${want}:\n${out}")
+  endif()
+endforeach()
+
+if(out MATCHES [["id":99]])
+  message(FATAL_ERROR "serve answered a request after shutdown:\n${out}")
+endif()
+
+message(STATUS "vifc serve smoke test passed")

@@ -1,0 +1,440 @@
+//===- tests/serve_test.cpp - vifc serve protocol end-to-end --------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives driver::Server in-process: multi-request sessions, cache-hit
+/// assertions, malformed-request error objects, the fd transport over a
+/// socketpair, and a schema-conformance sweep that checks every document
+/// the serializers can emit against the field list documented in
+/// docs/SCHEMA.md.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Serialize.h"
+#include "driver/Serve.h"
+#include "support/JsonParse.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace vif;
+using namespace vif::driver;
+
+namespace {
+
+const char MuxSource[] =
+    "entity mux is port(d0 : in std_logic; d1 : in std_logic;"
+    " sel : in std_logic; q : out std_logic); end mux;"
+    " architecture rtl of mux is begin p : process begin"
+    " if sel = '1' then q <= d1; else q <= d0; end if;"
+    " wait on d0, d1, sel; end process p; end rtl;";
+
+/// Builds a {"schema","id","command","source"} request line.
+std::string muxRequest(const std::string &Command, int Id,
+                       const std::string &ExtraMembers = "") {
+  std::ostringstream OS;
+  OS << "{\"schema\":\"vifc.v1\",\"id\":" << Id << ",\"command\":\""
+     << Command << "\",\"source\":\"" << jsonEscape(MuxSource) << "\"";
+  if (!ExtraMembers.empty())
+    OS << "," << ExtraMembers;
+  OS << "}";
+  return OS.str();
+}
+
+JsonValue parseResponse(const std::string &Line) {
+  std::string Error;
+  std::optional<JsonValue> V = parseJson(Line, &Error);
+  EXPECT_TRUE(V.has_value()) << Line << " -> " << Error;
+  EXPECT_EQ(Line.find('\n'), std::string::npos)
+      << "responses must be single lines";
+  return V ? *V : JsonValue();
+}
+
+std::string str(const JsonValue &Doc, const char *Key) {
+  const JsonValue *V = Doc.find(Key);
+  return V && V->isString() ? V->asString() : std::string();
+}
+
+TEST(Serve, PingStatsShutdown) {
+  Server S;
+  JsonValue Ping = parseResponse(
+      S.handleLine(R"({"schema":"vifc.v1","id":"p1","command":"ping"})"));
+  EXPECT_EQ(str(Ping, "status"), "ok");
+  EXPECT_EQ(str(Ping, "command"), "ping");
+  EXPECT_EQ(str(Ping, "id"), "p1");
+  EXPECT_EQ(str(Ping, "schema"), "vifc.v1");
+
+  JsonValue Stats =
+      parseResponse(S.handleLine(R"({"command":"stats"})"));
+  EXPECT_EQ(str(Stats, "status"), "ok");
+  EXPECT_DOUBLE_EQ(Stats.find("requests")->asNumber(), 2.0);
+  ASSERT_NE(Stats.find("cache"), nullptr);
+  EXPECT_DOUBLE_EQ(Stats.find("cache")->find("misses")->asNumber(), 0.0);
+
+  EXPECT_FALSE(S.shuttingDown());
+  JsonValue Bye =
+      parseResponse(S.handleLine(R"({"command":"shutdown"})"));
+  EXPECT_EQ(str(Bye, "status"), "ok");
+  EXPECT_TRUE(S.shuttingDown());
+}
+
+TEST(Serve, FlowsThenCacheHit) {
+  Server S;
+  JsonValue First = parseResponse(S.handleLine(muxRequest("flows", 1)));
+  EXPECT_EQ(str(First, "status"), "ok");
+  EXPECT_EQ(str(First, "command"), "flows");
+  EXPECT_EQ(str(First, "method"), "native");
+  EXPECT_FALSE(First.find("cacheHit")->asBool());
+  const JsonValue *Graph = First.find("graph");
+  ASSERT_NE(Graph, nullptr);
+  EXPECT_DOUBLE_EQ(Graph->find("edges")->asNumber(), 3.0);
+  bool SawImplicit = false;
+  for (const JsonValue &E : Graph->find("edgeList")->elements())
+    SawImplicit |= str(E, "from") == "sel" && str(E, "to") == "q";
+  EXPECT_TRUE(SawImplicit) << "implicit flow sel -> q missing";
+
+  // Same source again: answered from the warm session.
+  JsonValue Second = parseResponse(S.handleLine(muxRequest("flows", 2)));
+  EXPECT_EQ(str(Second, "status"), "ok");
+  EXPECT_TRUE(Second.find("cacheHit")->asBool());
+  EXPECT_EQ(S.cache().stats().Hits, 1u);
+  EXPECT_EQ(S.cache().stats().Misses, 1u);
+
+  // A different command over the same source extends the same session:
+  // still a hit, no new entry.
+  JsonValue Rm = parseResponse(S.handleLine(muxRequest("rm", 3)));
+  EXPECT_EQ(str(Rm, "status"), "ok");
+  EXPECT_TRUE(Rm.find("cacheHit")->asBool());
+  ASSERT_NE(Rm.find("matrices"), nullptr);
+  EXPECT_GT(Rm.find("matrices")->find("rmgl")->asNumber(), 0.0);
+  EXPECT_EQ(S.cache().size(), 1u);
+}
+
+TEST(Serve, IdEchoRoundTrips) {
+  Server S;
+  // Large integral ids must echo exactly, not through %.6g mangling.
+  JsonValue Big = parseResponse(
+      S.handleLine(R"({"id":12345678,"command":"ping"})"));
+  ASSERT_NE(Big.find("id"), nullptr);
+  EXPECT_DOUBLE_EQ(Big.find("id")->asNumber(), 12345678.0);
+  EXPECT_NE(S.handleLine(R"({"id":12345678,"command":"ping"})")
+                .find("\"id\":12345678"),
+            std::string::npos);
+
+  JsonValue Str = parseResponse(
+      S.handleLine(R"({"id":"req-0042","command":"ping"})"));
+  EXPECT_EQ(str(Str, "id"), "req-0042");
+
+  JsonValue Null = parseResponse(
+      S.handleLine(R"({"id":null,"command":"ping"})"));
+  ASSERT_NE(Null.find("id"), nullptr);
+  EXPECT_TRUE(Null.find("id")->isNull());
+}
+
+TEST(Serve, MalformedAndInvalidRequests) {
+  Server S;
+
+  JsonValue NotJson = parseResponse(S.handleLine("this is not json"));
+  EXPECT_EQ(str(NotJson, "status"), "error");
+  EXPECT_EQ(str(*NotJson.find("error"), "code"), "parse-error");
+
+  JsonValue NotObject = parseResponse(S.handleLine("[1,2,3]"));
+  EXPECT_EQ(str(*NotObject.find("error"), "code"), "bad-request");
+
+  JsonValue BadSchema = parseResponse(
+      S.handleLine(R"({"schema":"vifc.v9","command":"ping"})"));
+  EXPECT_EQ(str(*BadSchema.find("error"), "code"), "unsupported-schema");
+
+  JsonValue NoCommand = parseResponse(S.handleLine(R"({"id":1})"));
+  EXPECT_EQ(str(*NoCommand.find("error"), "code"), "bad-request");
+
+  JsonValue BadCommand = parseResponse(
+      S.handleLine(R"({"command":"explode"})"));
+  EXPECT_EQ(str(*BadCommand.find("error"), "code"), "bad-request");
+  EXPECT_NE(str(*BadCommand.find("error"), "message").find("explode"),
+            std::string::npos);
+
+  JsonValue UnknownMember = parseResponse(
+      S.handleLine(R"({"command":"ping","frobnicate":1})"));
+  EXPECT_EQ(str(*UnknownMember.find("error"), "code"), "bad-request");
+
+  // Last-one-wins on duplicates would silently analyze the wrong input;
+  // the strict contract rejects them instead.
+  JsonValue DupMember = parseResponse(S.handleLine(
+      R"({"command":"check","path":"a.vhd","path":"b.vhd"})"));
+  EXPECT_EQ(str(*DupMember.find("error"), "code"), "bad-request");
+  EXPECT_NE(str(*DupMember.find("error"), "message").find("duplicate"),
+            std::string::npos);
+  JsonValue DupOption = parseResponse(S.handleLine(muxRequest(
+      "flows", 6, R"("options":{"improved":true,"improved":false})")));
+  EXPECT_EQ(str(*DupOption.find("error"), "code"), "bad-request");
+
+  JsonValue NoInput = parseResponse(S.handleLine(R"({"command":"flows"})"));
+  EXPECT_EQ(str(*NoInput.find("error"), "code"), "bad-request");
+
+  JsonValue BothInputs = parseResponse(S.handleLine(
+      R"({"command":"flows","path":"a.vhd","source":"entity..."})"));
+  EXPECT_EQ(str(*BothInputs.find("error"), "code"), "bad-request");
+
+  JsonValue StdinPath = parseResponse(
+      S.handleLine(R"({"command":"check","path":"-"})"));
+  EXPECT_EQ(str(*StdinPath.find("error"), "code"), "bad-request");
+
+  JsonValue BadId = parseResponse(
+      S.handleLine(R"({"command":"ping","id":[1]})"));
+  EXPECT_EQ(str(*BadId.find("error"), "code"), "bad-request");
+
+  JsonValue MethodOnCheck = parseResponse(S.handleLine(
+      muxRequest("check", 7, R"("options":{"method":"alfp"})")));
+  EXPECT_EQ(str(*MethodOnCheck.find("error"), "code"), "bad-request");
+
+  JsonValue BadOption = parseResponse(S.handleLine(
+      muxRequest("flows", 8, R"("options":{"imprved":true})")));
+  EXPECT_NE(str(*BadOption.find("error"), "message").find("imprved"),
+            std::string::npos);
+
+  // Protocol errors must not poison the server: it still answers.
+  JsonValue Ok = parseResponse(S.handleLine(muxRequest("check", 9)));
+  EXPECT_EQ(str(Ok, "status"), "ok");
+}
+
+TEST(Serve, AnalysisFailureIsAResultNotAProtocolError) {
+  Server S;
+  JsonValue R = parseResponse(S.handleLine(
+      R"({"command":"check","source":"entity broken is port("})"));
+  EXPECT_EQ(str(R, "status"), "error");
+  EXPECT_EQ(R.find("error"), nullptr) << "not a protocol error";
+  EXPECT_FALSE(str(R, "diagnostics").empty());
+
+  JsonValue Missing = parseResponse(S.handleLine(
+      R"({"command":"check","path":"/nonexistent/missing.vhd"})"));
+  EXPECT_EQ(str(Missing, "status"), "error");
+  EXPECT_TRUE(Missing.find("unreadable")->asBool());
+}
+
+TEST(Serve, PathRequestsAndOptionSensitivity) {
+  std::string Path = testing::TempDir() + "/serve_test_mux.vhd";
+  {
+    std::ofstream Out(Path);
+    Out << MuxSource;
+  }
+  Server S;
+  std::string Req = std::string(R"({"command":"flows","path":")") + Path +
+                    "\"}";
+  JsonValue First = parseResponse(S.handleLine(Req));
+  EXPECT_EQ(str(First, "status"), "ok") << str(First, "diagnostics");
+  EXPECT_EQ(str(First, "file"), Path);
+  EXPECT_FALSE(First.find("cacheHit")->asBool());
+  JsonValue Again = parseResponse(S.handleLine(Req));
+  EXPECT_TRUE(Again.find("cacheHit")->asBool());
+
+  // Different options over the same content: a distinct cache entry.
+  std::string Improved =
+      std::string(R"({"command":"flows","path":")") + Path +
+      R"(","options":{"improved":true}})";
+  JsonValue Third = parseResponse(S.handleLine(Improved));
+  EXPECT_EQ(str(Third, "status"), "ok");
+  EXPECT_FALSE(Third.find("cacheHit")->asBool());
+  EXPECT_EQ(S.cache().size(), 2u);
+
+  // Kemmerer over-approximates: at least as many edges, same session.
+  std::string Kem = std::string(R"({"command":"flows","path":")") + Path +
+                    R"(","options":{"method":"kemmerer"}})";
+  JsonValue Fourth = parseResponse(S.handleLine(Kem));
+  EXPECT_EQ(str(Fourth, "method"), "kemmerer");
+  EXPECT_TRUE(Fourth.find("cacheHit")->asBool())
+      << "method is not part of the cache key";
+  EXPECT_GE(Fourth.find("graph")->find("edges")->asNumber(),
+            First.find("graph")->find("edges")->asNumber());
+  ::unlink(Path.c_str());
+}
+
+TEST(Serve, ReportEvaluatesPolicy) {
+  Server S;
+  JsonValue R = parseResponse(S.handleLine(muxRequest(
+      "report", 1,
+      R"("options":{"forbid":[{"from":"d1","to":"q"}]})")));
+  EXPECT_EQ(str(R, "status"), "ok");
+  const JsonValue *Violations = R.find("violations");
+  ASSERT_NE(Violations, nullptr);
+  ASSERT_EQ(Violations->elements().size(), 1u);
+  EXPECT_EQ(str(Violations->elements()[0], "from"), "d1");
+  EXPECT_EQ(str(Violations->elements()[0], "to"), "q");
+}
+
+TEST(Serve, RunLoopSkipsBlanksAndStopsOnShutdown) {
+  Server S;
+  std::istringstream In(muxRequest("check", 1) + "\n\n\r\n" +
+                        R"({"command":"shutdown"})" + "\n" +
+                        muxRequest("check", 99) + "\n");
+  std::ostringstream Out;
+  S.run(In, Out);
+  std::string Text = Out.str();
+  // Two responses: the check and the shutdown; the post-shutdown line is
+  // never read.
+  EXPECT_EQ(std::count(Text.begin(), Text.end(), '\n'), 2);
+  EXPECT_EQ(Text.find("\"id\":99"), std::string::npos);
+  EXPECT_EQ(S.requestsHandled(), 2u);
+}
+
+TEST(Serve, FdTransportOverSocketpair) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+
+  std::string Payload = muxRequest("flows", 1) + "\n" +
+                        muxRequest("flows", 2) + "\r\n" +
+                        R"({"command":"shutdown"})" + "\n";
+  ASSERT_EQ(::write(Fds[1], Payload.data(), Payload.size()),
+            static_cast<ssize_t>(Payload.size()));
+  ::shutdown(Fds[1], SHUT_WR);
+
+  Server S;
+  std::string Error;
+  EXPECT_TRUE(S.serveFd(Fds[0], &Error)) << Error;
+  EXPECT_TRUE(S.shuttingDown());
+  // Close the server side first so the drain below sees EOF.
+  ::close(Fds[0]);
+
+  std::string Out;
+  char Buf[65536];
+  ssize_t N;
+  while ((N = ::read(Fds[1], Buf, sizeof(Buf))) > 0)
+    Out.append(Buf, static_cast<size_t>(N));
+  ::close(Fds[1]);
+
+  std::istringstream Lines(Out);
+  std::string Line;
+  std::vector<JsonValue> Docs;
+  while (std::getline(Lines, Line))
+    if (!Line.empty())
+      Docs.push_back(parseResponse(Line));
+  ASSERT_EQ(Docs.size(), 3u);
+  EXPECT_EQ(str(Docs[0], "status"), "ok");
+  EXPECT_FALSE(Docs[0].find("cacheHit")->asBool());
+  EXPECT_TRUE(Docs[1].find("cacheHit")->asBool()) << "warm across requests";
+  EXPECT_EQ(str(Docs[2], "command"), "shutdown");
+}
+
+//===----------------------------------------------------------------------===//
+// Schema conformance
+//===----------------------------------------------------------------------===//
+
+/// Mirror of the field list in docs/SCHEMA.md (§ Field index). A field
+/// emitted by the serializers but missing both here and in the doc fails
+/// this test and tools/schema_check.py respectively; keep the three in
+/// sync.
+const std::set<std::string> DocumentedFields = {
+    "schema",      "command",  "method",    "designs",   "file",
+    "status",      "unreadable", "diagnostics", "cacheHit", "processes",
+    "signals",     "variables", "graph",    "nodes",     "edges",
+    "edgeList",    "from",     "to",        "matrices",  "rmlo",
+    "rmgl",        "violations", "viaPath", "timings",   "readMs",
+    "parseMs",     "elaborateMs", "cfgMs",  "ifaMs",     "kemmererMs",
+    "alfpMs",      "totalMs",  "summary",   "ok",        "failed",
+    "wallMs",      "cache",    "size",      "capacity",  "hits",
+    "misses",      "evictions", "id",       "error",     "code",
+    "message",     "requests", "deltas",    "reason",    "name",
+    "value",       "relations", "arity",    "tuples",    "derived",
+};
+
+void checkFields(const JsonValue &V, const std::string &Where) {
+  if (V.isArray()) {
+    for (const JsonValue &E : V.elements())
+      checkFields(E, Where);
+    return;
+  }
+  if (!V.isObject())
+    return;
+  for (const auto &[Key, Member] : V.members()) {
+    EXPECT_TRUE(DocumentedFields.count(Key))
+        << "undocumented field \"" << Key << "\" in " << Where;
+    checkFields(Member, Where + "." + Key);
+  }
+}
+
+void checkDocument(const std::string &Text, const std::string &Where) {
+  std::string Error;
+  std::optional<JsonValue> V = parseJson(Text, &Error);
+  ASSERT_TRUE(V.has_value()) << Where << ": " << Error << "\n" << Text;
+  ASSERT_TRUE(V->isObject()) << Where;
+  ASSERT_FALSE(V->members().empty()) << Where;
+  EXPECT_EQ(V->members()[0].first, "schema")
+      << Where << ": schema must be the first member";
+  EXPECT_EQ(V->members()[0].second.asString(), "vifc.v1") << Where;
+  checkFields(*V, Where);
+}
+
+TEST(SchemaConformance, EveryDocumentTypeStaysWithinTheSpec) {
+  // Batch documents, all four modes, with a cache, a failing design and
+  // a policy violation in the mix.
+  SessionCache Cache(4);
+  std::vector<BatchInput> Inputs = {
+      {"mux", std::string(MuxSource)},
+      {"broken", std::string("entity broken is port(")},
+      {"/nonexistent/missing.vhd", std::nullopt},
+  };
+  for (BatchMode Mode : {BatchMode::Check, BatchMode::Flows,
+                         BatchMode::Matrices, BatchMode::Report}) {
+    BatchOptions Opts;
+    Opts.Mode = Mode;
+    Opts.Cache = &Cache;
+    Opts.CaptureRenderedText = false;
+    if (Mode == BatchMode::Report)
+      Opts.Policy.Forbidden.push_back({"d1", "q"});
+    BatchResult R = runBatch(Inputs, Opts);
+    std::ostringstream OS;
+    printBatchJson(OS, R, Opts);
+    checkDocument(OS.str(), std::string("batch/") + batchModeName(Mode));
+  }
+
+  // Serve responses: ok analysis (all modes), stats, ping, every error.
+  Server S;
+  checkDocument(S.handleLine(muxRequest("check", 1)), "serve/check");
+  checkDocument(S.handleLine(muxRequest("flows", 2)), "serve/flows");
+  checkDocument(S.handleLine(muxRequest("rm", 3)), "serve/rm");
+  checkDocument(S.handleLine(muxRequest(
+                    "report", 4,
+                    R"("options":{"forbid":[{"from":"sel","to":"q"}]})")),
+                "serve/report");
+  checkDocument(S.handleLine(R"({"command":"stats","id":null})"),
+                "serve/stats");
+  checkDocument(S.handleLine(R"({"command":"ping"})"), "serve/ping");
+  checkDocument(S.handleLine("malformed"), "serve/parse-error");
+  checkDocument(S.handleLine(R"({"command":"nope"})"), "serve/bad-request");
+  checkDocument(
+      S.handleLine(R"({"command":"check","path":"/nonexistent/x.vhd"})"),
+      "serve/unreadable");
+
+  // Sim document.
+  SimDocument Sim;
+  Sim.File = "mux.vhd";
+  Sim.Status = "stuck";
+  Sim.Deltas = 7;
+  Sim.StuckReason = "condition not '0'/'1'";
+  Sim.Signals.push_back({"q", "'U'"});
+  std::ostringstream SimOS;
+  writeSimDocument(SimOS, Sim);
+  checkDocument(SimOS.str(), "sim");
+
+  // Datalog document.
+  DatalogRelation Rel;
+  Rel.Name = "path";
+  Rel.Arity = 2;
+  Rel.Tuples = {{"a", "b"}, {"b", "c"}};
+  std::ostringstream DlOS;
+  writeDatalogDocument(DlOS, "t.alfp", {Rel}, 5);
+  checkDocument(DlOS.str(), "datalog");
+}
+
+} // namespace

@@ -1,0 +1,248 @@
+//===- tests/session_cache_test.cpp - Content-addressed session cache ----===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Batch.h"
+#include "driver/SessionCache.h"
+#include "support/Hash.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace vif;
+using namespace vif::driver;
+
+namespace {
+
+const char MuxSource[] = R"(
+entity mux is port(d0 : in std_logic; d1 : in std_logic;
+                   sel : in std_logic; q : out std_logic); end mux;
+architecture rtl of mux is
+begin
+  p : process
+  begin
+    if sel = '1' then
+      q <= d1;
+    else
+      q <= d0;
+    end if;
+    wait on d0, d1, sel;
+  end process p;
+end rtl;
+)";
+
+const char RegSource[] = R"(
+entity reg is port(d : in std_logic; q : out std_logic); end reg;
+architecture rtl of reg is
+begin
+  p : process
+  begin
+    q <= d;
+    wait on d;
+  end process p;
+end rtl;
+)";
+
+TEST(HashBuilder, OrderAndLengthSensitive) {
+  EXPECT_EQ(HashBuilder().str("ab").str("c").value(),
+            HashBuilder().str("ab").str("c").value());
+  EXPECT_NE(HashBuilder().str("ab").str("c").value(),
+            HashBuilder().str("a").str("bc").value());
+  EXPECT_NE(HashBuilder().boolean(true).value(),
+            HashBuilder().boolean(false).value());
+  EXPECT_EQ(HashBuilder().str("x").hex().size(), 16u);
+}
+
+TEST(SessionCacheKey, ContentAddressedNotNameAddressed) {
+  SessionOptions Opts;
+  EXPECT_EQ(sessionCacheKey(MuxSource, Opts),
+            sessionCacheKey(MuxSource, Opts));
+  EXPECT_NE(sessionCacheKey(MuxSource, Opts),
+            sessionCacheKey(RegSource, Opts));
+}
+
+// Every analysis knob must flip the key: a cache that conflates option
+// sets serves artifacts computed under the wrong analysis.
+TEST(SessionCacheKey, EveryOptionParticipates) {
+  SessionOptions Base;
+  uint64_t BaseKey = sessionCacheKey(MuxSource, Base);
+
+  std::vector<SessionOptions> Variants(6, Base);
+  Variants[0].Statements = true;
+  Variants[1].Ifa.Improved = true;
+  Variants[2].Ifa.ProgramEndOutgoing = true;
+  Variants[3].Ifa.RD.UseMustActiveKill = false;
+  Variants[4].Ifa.RD.EnumerateCrossFlowTuples = true;
+  Variants[5].Ifa.RD.ReferenceSolver = true;
+
+  std::vector<uint64_t> Keys{BaseKey};
+  for (const SessionOptions &V : Variants)
+    Keys.push_back(sessionCacheKey(MuxSource, V));
+  SessionOptions HL;
+  HL.Ifa.RD.HsiehLevitanCrossFlow = true;
+  Keys.push_back(sessionCacheKey(MuxSource, HL));
+
+  for (size_t A = 0; A < Keys.size(); ++A)
+    for (size_t B = A + 1; B < Keys.size(); ++B)
+      EXPECT_NE(Keys[A], Keys[B]) << "variants " << A << " and " << B;
+}
+
+TEST(SessionCache, HitSharesTheSessionAcrossNames) {
+  SessionCache Cache(4);
+  SessionOptions Opts;
+
+  const AnalysisSession *First;
+  {
+    SessionCache::Ref R = Cache.acquire("a.vhd", MuxSource, Opts);
+    EXPECT_FALSE(R.hit());
+    First = &R.session();
+    ASSERT_NE(R.session().ifa(), nullptr);
+  }
+  {
+    // Same content under a different name: same session, same artifacts.
+    SessionCache::Ref R = Cache.acquire("b.vhd", MuxSource, Opts);
+    EXPECT_TRUE(R.hit());
+    EXPECT_EQ(&R.session(), First);
+    EXPECT_EQ(R.session().ifa(), R.session().ifa());
+    EXPECT_EQ(R.session().name(), "a.vhd") << "keeps the first name";
+  }
+  SessionCache::Stats St = Cache.stats();
+  EXPECT_EQ(St.Hits, 1u);
+  EXPECT_EQ(St.Misses, 1u);
+  EXPECT_EQ(Cache.size(), 1u);
+}
+
+TEST(SessionCache, ArtifactsPersistAcrossAcquires) {
+  SessionCache Cache(4);
+  SessionOptions Opts;
+  const IFAResult *Ifa;
+  {
+    SessionCache::Ref R = Cache.acquire("mux", MuxSource, Opts);
+    Ifa = R.session().ifa();
+    ASSERT_NE(Ifa, nullptr);
+  }
+  {
+    SessionCache::Ref R = Cache.acquire("mux", MuxSource, Opts);
+    ASSERT_TRUE(R.hit());
+    // The expensive artifact is the very same object — nothing recomputed.
+    EXPECT_EQ(R.session().ifa(), Ifa);
+  }
+}
+
+TEST(SessionCache, OptionSensitivityKeepsEntriesApart) {
+  SessionCache Cache(4);
+  SessionOptions Plain, Improved;
+  Improved.Ifa.Improved = true;
+
+  SessionCache::Ref A = Cache.acquire("mux", MuxSource, Plain);
+  EXPECT_FALSE(A.hit());
+  SessionCache::Ref B = Cache.acquire("mux", MuxSource, Improved);
+  EXPECT_FALSE(B.hit());
+  EXPECT_NE(&A.session(), &B.session());
+  EXPECT_EQ(Cache.size(), 2u);
+}
+
+TEST(SessionCache, LruEvictionDropsTheColdestEntry) {
+  SessionCache Cache(2);
+  SessionOptions Opts;
+  std::string A = std::string(MuxSource) + "-- a\n";
+  std::string B = std::string(MuxSource) + "-- b\n";
+  std::string C = std::string(MuxSource) + "-- c\n";
+
+  Cache.acquire("a", A, Opts);
+  Cache.acquire("b", B, Opts);
+  // Touch a so b becomes the least recently used ...
+  EXPECT_TRUE(Cache.acquire("a", A, Opts).hit());
+  // ... then force an eviction.
+  Cache.acquire("c", C, Opts);
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_EQ(Cache.stats().Evictions, 1u);
+
+  EXPECT_TRUE(Cache.acquire("a", A, Opts).hit()) << "a was kept warm";
+  EXPECT_FALSE(Cache.acquire("b", B, Opts).hit()) << "b was evicted";
+}
+
+TEST(SessionCache, EvictedButHeldSessionStaysAlive) {
+  SessionCache Cache(1);
+  SessionOptions Opts;
+  SessionCache::Ref Held = Cache.acquire("mux", MuxSource, Opts);
+  ASSERT_NE(Held.session().program(), nullptr);
+  // Evict the held entry; the Ref keeps it alive and usable.
+  Cache.acquire("reg", RegSource, Opts);
+  EXPECT_EQ(Cache.stats().Evictions, 1u);
+  EXPECT_NE(Held.session().ifa(), nullptr);
+}
+
+TEST(SessionCache, ClearForgetsEntriesButKeepsStats) {
+  SessionCache Cache(4);
+  SessionOptions Opts;
+  Cache.acquire("mux", MuxSource, Opts);
+  Cache.clear();
+  EXPECT_EQ(Cache.size(), 0u);
+  EXPECT_FALSE(Cache.acquire("mux", MuxSource, Opts).hit());
+  EXPECT_EQ(Cache.stats().Misses, 2u);
+}
+
+TEST(Batch, CacheDeduplicatesIdenticalInputs) {
+  SessionCache Cache(8);
+  std::vector<BatchInput> Inputs = {
+      {"one", std::string(MuxSource)},
+      {"two", std::string(MuxSource)},
+      {"three", std::string(RegSource)},
+  };
+  BatchOptions Opts;
+  Opts.Mode = BatchMode::Flows;
+  Opts.Cache = &Cache;
+  Opts.Jobs = 1; // deterministic hit attribution
+  BatchResult R = runBatch(Inputs, Opts);
+
+  ASSERT_EQ(R.Designs.size(), 3u);
+  EXPECT_FALSE(R.Designs[0].CacheHit);
+  EXPECT_TRUE(R.Designs[1].CacheHit);
+  EXPECT_EQ(R.Designs[1].Name, "two") << "result keeps the requested name";
+  EXPECT_FALSE(R.Designs[2].CacheHit);
+  EXPECT_EQ(R.Designs[0].NumEdges, R.Designs[1].NumEdges);
+  EXPECT_EQ(Cache.stats().Hits, 1u);
+  EXPECT_EQ(Cache.stats().Misses, 2u);
+}
+
+TEST(Batch, CacheSurvivesConcurrentDuplicates) {
+  SessionCache Cache(8);
+  std::vector<BatchInput> Inputs;
+  for (int I = 0; I < 16; ++I)
+    Inputs.push_back({"in" + std::to_string(I), std::string(MuxSource)});
+  BatchOptions Opts;
+  Opts.Mode = BatchMode::Flows;
+  Opts.Cache = &Cache;
+  Opts.Jobs = 4;
+  BatchResult R = runBatch(Inputs, Opts);
+
+  EXPECT_EQ(R.NumOk, 16u);
+  for (const DesignResult &D : R.Designs)
+    EXPECT_EQ(D.NumEdges, 3u);
+  SessionCache::Stats St = Cache.stats();
+  EXPECT_EQ(St.Hits + St.Misses, 16u);
+  EXPECT_GE(St.Hits, 1u);
+  EXPECT_EQ(Cache.size(), 1u) << "identical content collapses to one entry";
+}
+
+TEST(Batch, UnreadableInputBypassesTheCache) {
+  SessionCache Cache(8);
+  std::vector<BatchInput> Inputs = {
+      {"/nonexistent/definitely-missing.vhd", std::nullopt}};
+  BatchOptions Opts;
+  Opts.Cache = &Cache;
+  BatchResult R = runBatch(Inputs, Opts);
+  ASSERT_EQ(R.Designs.size(), 1u);
+  EXPECT_FALSE(R.Designs[0].Ok);
+  EXPECT_TRUE(R.Designs[0].Unreadable);
+  EXPECT_FALSE(R.Designs[0].CacheHit);
+  EXPECT_EQ(Cache.size(), 0u);
+  EXPECT_EQ(Cache.stats().Misses, 0u);
+}
+
+} // namespace

@@ -9,6 +9,26 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DVIFC_WERROR=ON
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
+# Serve smoke: the long-lived mode must answer line-delimited vifc.v1
+# requests with a cache hit on the repeated one (full protocol coverage
+# lives in ctest's vifc_serve_smoke and tests/serve_test.cpp).
+serve_out=$(printf '%s\n%s\n' \
+  '{"schema":"vifc.v1","id":1,"command":"flows","path":"tests/inputs/smoke.vhd"}' \
+  '{"schema":"vifc.v1","id":2,"command":"flows","path":"tests/inputs/smoke.vhd"}' \
+  | "$BUILD_DIR/vifc" serve)
+echo "$serve_out" | grep -q '"schema":"vifc.v1"' \
+  && echo "$serve_out" | grep -q '"cacheHit":true' \
+  || { echo "serve smoke failed:"; echo "$serve_out"; exit 1; }
+echo "serve smoke passed"
+
+# Wire-format drift check: every emitted JSON field must be documented in
+# docs/SCHEMA.md (tools/schema_check.py).
+if command -v python3 >/dev/null; then
+  python3 tools/schema_check.py
+else
+  echo "python3 not found; skipping schema check"
+fi
+
 # Bench smoke: the perf binaries must keep running end-to-end so they can't
 # silently rot between perf PRs. Committed baselines live in
 # bench/baselines/ (see bench/baselines/README.md for how to regenerate).

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Wire-format drift check: every JSON field the serializers emit must be
+documented in docs/SCHEMA.md.
+
+Scans the serialization sources (src/driver, tools/vifc) for JsonWriter
+member/key calls with literal names, collects the emitted field set, and
+fails when any field is missing from the backtick-quoted names in
+docs/SCHEMA.md. Also cross-checks that the schema version string in
+driver/Serialize.h is the one SCHEMA.md documents.
+
+Run from the repo root (CI does:  python3 tools/schema_check.py).
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SCHEMA_MD = ROOT / "docs" / "SCHEMA.md"
+SERIALIZE_H = ROOT / "src" / "driver" / "Serialize.h"
+
+# Every file that may hand field names to JsonWriter. Keep in sync with
+# where JSON is produced; the point of the check is that this list stays
+# short (one serialization module plus its driver-layer callers).
+SOURCES = sorted(
+    list((ROOT / "src" / "driver").glob("*.cpp"))
+    + list((ROOT / "src" / "driver").glob("*.h"))
+    + [ROOT / "tools" / "vifc" / "main.cpp"]
+)
+
+FIELD_RE = re.compile(r'\b(?:member|key)\(\s*"([A-Za-z0-9_]+)"')
+VERSION_RE = re.compile(r'SchemaVersion\[\]\s*=\s*"([^"]+)"')
+
+
+def main() -> int:
+    if not SCHEMA_MD.exists():
+        print(f"schema_check: missing {SCHEMA_MD}", file=sys.stderr)
+        return 1
+
+    emitted: dict[str, list[str]] = {}
+    for path in SOURCES:
+        text = path.read_text(encoding="utf-8")
+        for field in FIELD_RE.findall(text):
+            emitted.setdefault(field, []).append(
+                str(path.relative_to(ROOT)))
+
+    if not emitted:
+        print("schema_check: found no emitted fields — scan broken?",
+              file=sys.stderr)
+        return 1
+
+    schema_text = SCHEMA_MD.read_text(encoding="utf-8")
+    documented = set(re.findall(r"`([A-Za-z0-9_.]+)`", schema_text))
+    # `a.b.c` paths in the doc document their leaf fields too.
+    for name in list(documented):
+        documented.update(name.split("."))
+
+    missing = {f: src for f, src in emitted.items() if f not in documented}
+    if missing:
+        print("schema_check: fields emitted but not documented in "
+              "docs/SCHEMA.md:", file=sys.stderr)
+        for field in sorted(missing):
+            print(f"  `{field}`  (emitted from "
+                  f"{', '.join(sorted(set(missing[field])))})",
+                  file=sys.stderr)
+        return 1
+
+    version = VERSION_RE.search(SERIALIZE_H.read_text(encoding="utf-8"))
+    if not version:
+        print("schema_check: cannot find SchemaVersion in "
+              "src/driver/Serialize.h", file=sys.stderr)
+        return 1
+    if f"`{version.group(1)}`" not in schema_text:
+        print(f"schema_check: docs/SCHEMA.md never names the emitted "
+              f"schema version `{version.group(1)}`", file=sys.stderr)
+        return 1
+
+    print(f"schema_check: {len(emitted)} emitted fields all documented; "
+          f"schema version {version.group(1)} consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,25 +5,34 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// vifc: parse, check, simulate and analyze VHDL1 sources.
+/// vifc: parse, check, simulate, analyze and serve VHDL1 sources.
 ///
-///   vifc check  [--statements] FILE...     parse + elaborate
-///   vifc sim    [--deltas N] FILE          simulate to quiescence
-///   vifc flows  [--improved] [--end-out] [--kemmerer] [--dot] FILE...
-///   vifc rm     FILE...                    print local and global matrices
+///   vifc check   [--statements] FILE...    parse + elaborate
+///   vifc sim     [--deltas N] [--vcd F] FILE
+///   vifc flows   [--improved] [--end-out] [--kemmerer|--alfp] [--dot] FILE...
+///   vifc rm      FILE...                   local and global matrices
+///   vifc report  [--forbid A,B]... FILE... covert-channel audit report
+///   vifc datalog FILE.alfp                 solve ALFP, print ?-queries
+///   vifc serve   [--cache N] [--listen PORT]
 ///
 /// FILE may be "-" for stdin. With several FILEs or --json the command
 /// runs as a batch over the driver layer's thread pool; single-file text
-/// output is byte-identical to the historical format.
+/// output is byte-identical to the historical format. All JSON output is
+/// the versioned vifc.v1 wire format (docs/SCHEMA.md); `serve` speaks
+/// line-delimited vifc.v1 requests/responses (docs/SERVER.md).
 ///
 /// Every command is a thin adapter over vifc::driver (AnalysisSession for
-/// one design, Batch for many); the pipeline itself lives in src/driver.
+/// one design, Batch + SessionCache for many, Server for serve); the
+/// pipeline itself lives in src/driver.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "alfp/AlfpParser.h"
 #include "driver/AnalysisSession.h"
 #include "driver/Batch.h"
+#include "driver/Serialize.h"
+#include "driver/Serve.h"
+#include "driver/SessionCache.h"
 #include "ifa/Report.h"
 #include "sim/Simulator.h"
 #include "sim/VcdWriter.h"
@@ -43,32 +52,48 @@ using driver::AnalysisSession;
 
 namespace {
 
+void printUsage(std::ostream &OS) {
+  OS << "usage: vifc <command> [options] [<file|->...]\n"
+        "commands:\n"
+        "  check   parse and elaborate, reporting diagnostics\n"
+        "  sim     simulate to quiescence and print final signal values\n"
+        "  flows   print the information-flow graph (edges, or --dot)\n"
+        "  rm      print the local and global resource matrices\n"
+        "  report  write a covert-channel audit report\n"
+        "  datalog solve an ALFP/Datalog file and print ?-queried "
+        "relations\n"
+        "  serve   long-lived analysis server: line-delimited vifc.v1 JSON\n"
+        "          requests on stdin (or --listen), warm sessions cached\n"
+        "          across requests (docs/SERVER.md)\n"
+        "options (applicable commands in parentheses):\n"
+        "  --statements   input is a statement program, not a design\n"
+        "                 (every command except datalog)\n"
+        "  --improved     apply the Table 9 improvement (incoming/outgoing"
+        " nodes)\n"
+        "                 (flows, rm, report, serve)\n"
+        "  --end-out      treat program end as an outgoing sync point\n"
+        "                 (flows, rm, report, serve)\n"
+        "  --kemmerer     use Kemmerer's transitive-closure method (flows)\n"
+        "  --alfp         compute the closure via the ALFP engine (flows)\n"
+        "  --dot          emit Graphviz DOT (flows, one FILE, no --json)\n"
+        "  --deltas N     delta-cycle budget for sim (default 65536)\n"
+        "  --vcd FILE     write a VCD waveform of the simulation (sim)\n"
+        "  --forbid A,B   (report) forbid the flow A -> B; repeatable;\n"
+        "                 the exit code is 1 when a policy is violated\n"
+        "  --json         emit one vifc.v1 JSON document (every command\n"
+        "                 except serve; docs/SCHEMA.md)\n"
+        "  --jobs N       batch worker threads (check/flows/rm/report;\n"
+        "                 default: up to 8)\n"
+        "  --cache N      (serve) session-cache capacity in entries "
+        "(default 32)\n"
+        "  --listen PORT  (serve) accept TCP connections on 127.0.0.1:PORT\n"
+        "                 instead of reading stdin\n"
+        "  --help, -h     print this help and exit 0\n"
+        "Several FILEs run as a batch; --json also works on one FILE.\n";
+}
+
 int usage() {
-  std::cerr
-      << "usage: vifc <command> [options] <file|->...\n"
-         "commands:\n"
-         "  check   parse and elaborate, reporting diagnostics\n"
-         "  sim     simulate to quiescence and print final signal values\n"
-         "  flows   print the information-flow graph (edges, or --dot)\n"
-         "  rm      print the local and global resource matrices\n"
-         "  report  write a covert-channel audit report\n"
-         "  datalog solve an ALFP/Datalog file and print ?-queried "
-         "relations\n"
-         "options:\n"
-         "  --statements   input is a statement program, not a design\n"
-         "  --improved     apply the Table 9 improvement (incoming/outgoing"
-         " nodes)\n"
-         "  --end-out      treat program end as an outgoing sync point\n"
-         "  --kemmerer     use Kemmerer's transitive-closure method\n"
-         "  --alfp         compute the closure via the ALFP engine\n"
-         "  --dot          emit Graphviz DOT\n"
-         "  --deltas N     delta-cycle budget for sim (default 65536)\n"
-         "  --vcd FILE     write a VCD waveform of the simulation\n"
-         "  --forbid A,B   (report) forbid the flow A -> B; repeatable;\n"
-         "                 the exit code is 1 when a policy is violated\n"
-         "  --json         emit one JSON document (check/flows/rm/report)\n"
-         "  --jobs N       batch worker threads (default: up to 8)\n"
-         "Several FILEs run as a batch; --json also works on one FILE.\n";
+  printUsage(std::cerr);
   return 2;
 }
 
@@ -85,6 +110,9 @@ struct Options {
   unsigned Deltas = 1u << 16;
   unsigned Jobs = 0;
   bool JobsGiven = false;
+  unsigned CacheCapacity = driver::SessionCache::DefaultCapacity;
+  unsigned ListenPort = 0;
+  bool ListenGiven = false;
   std::string VcdPath;
   std::vector<std::pair<std::string, std::string>> Forbidden;
 
@@ -96,6 +124,47 @@ struct Options {
     return S;
   }
 };
+
+/// Which commands accept which option. One row per flag; commands as a
+/// space-delimited word list, checked by whole word. Keep in sync with
+/// printUsage() — tests/cli_smoke.cmake exercises the mismatch
+/// diagnostics.
+struct FlagSpec {
+  const char *Flag;
+  const char *Commands;
+};
+
+const FlagSpec FlagSpecs[] = {
+    {"--statements", "check sim flows rm report serve"},
+    {"--improved", "flows rm report serve"},
+    {"--end-out", "flows rm report serve"},
+    {"--kemmerer", "flows"},
+    {"--alfp", "flows"},
+    {"--dot", "flows"},
+    {"--deltas", "sim"},
+    {"--vcd", "sim"},
+    {"--forbid", "report"},
+    {"--json", "check sim flows rm report datalog"},
+    {"--jobs", "check flows rm report"},
+    {"--cache", "serve"},
+    {"--listen", "serve"},
+};
+
+/// Diagnoses flags given to a command they don't apply to. Returns true
+/// when \p Flag may be used with \p Command.
+bool checkFlagApplies(const std::string &Command, const std::string &Flag) {
+  for (const FlagSpec &S : FlagSpecs) {
+    if (Flag != S.Flag)
+      continue;
+    std::string Commands = std::string(" ") + S.Commands + " ";
+    if (Commands.find(" " + Command + " ") != std::string::npos)
+      return true;
+    std::cerr << "error: option '" << Flag << "' does not apply to '"
+              << Command << "' (applies to: " << S.Commands << ")\n";
+    return false;
+  }
+  return true; // not a registered flag; caller diagnoses unknown options
+}
 
 /// Prints the session's diagnostics the way the historical CLI did: the
 /// cannot-read message first (if any), then every parse/elaboration
@@ -134,13 +203,25 @@ int cmdSim(const Options &Opt) {
   SimOpts.RecordTrace = !Opt.VcdPath.empty();
   Simulator Sim(*Program, SimOpts);
   SimStatus Status = Sim.run(Opt.Deltas);
-  std::cout << "status: " << simStatusName(Status) << " after "
-            << Sim.deltasExecuted() << " delta cycle(s)\n";
-  if (Status == SimStatus::Stuck)
-    std::cout << "reason: " << Sim.stuckReason() << '\n';
-  for (const ElabSignal &Sig : Program->Signals)
-    std::cout << Sig.UniqueName << " = " << Sim.presentValue(Sig.Id).str()
-              << '\n';
+  if (Opt.Json) {
+    driver::SimDocument Doc;
+    Doc.File = Opt.Files[0];
+    Doc.Status = simStatusName(Status);
+    Doc.Deltas = Sim.deltasExecuted();
+    if (Status == SimStatus::Stuck)
+      Doc.StuckReason = Sim.stuckReason();
+    for (const ElabSignal &Sig : Program->Signals)
+      Doc.Signals.push_back({Sig.UniqueName, Sim.presentValue(Sig.Id).str()});
+    driver::writeSimDocument(std::cout, Doc);
+  } else {
+    std::cout << "status: " << simStatusName(Status) << " after "
+              << Sim.deltasExecuted() << " delta cycle(s)\n";
+    if (Status == SimStatus::Stuck)
+      std::cout << "reason: " << Sim.stuckReason() << '\n';
+    for (const ElabSignal &Sig : Program->Signals)
+      std::cout << Sig.UniqueName << " = " << Sim.presentValue(Sig.Id).str()
+                << '\n';
+  }
   if (!Opt.VcdPath.empty()) {
     if (Opt.VcdPath == "-") {
       writeVcd(std::cout, *Program, Sim);
@@ -238,6 +319,26 @@ int cmdDatalog(const Options &Opt) {
     std::cerr << "error: " << Error << '\n';
     return 1;
   }
+  if (Opt.Json) {
+    std::vector<driver::DatalogRelation> Relations;
+    for (alfp::RelId Rel : PP.Queries) {
+      driver::DatalogRelation R;
+      R.Name = PP.P.relationName(Rel);
+      R.Arity = PP.P.relationArity(Rel);
+      for (const alfp::Atom *Row : PP.P.tuples(Rel)) {
+        std::vector<std::string> Tuple;
+        Tuple.reserve(R.Arity);
+        for (unsigned I = 0; I < R.Arity; ++I)
+          Tuple.push_back(PP.P.atoms().name(Row[I]));
+        R.Tuples.push_back(std::move(Tuple));
+      }
+      std::sort(R.Tuples.begin(), R.Tuples.end());
+      Relations.push_back(std::move(R));
+    }
+    driver::writeDatalogDocument(std::cout, Opt.Files[0], Relations,
+                                 PP.P.derivedCount());
+    return 0;
+  }
   for (alfp::RelId Rel : PP.Queries)
     std::cout << alfp::dumpRelation(PP.P, Rel);
   if (PP.Queries.empty())
@@ -246,8 +347,31 @@ int cmdDatalog(const Options &Opt) {
   return 0;
 }
 
-/// Multi-FILE and/or --json operation: run the batch engine and render.
+int cmdServe(const Options &Opt) {
+  driver::ServeOptions SO;
+  SO.CacheCapacity = Opt.CacheCapacity;
+  SO.Session = Opt.session();
+  driver::Server Server(SO);
+  if (Opt.ListenGiven) {
+    std::cerr << "vifc serve: listening on 127.0.0.1:" << Opt.ListenPort
+              << '\n';
+    std::string Error;
+    if (!Server.listenAndServe(static_cast<uint16_t>(Opt.ListenPort),
+                               &Error)) {
+      std::cerr << "error: " << Error << '\n';
+      return 1;
+    }
+    return 0;
+  }
+  Server.run(std::cin, std::cout);
+  return 0;
+}
+
+/// Multi-FILE and/or --json operation: run the batch engine — through a
+/// per-invocation content-addressed session cache, so duplicate inputs
+/// are analyzed once — and render.
 int cmdBatch(const Options &Opt, driver::BatchMode Mode) {
+  driver::SessionCache Cache;
   driver::BatchOptions B;
   B.Mode = Mode;
   B.Method = Opt.Kemmerer ? driver::FlowMethod::Kemmerer
@@ -258,6 +382,7 @@ int cmdBatch(const Options &Opt, driver::BatchMode Mode) {
     B.Policy.Forbidden.push_back({From, To});
   B.Jobs = Opt.Jobs;
   B.CaptureRenderedText = !Opt.Json;
+  B.Cache = &Cache;
 
   std::vector<driver::BatchInput> Inputs;
   Inputs.reserve(Opt.Files.size());
@@ -303,11 +428,31 @@ int main(int Argc, char **Argv) {
   std::vector<std::string> Args(Argv + 1, Argv + Argc);
   if (Args.empty())
     return usage();
+  // Help anywhere on the command line prints usage to stdout, exit 0 —
+  // unknown flags/commands keep printing to stderr, exit 2.
+  for (const std::string &A : Args)
+    if (A == "--help" || A == "-h") {
+      printUsage(std::cout);
+      return 0;
+    }
+  if (Args[0] == "help") {
+    printUsage(std::cout);
+    return 0;
+  }
   Opt.Command = Args[0];
+  // Validate the command before its flags, so `vifc frobnicate --json`
+  // says "unknown command", not something misleading about --json.
+  const char *Commands[] = {"check", "sim",     "flows", "rm",
+                            "report", "datalog", "serve"};
+  if (std::find(std::begin(Commands), std::end(Commands), Opt.Command) ==
+      std::end(Commands)) {
+    std::cerr << "unknown command '" << Opt.Command << "'\n";
+    return usage();
+  }
 
   // Option values are consumed via this helper so a trailing --deltas /
-  // --vcd / --forbid / --jobs without a value is a diagnosed error, not a
-  // silently missing option.
+  // --vcd / --forbid / --jobs / --cache / --listen without a value is a
+  // diagnosed error, not a silently missing option.
   size_t I = 1;
   auto nextValue = [&](const std::string &Flag,
                        std::string &Out) -> bool {
@@ -322,6 +467,9 @@ int main(int Argc, char **Argv) {
   for (; I < Args.size(); ++I) {
     const std::string &A = Args[I];
     std::string Value;
+    if (!A.empty() && A[0] == '-' && A != "-" &&
+        !checkFlagApplies(Opt.Command, A))
+      return usage();
     if (A == "--statements")
       Opt.Statements = true;
     else if (A == "--improved")
@@ -343,6 +491,21 @@ int main(int Argc, char **Argv) {
       if (!nextValue(A, Value) || !parseCount(A, Value, Opt.Jobs))
         return usage();
       Opt.JobsGiven = true;
+    } else if (A == "--cache") {
+      if (!nextValue(A, Value) || !parseCount(A, Value, Opt.CacheCapacity))
+        return usage();
+      if (Opt.CacheCapacity == 0) {
+        std::cerr << "error: option '--cache' expects at least 1 entry\n";
+        return usage();
+      }
+    } else if (A == "--listen") {
+      if (!nextValue(A, Value) || !parseCount(A, Value, Opt.ListenPort))
+        return usage();
+      if (Opt.ListenPort == 0 || Opt.ListenPort > 65535) {
+        std::cerr << "error: option '--listen' expects a port in 1..65535\n";
+        return usage();
+      }
+      Opt.ListenGiven = true;
     } else if (A == "--vcd") {
       if (!nextValue(A, Value))
         return usage();
@@ -363,6 +526,16 @@ int main(int Argc, char **Argv) {
     } else
       Opt.Files.push_back(A);
   }
+
+  if (Opt.Command == "serve") {
+    if (!Opt.Files.empty()) {
+      std::cerr << "error: 'serve' takes no FILE arguments (requests name "
+                   "their inputs)\n";
+      return usage();
+    }
+    return cmdServe(Opt);
+  }
+
   if (Opt.Files.empty())
     return usage();
   // stdin is a single stream: two sessions draining it (possibly from
@@ -378,9 +551,8 @@ int main(int Argc, char **Argv) {
               << "' accepts exactly one FILE\n";
     return usage();
   }
-  if (SingleOnly && Opt.Json) {
-    std::cerr << "error: --json is not supported by '" << Opt.Command
-              << "'\n";
+  if (Opt.Json && Opt.VcdPath == "-") {
+    std::cerr << "error: --vcd - (stdout) cannot be combined with --json\n";
     return usage();
   }
   if (Opt.Dot && (Opt.Json || Opt.Files.size() > 1)) {
@@ -388,7 +560,7 @@ int main(int Argc, char **Argv) {
     return usage();
   }
 
-  bool Batch = Opt.Json || Opt.Files.size() > 1;
+  bool Batch = !SingleOnly && (Opt.Json || Opt.Files.size() > 1);
   if (Opt.JobsGiven && !Batch) {
     std::cerr << "error: --jobs only applies to batch operation "
                  "(several FILEs or --json)\n";
@@ -405,7 +577,6 @@ int main(int Argc, char **Argv) {
   if (Opt.Command == "report")
     return Batch ? cmdBatch(Opt, driver::BatchMode::Report)
                  : cmdReport(Opt);
-  if (Opt.Command == "datalog")
-    return cmdDatalog(Opt);
-  return usage();
+  // The command set was validated up front, so this is datalog.
+  return cmdDatalog(Opt);
 }
