@@ -21,24 +21,34 @@ ProgramCFG &ProgramCFG::operator=(ProgramCFG &&) noexcept = default;
 
 ProgramCFG::ProgramCFG(const ProgramCFG &O)
     : Blocks(O.Blocks), Procs(O.Procs), StmtLabels(O.StmtLabels),
-      CondLabels(O.CondLabels) {}
+      CondLabels(O.CondLabels) {
+  ensureFlowIndexSlots();
+}
 
 ProgramCFG &ProgramCFG::operator=(const ProgramCFG &O) {
   Blocks = O.Blocks;
   Procs = O.Procs;
   StmtLabels = O.StmtLabels;
   CondLabels = O.CondLabels;
-  FlowIndexes.clear();
+  ensureFlowIndexSlots();
   return *this;
 }
 
 const FlowIndex &ProgramCFG::flowIndex(unsigned ProcessId) const {
   assert(ProcessId < Procs.size() && "process id out of range");
-  if (FlowIndexes.size() < Procs.size())
-    FlowIndexes.resize(Procs.size());
+  // The slot vector is pre-sized (ensureFlowIndexSlots is called whenever
+  // Procs changes), so concurrent first accesses for *distinct* processes
+  // — the parallel per-process rd solvers — each build into their own
+  // slot and never reallocate the vector under one another.
+  assert(FlowIndexes.size() == Procs.size() && "flow index slots not sized");
   if (!FlowIndexes[ProcessId])
     FlowIndexes[ProcessId] = std::make_unique<FlowIndex>(Procs[ProcessId]);
   return *FlowIndexes[ProcessId];
+}
+
+void ProgramCFG::ensureFlowIndexSlots() {
+  FlowIndexes.clear();
+  FlowIndexes.resize(Procs.size());
 }
 
 std::vector<LabelId> ProcessCFG::predecessors(LabelId L) const {
@@ -166,6 +176,7 @@ ProgramCFG ProgramCFG::build(const ElaboratedProgram &Program) {
     collectStmtObjects(*Proc.Body, P.FreeVars, P.FreeSigs);
     CFG.Procs.push_back(std::move(P));
   }
+  CFG.ensureFlowIndexSlots();
   return CFG;
 }
 

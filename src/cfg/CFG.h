@@ -134,12 +134,18 @@ public:
 
   /// The CSR successor/predecessor adjacency + reverse postorder of
   /// process \p ProcessId (cfg/FlowIndex.h), built on first use and cached
-  /// so the dense rd solvers share one copy per design. First access is
-  /// not thread-safe; per-design analyses are single-threaded (the driver
-  /// hands each design to exactly one batch worker).
+  /// so the dense rd solvers share one copy per design. The slot vector is
+  /// pre-sized, so concurrent first accesses are safe as long as they name
+  /// *distinct* processes — exactly the access pattern of the parallel
+  /// per-process rd solvers; two threads racing on the same process id
+  /// would double-build one slot.
   const FlowIndex &flowIndex(unsigned ProcessId) const;
 
 private:
+  /// Resets the per-process FlowIndex cache to one empty slot per
+  /// process; must be called whenever Procs changes.
+  void ensureFlowIndexSlots();
+
   std::vector<CFGBlock> Blocks; ///< Blocks[l-1] is the block labeled l
   std::vector<ProcessCFG> Procs;
   std::map<const Stmt *, LabelId> StmtLabels;

@@ -9,9 +9,9 @@
 #include "driver/Serialize.h"
 #include "driver/SessionCache.h"
 #include "ifa/Report.h"
+#include "support/Parallel.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <ostream>
 #include <sstream>
@@ -194,22 +194,9 @@ BatchResult vif::driver::runBatch(const std::vector<BatchInput> &Inputs,
   if (StdinInputs > 1)
     Jobs = 1;
 
-  if (Jobs <= 1) {
-    for (size_t I = 0; I < N; ++I)
-      R.Designs[I] = analyzeDesign(Inputs[I], Opts);
-  } else {
-    std::atomic<size_t> Next{0};
-    auto Worker = [&] {
-      for (size_t I = Next.fetch_add(1); I < N; I = Next.fetch_add(1))
-        R.Designs[I] = analyzeDesign(Inputs[I], Opts);
-    };
-    std::vector<std::thread> Pool;
-    Pool.reserve(Jobs);
-    for (unsigned T = 0; T < Jobs; ++T)
-      Pool.emplace_back(Worker);
-    for (std::thread &T : Pool)
-      T.join();
-  }
+  parallelFor(Jobs, N, [&](size_t I) {
+    R.Designs[I] = analyzeDesign(Inputs[I], Opts);
+  });
 
   for (const DesignResult &D : R.Designs) {
     (D.Ok ? R.NumOk : R.NumFailed) += 1;

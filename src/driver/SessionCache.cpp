@@ -24,10 +24,15 @@ void foreachOptionBit(const SessionOptions &O, F &&Fn) {
   Fn(O.Statements);
   Fn(O.Ifa.Improved);
   Fn(O.Ifa.ProgramEndOutgoing);
+  Fn(O.Ifa.ReferenceClosure);
   Fn(O.Ifa.RD.UseMustActiveKill);
   Fn(O.Ifa.RD.EnumerateCrossFlowTuples);
   Fn(O.Ifa.RD.ReferenceSolver);
   Fn(O.Ifa.RD.HsiehLevitanCrossFlow);
+  // ReachingDefsOptions::Jobs is deliberately not folded in: it changes
+  // how many threads solve the per-process fixpoints, never any computed
+  // artifact, so sessions are shared across --jobs settings (the pinning
+  // test asserts the key is insensitive to it).
 }
 
 uint64_t packedOptionBits(const SessionOptions &O) {

@@ -61,7 +61,7 @@ Digraph vif::extractFlowGraph(const LabelIndexedRM &RM,
   FlowNodeTable Nodes(Program, G);
   std::vector<std::pair<Digraph::NodeId, Digraph::NodeId>> EdgeList;
   for (LabelId L = InitialLabel; L <= RM.maxLabel(); ++L) {
-    const std::vector<uint32_t> &Reads = RM.at(L, Access::R0);
+    LabelIndexedRM::RawRun Reads = RM.at(L, Access::R0);
     if (Reads.empty())
       continue;
     for (Access MA : {Access::M0, Access::M1})
@@ -143,7 +143,7 @@ IFAResult vif::analyzeInformationFlow(const ElaboratedProgram &Program,
     R.Active = analyzeActiveSignalsReference(Program, CFG);
     R.RD = analyzeReachingDefsReference(Program, CFG, R.Active, Opts.RD);
   } else {
-    R.Active = analyzeActiveSignals(Program, CFG);
+    R.Active = analyzeActiveSignals(Program, CFG, Opts.RD.Jobs);
     R.RD = analyzeReachingDefs(Program, CFG, R.Active, Opts.RD);
   }
 
@@ -302,23 +302,22 @@ IFAResult vif::analyzeInformationFlow(const ElaboratedProgram &Program,
   }
 
   // Fixpoint: propagate R0 sets along the copy graph. Since each edge
-  // copies the entire R0 set, this is a union-dataflow over labels, run
-  // over dense label-indexed vectors of sorted raw resource ids (no
-  // per-iteration map lookups, no Resource sets).
-  LabelId MaxLabel = NextLabel - 1;
-  std::vector<std::vector<uint32_t>> R0(static_cast<size_t>(MaxLabel) + 1);
-  for (const RMEntry &E : R.RMgl)
-    if (E.A == Access::R0)
-      // Entry order is (label, access, resource), so each R0[L] fills
-      // ascending and stays a sorted set.
-      R0[E.L].push_back(E.N.raw());
-
+  // copies the entire R0 set, this is a union-dataflow over labels. The
+  // carrier is a design-level analogue of rd/DenseDomain: every resource
+  // with an R0 entry anywhere gets a bit in one shared numbering (sorted
+  // by raw id, so set-bit order is entry order), each label's row is a
+  // support/BitSet over it, and a copy-edge propagation is one
+  // word-parallel unionWith whose grew bit drives the worklist. The
+  // sorted-vector rows (per-edge set_union) are retained behind
+  // Opts.ReferenceClosure as the oracle for the differential tests.
+  //
   // FIFO worklist seeded in ascending label order: copy edges mostly point
   // from textually earlier definitions to later uses, so this approximates
   // a topological sweep and each label's set is usually complete before it
   // is propagated onward (a LIFO seeded the same way pops the *last*
   // sources first and re-propagates every downstream suffix per source —
-  // O(n³) on an n-assignment chain instead of O(n²)).
+  // O(n³) worth of copying on an n-assignment chain instead of O(n²)).
+  LabelId MaxLabel = NextLabel - 1;
   std::deque<LabelId> Work;
   std::vector<char> InWork(static_cast<size_t>(MaxLabel) + 1, 0);
   for (LabelId Src = 0; Src < Copies.Succs.size(); ++Src)
@@ -326,35 +325,118 @@ IFAResult vif::analyzeInformationFlow(const ElaboratedProgram &Program,
       Work.push_back(Src);
       InWork[Src] = 1;
     }
-  std::vector<uint32_t> Merged;
-  while (!Work.empty()) {
-    LabelId Src = Work.front();
-    Work.pop_front();
-    InWork[Src] = 0;
-    const std::vector<uint32_t> &SrcSet = R0[Src];
-    if (SrcSet.empty())
-      continue;
-    for (LabelId Dst : Copies.Succs[Src]) {
-      std::vector<uint32_t> &DstSet = R0[Dst];
-      Merged.clear();
-      std::set_union(DstSet.begin(), DstSet.end(), SrcSet.begin(),
-                     SrcSet.end(), std::back_inserter(Merged));
-      if (Merged.size() == DstSet.size())
+
+  if (Opts.ReferenceClosure) {
+    std::vector<std::vector<uint32_t>> R0(static_cast<size_t>(MaxLabel) + 1);
+    for (const RMEntry &E : R.RMgl)
+      if (E.A == Access::R0)
+        // Entry order is (label, access, resource), so each R0[L] fills
+        // ascending and stays a sorted set.
+        R0[E.L].push_back(E.N.raw());
+
+    std::vector<uint32_t> Merged;
+    while (!Work.empty()) {
+      LabelId Src = Work.front();
+      Work.pop_front();
+      InWork[Src] = 0;
+      const std::vector<uint32_t> &SrcSet = R0[Src];
+      if (SrcSet.empty())
         continue;
-      DstSet.swap(Merged);
-      if (!InWork[Dst] && Copies.hasSuccs(Dst)) {
-        Work.push_back(Dst);
-        InWork[Dst] = 1;
+      for (LabelId Dst : Copies.Succs[Src]) {
+        std::vector<uint32_t> &DstSet = R0[Dst];
+        Merged.clear();
+        std::set_union(DstSet.begin(), DstSet.end(), SrcSet.begin(),
+                       SrcSet.end(), std::back_inserter(Merged));
+        if (Merged.size() == DstSet.size())
+          continue;
+        DstSet.swap(Merged);
+        if (!InWork[Dst] && Copies.hasSuccs(Dst)) {
+          Work.push_back(Dst);
+          InWork[Dst] = 1;
+        }
       }
     }
+
+    R.RMgl.insertR0Rows(R0);
+
+    // Graph extraction, through the label-indexed view: the post-closure
+    // RMgl is the largest matrix in the pipeline, so indexed (label,
+    // access) ranges amortize best here.
+    R.Graph = extractFlowGraph(LabelIndexedRM(R.RMgl), Program);
+  } else {
+    // The R0 universe: every resource the rows can ever mention is
+    // already in some R0 entry (propagation only copies).
+    std::vector<uint32_t> Universe;
+    for (const RMEntry &E : R.RMgl)
+      if (E.A == Access::R0)
+        Universe.push_back(E.N.raw());
+    std::sort(Universe.begin(), Universe.end());
+    Universe.erase(std::unique(Universe.begin(), Universe.end()),
+                   Universe.end());
+    auto bitOf = [&Universe](uint32_t Raw) {
+      return static_cast<size_t>(
+          std::lower_bound(Universe.begin(), Universe.end(), Raw) -
+          Universe.begin());
+    };
+
+    size_t K = Universe.size();
+    std::vector<BitSet> R0(static_cast<size_t>(MaxLabel) + 1, BitSet(K));
+    for (const RMEntry &E : R.RMgl)
+      if (E.A == Access::R0)
+        R0[E.L].set(bitOf(E.N.raw()));
+
+    while (!Work.empty()) {
+      LabelId Src = Work.front();
+      Work.pop_front();
+      InWork[Src] = 0;
+      const BitSet &SrcSet = R0[Src];
+      if (SrcSet.none())
+        continue;
+      for (LabelId Dst : Copies.Succs[Src]) {
+        if (!R0[Dst].unionWith(SrcSet))
+          continue;
+        if (!InWork[Dst] && Copies.hasSuccs(Dst)) {
+          Work.push_back(Dst);
+          InWork[Dst] = 1;
+        }
+      }
+    }
+
+    // Graph extraction straight off the bitset rows: the rows carry every
+    // R0 entry (they were seeded from RMgl and only grew), so the
+    // pre-write-back view is only consulted for the M0/M1 runs. Node ids
+    // per universe bit are cached so each read node is materialized once.
+    Digraph G;
+    {
+      FlowNodeTable Nodes(Program, G);
+      LabelIndexedRM GlIdx(R.RMgl);
+      constexpr Digraph::NodeId NoNode = ~Digraph::NodeId(0);
+      std::vector<Digraph::NodeId> ReadNode(K, NoNode);
+      std::vector<std::pair<Digraph::NodeId, Digraph::NodeId>> EdgeList;
+      for (LabelId L = InitialLabel; L <= GlIdx.maxLabel(); ++L) {
+        const BitSet &Reads = R0[L];
+        if (Reads.none())
+          continue;
+        for (Access MA : {Access::M0, Access::M1})
+          for (uint32_t M : GlIdx.at(L, MA)) {
+            Digraph::NodeId To = Nodes.nodeOf(M);
+            Reads.forEach([&](size_t I) {
+              Digraph::NodeId &From = ReadNode[I];
+              if (From == NoNode)
+                From = Nodes.nodeOf(Universe[I]);
+              EdgeList.emplace_back(From, To);
+            });
+          }
+      }
+      G.addEdges(std::move(EdgeList));
+    }
+    R.Graph = std::move(G);
+
+    // Write the fixpoint back: one linear merge of the bitset rows into
+    // the dense entry buffer (post-closure RMgl is the largest matrix in
+    // the pipeline).
+    R.RMgl.insertR0Rows(R0, Universe);
   }
-
-  R.RMgl.insertR0Rows(R0);
-
-  // Graph extraction, through the label-indexed view: the post-closure
-  // RMgl is the largest matrix in the pipeline, so indexed (label, access)
-  // ranges amortize best here.
-  R.Graph = extractFlowGraph(LabelIndexedRM(R.RMgl), Program);
 
   // Ensure every resource appears as a node even when isolated, matching
   // the paper's figures which show unconnected nodes.

@@ -57,6 +57,13 @@ struct IFAOptions {
   /// (Figure 4(b) presentation of sequential programs). Implies Improved
   /// semantics for the ◦/• nodes it creates.
   bool ProgramEndOutgoing = false;
+  /// Runs the Table 8 fixpoint over the retained sorted-vector R0 rows
+  /// (per-edge set_union) instead of the word-parallel BitSet rows over
+  /// the design-level resource numbering. Results are identical; the
+  /// differential tests compare complete IFA results through both
+  /// carriers, and the knob stays available as an escape hatch while the
+  /// dense closure is young.
+  bool ReferenceClosure = false;
   /// Knobs forwarded to the Reaching Definitions analysis (ablations).
   ReachingDefsOptions RD;
 };

@@ -8,6 +8,7 @@
 
 #include "cfg/FlowIndex.h"
 #include "support/Casting.h"
+#include "support/Parallel.h"
 
 #include <deque>
 #include <map>
@@ -71,7 +72,7 @@ ActiveKillGen vif::computeActiveKillGen(const ProgramCFG &CFG) {
 
 ActiveSignalsResult
 vif::analyzeActiveSignals(const ElaboratedProgram &Program,
-                          const ProgramCFG &CFG) {
+                          const ProgramCFG &CFG, unsigned Jobs) {
   (void)Program;
   size_t NumLabels = CFG.numLabels();
   ActiveSignalsResult R;
@@ -82,7 +83,15 @@ vif::analyzeActiveSignals(const ElaboratedProgram &Program,
 
   ActiveKillGen KG = computeActiveKillGen(CFG);
 
-  for (const ProcessCFG &P : CFG.processes()) {
+  // Each process is an independent fixpoint over its own labels and
+  // domain; the loop body writes only that process's label slots, so the
+  // processes fan out over a thread pool. Iteration counts accumulate
+  // per process and are summed after the join, keeping the total
+  // deterministic under any Jobs value.
+  size_t NumProcs = CFG.processes().size();
+  std::vector<size_t> Iterations(NumProcs, 0);
+  parallelFor(Jobs, NumProcs, [&](size_t ProcIdx) {
+    const ProcessCFG &P = CFG.processes()[ProcIdx];
     // The dense domain: only gen'd pairs can ever be present (⊥ = ∅ and
     // the transfer functions add nothing else).
     auto Dom = std::make_shared<DefPairDomain>();
@@ -91,19 +100,25 @@ vif::analyzeActiveSignals(const ElaboratedProgram &Program,
     Dom->finalize();
     size_t K = Dom->size();
     if (K == 0)
-      continue; // no signal definitions: every set stays ∅ (the default)
+      return; // no signal definitions: every set stays ∅ (the default)
 
     const FlowIndex &FI = CFG.flowIndex(P.ProcessId);
     size_t NL = FI.numLabels();
+    size_t W = (K + 63) / 64;
 
-    std::vector<BitSet> Kill(NL), Gen(NL);
+    // All per-label sets live as rows of whole-table matrices: two
+    // scratch tables, four shared result tables (the result slots below
+    // reference their rows; ~six allocations per process, not 6 x NL).
+    BitMatrix Kill(NL, K), Gen(NL, K);
     for (uint32_t I = 0; I < NL; ++I) {
-      Kill[I] = Dom->maskOf(KG.Kill[FI.label(I)]);
-      Gen[I] = Dom->maskOf(KG.Gen[FI.label(I)]);
+      Dom->maskInto(KG.Kill[FI.label(I)], Kill.row(I));
+      Dom->maskInto(KG.Gen[FI.label(I)], Gen.row(I));
     }
 
-    std::vector<BitSet> MayEn(NL, BitSet(K)), MayEx(NL, BitSet(K));
-    std::vector<BitSet> MustEn(NL, BitSet(K)), MustEx(NL, BitSet(K));
+    auto MayEn = std::make_shared<BitMatrix>(NL, K);
+    auto MayEx = std::make_shared<BitMatrix>(NL, K);
+    auto MustEn = std::make_shared<BitMatrix>(NL, K);
+    auto MustEx = std::make_shared<BitMatrix>(NL, K);
 
     // Chaotic iteration from ⊥ = ∅ to the least fixpoint; both transfer
     // functions are monotone (⋂˙ ranges over a fixed predecessor family).
@@ -113,12 +128,12 @@ vif::analyzeActiveSignals(const ElaboratedProgram &Program,
     std::vector<uint8_t> InWork(NL, 1);
     uint32_t InitLocal = FI.localOf(P.Init);
 
-    BitSet MayIn(K), MustIn(K);
+    std::vector<uint64_t> MayIn(W), MustIn(W);
     while (!Work.empty()) {
       uint32_t I = Work.front();
       Work.pop_front();
       InWork[I] = 0;
-      ++R.Iterations;
+      ++Iterations[ProcIdx];
 
       // Entry equations. The paper assumes isolated entries (the
       // null;while wrapper guarantees them for processes); bare statement
@@ -127,28 +142,29 @@ vif::analyzeActiveSignals(const ElaboratedProgram &Program,
       // the program-start path carries no active signals and dominates the
       // ⋂˙ — and ⋂˙ over an empty predecessor family is ∅ as well.
       FlowIndex::Range Preds = FI.preds(I);
-      MayIn.clearAll();
+      BitMatrix::clear(MayIn.data(), W);
       for (uint32_t Pred : Preds)
-        MayIn.unionWith(MayEx[Pred]);
-      MustIn.clearAll();
+        BitMatrix::orInto(MayIn.data(), MayEx->row(Pred), W);
+      BitMatrix::clear(MustIn.data(), W);
       if (I != InitLocal && !Preds.empty()) {
-        MustIn = MustEx[Preds.First[0]];
+        BitMatrix::copy(MustIn.data(), MustEx->row(Preds.First[0]), W);
         for (const uint32_t *It = Preds.First + 1; It != Preds.Last; ++It)
-          MustIn.intersectWith(MustEx[*It]);
+          BitMatrix::andWith(MustIn.data(), MustEx->row(*It), W);
       }
-      MayEn[I] = MayIn;
-      MustEn[I] = MustIn;
+      BitMatrix::copy(MayEn->row(I), MayIn.data(), W);
+      BitMatrix::copy(MustEn->row(I), MustIn.data(), W);
 
       // Exit equations: (entry \ kill) ∪ gen.
-      MayIn.subtract(Kill[I]);
-      MayIn.unionWith(Gen[I]);
-      MustIn.subtract(Kill[I]);
-      MustIn.unionWith(Gen[I]);
+      BitMatrix::subtract(MayIn.data(), Kill.row(I), W);
+      BitMatrix::orInto(MayIn.data(), Gen.row(I), W);
+      BitMatrix::subtract(MustIn.data(), Kill.row(I), W);
+      BitMatrix::orInto(MustIn.data(), Gen.row(I), W);
 
-      if (MayIn == MayEx[I] && MustIn == MustEx[I])
+      if (BitMatrix::equal(MayIn.data(), MayEx->row(I), W) &&
+          BitMatrix::equal(MustIn.data(), MustEx->row(I), W))
         continue;
-      MayEx[I] = MayIn;
-      MustEx[I] = MustIn;
+      BitMatrix::copy(MayEx->row(I), MayIn.data(), W);
+      BitMatrix::copy(MustEx->row(I), MustIn.data(), W);
       for (uint32_t Succ : FI.succs(I))
         if (!InWork[Succ]) {
           Work.push_back(Succ);
@@ -158,12 +174,14 @@ vif::analyzeActiveSignals(const ElaboratedProgram &Program,
 
     for (uint32_t I = 0; I < NL; ++I) {
       LabelId L = FI.label(I);
-      R.MayEntry.setDense(L, Dom, std::move(MayEn[I]));
-      R.MayExit.setDense(L, Dom, std::move(MayEx[I]));
-      R.MustEntry.setDense(L, Dom, std::move(MustEn[I]));
-      R.MustExit.setDense(L, Dom, std::move(MustEx[I]));
+      R.MayEntry.setDense(L, Dom, MayEn, I);
+      R.MayExit.setDense(L, Dom, MayEx, I);
+      R.MustEntry.setDense(L, Dom, MustEn, I);
+      R.MustExit.setDense(L, Dom, MustEx, I);
     }
-  }
+  });
+  for (size_t N : Iterations)
+    R.Iterations += N;
   return R;
 }
 

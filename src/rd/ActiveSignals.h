@@ -51,9 +51,12 @@ struct ActiveSignalsResult {
 };
 
 /// Runs both analyses for every process of \p Program, as a bit-vector
-/// framework: dense (Sig, Lab) domains, CSR adjacency, RPO-seeded worklist.
+/// framework: dense (Sig, Lab) domains, CSR adjacency, RPO-seeded
+/// worklist. \p Jobs > 1 fans the independent per-process fixpoints over
+/// a thread pool (results identical for every value).
 ActiveSignalsResult analyzeActiveSignals(const ElaboratedProgram &Program,
-                                         const ProgramCFG &CFG);
+                                         const ProgramCFG &CFG,
+                                         unsigned Jobs = 1);
 
 /// The original sorted-vector-PairSet chaotic-iteration solver, retained as
 /// the oracle for the dense one: the differential tests assert that both

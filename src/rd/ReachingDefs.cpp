@@ -8,6 +8,7 @@
 
 #include "cfg/FlowIndex.h"
 #include "support/Casting.h"
+#include "support/Parallel.h"
 
 #include <deque>
 #include <map>
@@ -230,8 +231,14 @@ vif::analyzeReachingDefs(const ElaboratedProgram &Program,
 
   // Forward may analysis, per-process flow, run densely: every pair that
   // can ever be present comes from the initial {(n, ?)} set or some gen
-  // set, so those pairs form the process's bit-vector domain.
-  for (const ProcessCFG &P : CFG.processes()) {
+  // set, so those pairs form the process's bit-vector domain. Processes
+  // are independent fixpoints writing disjoint label slots, so they fan
+  // out over a thread pool (Opts.Jobs); iteration counts are accumulated
+  // per process and summed after the join.
+  size_t NumProcs = CFG.processes().size();
+  std::vector<size_t> Iterations(NumProcs, 0);
+  parallelFor(Opts.Jobs, NumProcs, [&](size_t ProcIdx) {
+    const ProcessCFG &P = CFG.processes()[ProcIdx];
     PairSet Initial;
     for (unsigned Var : P.FreeVars)
       Initial.insert(DefPair{Resource::variable(Var), InitialLabel});
@@ -245,48 +252,53 @@ vif::analyzeReachingDefs(const ElaboratedProgram &Program,
     Dom->finalize();
     size_t K = Dom->size();
     if (K == 0)
-      continue; // nothing is ever defined: every set stays ∅ (the default)
+      return; // nothing is ever defined: every set stays ∅ (the default)
 
     const FlowIndex &FI = CFG.flowIndex(P.ProcessId);
     size_t NL = FI.numLabels();
+    size_t W = (K + 63) / 64;
 
-    BitSet InitialMask = Dom->maskOf(Initial);
-    std::vector<BitSet> Kill(NL), Gen(NL);
+    // Whole-table BitMatrix rows instead of per-label BitSets; the two
+    // result tables are shared with the label slots below.
+    std::vector<uint64_t> InitialMask(W, 0);
+    Dom->maskInto(Initial, InitialMask.data());
+    BitMatrix Kill(NL, K), Gen(NL, K);
     for (uint32_t I = 0; I < NL; ++I) {
-      Kill[I] = Dom->maskOf(KG.Kill[FI.label(I)]);
-      Gen[I] = Dom->maskOf(KG.Gen[FI.label(I)]);
+      Dom->maskInto(KG.Kill[FI.label(I)], Kill.row(I));
+      Dom->maskInto(KG.Gen[FI.label(I)], Gen.row(I));
     }
 
-    std::vector<BitSet> Entry(NL, BitSet(K)), Exit(NL, BitSet(K));
+    auto Entry = std::make_shared<BitMatrix>(NL, K);
+    auto Exit = std::make_shared<BitMatrix>(NL, K);
 
     std::deque<uint32_t> Work(FI.rpo().begin(), FI.rpo().end());
     std::vector<uint8_t> InWork(NL, 1);
     uint32_t InitLocal = FI.localOf(P.Init);
 
-    BitSet In(K);
+    std::vector<uint64_t> In(W);
     while (!Work.empty()) {
       uint32_t I = Work.front();
       Work.pop_front();
       InWork[I] = 0;
-      ++R.Iterations;
+      ++Iterations[ProcIdx];
 
       // The init label carries the initial {(n, ?)} definitions; if it is
       // re-entered (possible in bare statement programs without the
       // isolated-entry wrapper) predecessor exits are merged as well.
       if (I == InitLocal)
-        In = InitialMask;
+        BitMatrix::copy(In.data(), InitialMask.data(), W);
       else
-        In.clearAll();
+        BitMatrix::clear(In.data(), W);
       for (uint32_t Pred : FI.preds(I))
-        In.unionWith(Exit[Pred]);
-      Entry[I] = In;
+        BitMatrix::orInto(In.data(), Exit->row(Pred), W);
+      BitMatrix::copy(Entry->row(I), In.data(), W);
 
-      In.subtract(Kill[I]);
-      In.unionWith(Gen[I]);
+      BitMatrix::subtract(In.data(), Kill.row(I), W);
+      BitMatrix::orInto(In.data(), Gen.row(I), W);
 
-      if (In == Exit[I])
+      if (BitMatrix::equal(In.data(), Exit->row(I), W))
         continue;
-      Exit[I] = In;
+      BitMatrix::copy(Exit->row(I), In.data(), W);
       for (uint32_t Succ : FI.succs(I))
         if (!InWork[Succ]) {
           Work.push_back(Succ);
@@ -296,10 +308,12 @@ vif::analyzeReachingDefs(const ElaboratedProgram &Program,
 
     for (uint32_t I = 0; I < NL; ++I) {
       LabelId L = FI.label(I);
-      R.Entry.setDense(L, Dom, std::move(Entry[I]));
-      R.Exit.setDense(L, Dom, std::move(Exit[I]));
+      R.Entry.setDense(L, Dom, Entry, I);
+      R.Exit.setDense(L, Dom, Exit, I);
     }
-  }
+  });
+  for (size_t N : Iterations)
+    R.Iterations += N;
   (void)Program;
   return R;
 }

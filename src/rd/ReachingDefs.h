@@ -47,6 +47,13 @@ struct ReachingDefsOptions {
   /// Used by the differential tests to compare complete IFA results, and
   /// available as an escape hatch while the dense solvers are young.
   bool ReferenceSolver = false;
+  /// Worker threads for the per-process fixpoints (both the active-signal
+  /// and the RDcf solvers): each process is an independent fixpoint with
+  /// disjoint labels and result slots, so they fan out over a
+  /// support/Parallel.h pool. 1 (the default) solves inline; results are
+  /// identical for every value. Deliberately *not* part of the session
+  /// cache key (driver/SessionCache.cpp) — it never changes an artifact.
+  unsigned Jobs = 1;
   /// Emulates the Reaching Definitions component of Hsieh & Levitan's
   /// analysis as the paper characterizes it (Section 1): definitions from
   /// *other* processes are only sampled at their process ends, so "a

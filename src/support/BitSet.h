@@ -124,6 +124,106 @@ private:
   std::vector<uint64_t> Words;
 };
 
+/// A fixed-universe matrix of bit rows in one flat word buffer — the
+/// allocation-amortized form of vector<BitSet>. The rd solvers hold all
+/// their per-label Kill/Gen/Entry/Exit sets as rows of a few matrices
+/// (one allocation each) instead of thousands of individual BitSets,
+/// which is what keeps the dense solvers ahead of the sorted-vector ones
+/// even on Fig5-size programs.
+///
+/// Row operations take raw word pointers (row(I)), so rows of different
+/// matrices with the same universe combine freely.
+class BitMatrix {
+public:
+  BitMatrix() = default;
+  BitMatrix(size_t NumRows, size_t NumBits) { reset(NumRows, NumBits); }
+
+  /// Resets to \p NumRows rows of \p NumBits bits, all clear, reusing
+  /// the buffer's capacity when it suffices (for callers that solve many
+  /// fixpoints with one scratch matrix).
+  void reset(size_t NumRows, size_t NumBits) {
+    Rows = NumRows;
+    Bits = NumBits;
+    WPR = (NumBits + 63) / 64;
+    Words.assign(Rows * WPR, 0);
+  }
+
+  size_t numRows() const { return Rows; }
+  size_t numBits() const { return Bits; }
+  size_t wordsPerRow() const { return WPR; }
+
+  uint64_t *row(size_t R) {
+    assert(R < Rows && "row out of range");
+    return Words.data() + R * WPR;
+  }
+  const uint64_t *row(size_t R) const {
+    assert(R < Rows && "row out of range");
+    return Words.data() + R * WPR;
+  }
+
+  void set(size_t R, size_t B) {
+    assert(B < Bits && "bit index out of range");
+    row(R)[B >> 6] |= uint64_t(1) << (B & 63);
+  }
+  bool test(size_t R, size_t B) const {
+    assert(B < Bits && "bit index out of range");
+    return (row(R)[B >> 6] >> (B & 63)) & 1;
+  }
+
+  /// Word-span lattice operations shared by every row consumer; \p W is
+  /// the common wordsPerRow of the operands.
+  /// Dst |= Src; returns true if Dst grew.
+  static bool orInto(uint64_t *Dst, const uint64_t *Src, size_t W) {
+    uint64_t Grew = 0;
+    for (size_t I = 0; I < W; ++I) {
+      uint64_t New = Dst[I] | Src[I];
+      Grew |= New ^ Dst[I];
+      Dst[I] = New;
+    }
+    return Grew != 0;
+  }
+  /// Dst &= Src.
+  static void andWith(uint64_t *Dst, const uint64_t *Src, size_t W) {
+    for (size_t I = 0; I < W; ++I)
+      Dst[I] &= Src[I];
+  }
+  /// Dst &= ~Src.
+  static void subtract(uint64_t *Dst, const uint64_t *Src, size_t W) {
+    for (size_t I = 0; I < W; ++I)
+      Dst[I] &= ~Src[I];
+  }
+  static void copy(uint64_t *Dst, const uint64_t *Src, size_t W) {
+    for (size_t I = 0; I < W; ++I)
+      Dst[I] = Src[I];
+  }
+  static void clear(uint64_t *Dst, size_t W) {
+    for (size_t I = 0; I < W; ++I)
+      Dst[I] = 0;
+  }
+  static bool equal(const uint64_t *A, const uint64_t *B, size_t W) {
+    for (size_t I = 0; I < W; ++I)
+      if (A[I] != B[I])
+        return false;
+    return true;
+  }
+  /// Calls \p F(index) for every set bit of the \p W-word span, ascending.
+  template <typename Fn>
+  static void forEachBit(const uint64_t *Span, size_t W, Fn F) {
+    for (size_t WI = 0; WI < W; ++WI) {
+      uint64_t Word = Span[WI];
+      while (Word) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(Word));
+        F((WI << 6) + Bit);
+        Word &= Word - 1;
+      }
+    }
+  }
+
+private:
+  size_t Rows = 0, Bits = 0, WPR = 0;
+  std::vector<uint64_t> Words;
+};
+
 } // namespace vif
 
 #endif // VIF_SUPPORT_BITSET_H

@@ -7,6 +7,7 @@
 #include "support/Graph.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <ostream>
 #include <sstream>
 
@@ -28,21 +29,36 @@ void Digraph::addEdge(const std::string &From, const std::string &To) {
 
 void Digraph::addEdge(NodeId From, NodeId To) {
   assert(From < Names.size() && To < Names.size() && "edge endpoint unknown");
-  Edges.insert({From, To});
+  Pending.push_back({From, To});
 }
 
 void Digraph::addEdges(std::vector<std::pair<NodeId, NodeId>> EdgeList) {
-  std::sort(EdgeList.begin(), EdgeList.end());
-  EdgeList.erase(std::unique(EdgeList.begin(), EdgeList.end()),
-                 EdgeList.end());
 #ifndef NDEBUG
   for (const auto &[From, To] : EdgeList)
     assert(From < Names.size() && To < Names.size() &&
            "edge endpoint unknown");
 #endif
-  // The list is now strictly ascending in the set's own order, so the
-  // range insert degenerates to an ordered merge.
-  Edges.insert(EdgeList.begin(), EdgeList.end());
+  if (Pending.empty())
+    Pending = std::move(EdgeList);
+  else
+    Pending.insert(Pending.end(), EdgeList.begin(), EdgeList.end());
+}
+
+void Digraph::flushEdges() const {
+  if (Pending.empty())
+    return;
+  std::sort(Pending.begin(), Pending.end());
+  Pending.erase(std::unique(Pending.begin(), Pending.end()), Pending.end());
+  if (Edges.empty()) {
+    Edges.swap(Pending);
+  } else {
+    std::vector<std::pair<NodeId, NodeId>> Merged;
+    Merged.reserve(Edges.size() + Pending.size());
+    std::set_union(Edges.begin(), Edges.end(), Pending.begin(),
+                   Pending.end(), std::back_inserter(Merged));
+    Edges.swap(Merged);
+    Pending.clear();
+  }
 }
 
 void Digraph::reserveNodes(size_t N) {
@@ -62,7 +78,9 @@ bool Digraph::hasEdge(const std::string &From, const std::string &To) const {
 }
 
 bool Digraph::hasEdge(NodeId From, NodeId To) const {
-  return Edges.count({From, To}) != 0;
+  flushEdges();
+  return std::binary_search(Edges.begin(), Edges.end(),
+                            std::make_pair(From, To));
 }
 
 Digraph::NodeId Digraph::id(const std::string &Name) const {
@@ -78,6 +96,7 @@ std::vector<std::string> Digraph::sortedNodes() const {
 }
 
 std::vector<std::pair<std::string, std::string>> Digraph::sortedEdges() const {
+  flushEdges();
   std::vector<std::pair<std::string, std::string>> Result;
   Result.reserve(Edges.size());
   for (const auto &[From, To] : Edges)
@@ -87,14 +106,17 @@ std::vector<std::pair<std::string, std::string>> Digraph::sortedEdges() const {
 }
 
 std::vector<Digraph::NodeId> Digraph::successors(NodeId Id) const {
+  flushEdges();
   std::vector<NodeId> Result;
-  for (auto It = Edges.lower_bound({Id, 0});
+  for (auto It = std::lower_bound(Edges.begin(), Edges.end(),
+                                  std::make_pair(Id, NodeId(0)));
        It != Edges.end() && It->first == Id; ++It)
     Result.push_back(It->second);
   return Result;
 }
 
 std::vector<Digraph::NodeId> Digraph::predecessors(NodeId Id) const {
+  flushEdges();
   std::vector<NodeId> Result;
   for (const auto &[From, To] : Edges)
     if (To == Id)
@@ -126,31 +148,50 @@ bool Digraph::reachable(const std::string &From, const std::string &To) const {
 }
 
 Digraph Digraph::transitiveClosure() const {
+  flushEdges();
   Digraph Result;
   for (const std::string &Name : Names)
     Result.addNode(Name);
-  // Floyd-Warshall style closure on a dense bit matrix; the graphs the
-  // evaluation produces are small (resources, not labels).
+  // Warshall closure over packed bit rows: one flat uint64 buffer holds
+  // the N x N reachability matrix, and the inner J loop collapses to a
+  // word-parallel row union M[I] |= M[K] guarded by M[I][K] — a 64x
+  // constant cut over the bool-matrix formulation ("the traditional
+  // method of Kemmerer" is the remaining cubic family; see DESIGN.md).
   size_t N = Names.size();
-  std::vector<std::vector<bool>> M(N, std::vector<bool>(N, false));
+  size_t W = (N + 63) / 64; // words per row
+  std::vector<uint64_t> M(N * W, 0);
   for (const auto &[From, To] : Edges)
-    M[From][To] = true;
-  for (size_t K = 0; K < N; ++K)
+    M[static_cast<size_t>(From) * W + (To >> 6)] |= uint64_t(1)
+                                                    << (To & 63);
+  for (size_t K = 0; K < N; ++K) {
+    const uint64_t *RowK = M.data() + K * W;
     for (size_t I = 0; I < N; ++I) {
-      if (!M[I][K])
+      uint64_t *RowI = M.data() + I * W;
+      if (!((RowI[K >> 6] >> (K & 63)) & 1))
         continue;
-      for (size_t J = 0; J < N; ++J)
-        if (M[K][J])
-          M[I][J] = true;
+      for (size_t J = 0; J < W; ++J)
+        RowI[J] |= RowK[J];
     }
-  for (size_t I = 0; I < N; ++I)
-    for (size_t J = 0; J < N; ++J)
-      if (M[I][J])
-        Result.addEdge(static_cast<NodeId>(I), static_cast<NodeId>(J));
+  }
+  // Row-major set-bit order is exactly the sorted edge order, so the
+  // result's edge vector is materialized directly, already flushed.
+  for (size_t I = 0; I < N; ++I) {
+    const uint64_t *RowI = M.data() + I * W;
+    for (size_t WI = 0; WI < W; ++WI) {
+      uint64_t Word = RowI[WI];
+      while (Word) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(Word));
+        Result.Edges.emplace_back(static_cast<NodeId>(I),
+                                  static_cast<NodeId>((WI << 6) + Bit));
+        Word &= Word - 1;
+      }
+    }
+  }
   return Result;
 }
 
 bool Digraph::isTransitive() const {
+  flushEdges();
   for (const auto &[A, B] : Edges)
     for (NodeId C : successors(B))
       if (!hasEdge(A, C))
@@ -160,6 +201,7 @@ bool Digraph::isTransitive() const {
 
 Digraph Digraph::mergeNodes(
     const std::function<std::string(const std::string &)> &Rename) const {
+  flushEdges();
   Digraph Result;
   for (const std::string &Name : Names)
     Result.addNode(Rename(Name));
@@ -178,6 +220,7 @@ Digraph Digraph::mergeNodes(
 
 Digraph Digraph::inducedSubgraph(
     const std::function<bool(const std::string &)> &Keep) const {
+  flushEdges();
   Digraph Result;
   for (const std::string &Name : Names)
     if (Keep(Name))

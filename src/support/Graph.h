@@ -22,7 +22,6 @@
 #include <cassert>
 #include <functional>
 #include <iosfwd>
-#include <set>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -34,6 +33,14 @@ namespace vif {
 ///
 /// Node ids are dense and assigned in insertion order; all iteration orders
 /// exposed by the class are deterministic.
+///
+/// Edges live in one flat sorted vector; addEdge/addEdges append to a
+/// pending buffer that is merged in lazily, so bulk construction (the flow
+/// graphs, the Warshall closure below) never pays per-edge ordered-set
+/// node allocations. The lazy merge mutates on const reads — like the
+/// LazyPairSets boundary in rd/DenseDomain.h, a Digraph must not be read
+/// from multiple threads concurrently (per-design results never are; the
+/// SessionCache holds a per-entry lock while a session is in use).
 class Digraph {
 public:
   using NodeId = unsigned;
@@ -46,9 +53,9 @@ public:
   void addEdge(NodeId From, NodeId To);
 
   /// Bulk-inserts edges given as id pairs over existing nodes. The list is
-  /// sorted and deduplicated internally, so callers — in particular the
-  /// id-based flow-graph extraction — can append pairs freely and hand
-  /// them over in one O(E log E) pass instead of E ordered-set insertions.
+  /// sorted and deduplicated on the next flush, so callers — in particular
+  /// the id-based flow-graph extraction — can append pairs freely and hand
+  /// them over in one O(E log E) pass instead of E ordered insertions.
   void addEdges(std::vector<std::pair<NodeId, NodeId>> EdgeList);
 
   /// Pre-sizes the name table and index for \p N expected nodes.
@@ -66,7 +73,10 @@ public:
   }
 
   size_t numNodes() const { return Names.size(); }
-  size_t numEdges() const { return Edges.size(); }
+  size_t numEdges() const {
+    flushEdges();
+    return Edges.size();
+  }
 
   /// Node names in insertion order.
   const std::vector<std::string> &nodes() const { return Names; }
@@ -116,9 +126,15 @@ public:
   std::string dot(const std::string &Title = "flows") const;
 
 private:
+  /// Merges Pending into the sorted, deduplicated Edges vector.
+  void flushEdges() const;
+
   std::vector<std::string> Names;
   std::unordered_map<std::string, NodeId> Ids;
-  std::set<std::pair<NodeId, NodeId>> Edges;
+  /// Sorted and deduplicated (after flushEdges).
+  mutable std::vector<std::pair<NodeId, NodeId>> Edges;
+  /// Edges appended since the last flush, in arrival order.
+  mutable std::vector<std::pair<NodeId, NodeId>> Pending;
 };
 
 } // namespace vif

@@ -1,0 +1,57 @@
+//===- support/Parallel.h - Simple fork-join parallel loops -----*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one parallel primitive the project needs: run N independent index
+/// tasks over a pool of worker threads and join. driver::Batch fans
+/// designs out with it and the rd solvers fan processes out with it (each
+/// process's fixpoint is independent — disjoint labels, disjoint result
+/// slots). Work is claimed from one atomic counter, so scheduling is
+/// dynamic but the tasks themselves must write only index-owned state for
+/// the results to be deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_SUPPORT_PARALLEL_H
+#define VIF_SUPPORT_PARALLEL_H
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace vif {
+
+/// Runs \p Fn(I) for every I in [0, N), over min(\p Jobs, N) threads.
+/// Jobs <= 1 (and N <= 1) runs inline on the calling thread — the
+/// serial path has zero threading overhead and is the default everywhere.
+/// \p Fn must confine its writes to state owned by index I.
+template <typename Fn>
+void parallelFor(unsigned Jobs, size_t N, Fn &&F) {
+  if (Jobs <= 1 || N <= 1) {
+    for (size_t I = 0; I < N; ++I)
+      F(I);
+    return;
+  }
+  unsigned Threads = static_cast<unsigned>(
+      std::min<size_t>(Jobs, N));
+  std::atomic<size_t> Next{0};
+  auto Worker = [&] {
+    for (size_t I = Next.fetch_add(1); I < N; I = Next.fetch_add(1))
+      F(I);
+  };
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads);
+  for (unsigned T = 0; T < Threads; ++T)
+    Pool.emplace_back(Worker);
+  for (std::thread &T : Pool)
+    T.join();
+}
+
+} // namespace vif
+
+#endif // VIF_SUPPORT_PARALLEL_H

@@ -132,4 +132,59 @@ TEST(BitSet, EqualityIsSizeAndContent) {
   EXPECT_EQ(A.size(), 64u);
 }
 
+TEST(BitMatrix, RowsShareOneBufferAcrossWordBoundaries) {
+  for (size_t Bits : {size_t(0), size_t(1), size_t(63), size_t(64),
+                      size_t(65)}) {
+    BitMatrix M(3, Bits);
+    EXPECT_EQ(M.numRows(), 3u);
+    EXPECT_EQ(M.numBits(), Bits);
+    EXPECT_EQ(M.wordsPerRow(), (Bits + 63) / 64);
+    if (Bits == 0)
+      continue;
+    M.set(0, 0);
+    M.set(0, Bits - 1);
+    M.set(2, Bits - 1);
+    EXPECT_TRUE(M.test(0, 0));
+    EXPECT_TRUE(M.test(0, Bits - 1));
+    EXPECT_FALSE(M.test(1, 0)) << "rows must not alias";
+    EXPECT_FALSE(M.test(1, Bits - 1));
+    EXPECT_TRUE(M.test(2, Bits - 1));
+  }
+}
+
+TEST(BitMatrix, SpanOperationsMatchBitSetSemantics) {
+  size_t K = 65, W = (K + 63) / 64;
+  BitMatrix M(4, K);
+  M.set(0, 0);
+  M.set(0, 64);
+  M.set(1, 5);
+  M.set(1, 64);
+
+  // orInto reports growth exactly when a new bit appears.
+  EXPECT_TRUE(BitMatrix::orInto(M.row(2), M.row(0), W));
+  EXPECT_FALSE(BitMatrix::orInto(M.row(2), M.row(0), W)) << "idempotent";
+  EXPECT_TRUE(BitMatrix::orInto(M.row(2), M.row(1), W));
+  EXPECT_FALSE(BitMatrix::equal(M.row(2), M.row(0), W));
+
+  // subtract: {0,5,64} \ {5,64} = {0}.
+  BitMatrix::subtract(M.row(2), M.row(1), W);
+  std::vector<size_t> Seen;
+  BitMatrix::forEachBit(M.row(2), W, [&](size_t I) { Seen.push_back(I); });
+  EXPECT_EQ(Seen, (std::vector<size_t>{0}));
+
+  // andWith: {0,64} ∩ {5,64} = {64}, crossing the word boundary.
+  BitMatrix::copy(M.row(3), M.row(0), W);
+  BitMatrix::andWith(M.row(3), M.row(1), W);
+  Seen.clear();
+  BitMatrix::forEachBit(M.row(3), W, [&](size_t I) { Seen.push_back(I); });
+  EXPECT_EQ(Seen, (std::vector<size_t>{64}));
+  BitMatrix::clear(M.row(3), W);
+  BitMatrix::forEachBit(M.row(3), W, [&](size_t) { FAIL(); });
+
+  // reset() clears content and reshapes.
+  M.reset(2, 63);
+  EXPECT_EQ(M.wordsPerRow(), 1u);
+  EXPECT_FALSE(M.test(0, 0));
+}
+
 } // namespace

@@ -422,7 +422,7 @@ TEST(Closure, LabelIndexedViewMatchesMatrix) {
   for (LabelId L = 0; L <= View.maxLabel(); ++L)
     for (Access Acc : {Access::M0, Access::M1, Access::R0, Access::R1}) {
       std::vector<Resource> FromSet = A.R.RMgl.resourcesAt(L, Acc);
-      const std::vector<uint32_t> &FromView = View.at(L, Acc);
+      LabelIndexedRM::RawRun FromView = View.at(L, Acc);
       ASSERT_EQ(FromView.size(), FromSet.size());
       for (size_t I = 0; I < FromSet.size(); ++I)
         EXPECT_EQ(FromView[I], FromSet[I].raw());

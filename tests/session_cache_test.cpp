@@ -71,13 +71,14 @@ TEST(SessionCacheKey, EveryOptionParticipates) {
   SessionOptions Base;
   uint64_t BaseKey = sessionCacheKey(MuxSource, Base);
 
-  std::vector<SessionOptions> Variants(6, Base);
+  std::vector<SessionOptions> Variants(7, Base);
   Variants[0].Statements = true;
   Variants[1].Ifa.Improved = true;
   Variants[2].Ifa.ProgramEndOutgoing = true;
-  Variants[3].Ifa.RD.UseMustActiveKill = false;
-  Variants[4].Ifa.RD.EnumerateCrossFlowTuples = true;
-  Variants[5].Ifa.RD.ReferenceSolver = true;
+  Variants[3].Ifa.ReferenceClosure = true;
+  Variants[4].Ifa.RD.UseMustActiveKill = false;
+  Variants[5].Ifa.RD.EnumerateCrossFlowTuples = true;
+  Variants[6].Ifa.RD.ReferenceSolver = true;
 
   std::vector<uint64_t> Keys{BaseKey};
   for (const SessionOptions &V : Variants)
@@ -89,6 +90,12 @@ TEST(SessionCacheKey, EveryOptionParticipates) {
   for (size_t A = 0; A < Keys.size(); ++A)
     for (size_t B = A + 1; B < Keys.size(); ++B)
       EXPECT_NE(Keys[A], Keys[B]) << "variants " << A << " and " << B;
+
+  // Solver parallelism is not an artifact-changing option: the same
+  // session must be shared (and the cache hit) across --jobs settings.
+  SessionOptions Jobs4 = Base;
+  Jobs4.Ifa.RD.Jobs = 4;
+  EXPECT_EQ(BaseKey, sessionCacheKey(MuxSource, Jobs4));
 }
 
 TEST(SessionCache, HitSharesTheSessionAcrossNames) {

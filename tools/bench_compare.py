@@ -4,7 +4,7 @@
 Usage:
     tools/bench_compare.py FRESH.json [FRESH2.json ...]
         [--baselines bench/baselines] [--baseline FILE]
-        [--tolerance 1.5]
+        [--tolerance 1.5] [--update]
 
 Each FRESH.json (as produced by `bench_x --benchmark_format=json`) is
 matched against the baseline of the same basename inside --baselines,
@@ -17,8 +17,15 @@ Aggregate rows (`*_BigO`, `*_RMS`, mean/median/stddev) are skipped;
 benchmarks present on only one side are reported but never fail the
 check, so adding or retiring benchmarks does not break CI.
 
-Exit status: 0 all within tolerance, 1 at least one regression, 2 bad
-invocation or unreadable files.
+With --update, each fresh run is first compared (so the delta is on
+record), then written over its baseline file verbatim — the workflow for
+refreshing committed baselines after a perf PR (see
+bench/baselines/README.md). --update never fails on regressions; it
+reports them and rewrites anyway, since the point is to pin the new
+truth.
+
+Exit status: 0 all within tolerance (or --update), 1 at least one
+regression, 2 bad invocation or unreadable files.
 
 Baselines are machine-dependent (see bench/baselines/README.md): run the
 comparison on the machine that produced the baselines, and keep the
@@ -97,6 +104,9 @@ def main():
                     help="explicit baseline file (single fresh file only)")
     ap.add_argument("--tolerance", type=float, default=1.5,
                     help="allowed fresh/baseline real_time ratio (default 1.5)")
+    ap.add_argument("--update", action="store_true",
+                    help="after comparing, rewrite each baseline from its "
+                         "fresh run (never fails on regressions)")
     args = ap.parse_args()
     if args.baseline and len(args.fresh) != 1:
         ap.error("--baseline requires exactly one fresh file")
@@ -106,11 +116,33 @@ def main():
         baseline_path = args.baseline or os.path.join(
             args.baselines, os.path.basename(fresh_path))
         if not os.path.exists(baseline_path):
-            print(f"bench_compare: no baseline {baseline_path}; skipping "
-                  f"(commit one to start tracking)", file=sys.stderr)
-            continue
-        all_regressions += compare(fresh_path, baseline_path, args.tolerance)
+            if not args.update:
+                print(f"bench_compare: no baseline {baseline_path}; skipping "
+                      f"(commit one to start tracking)", file=sys.stderr)
+        else:
+            all_regressions += compare(fresh_path, baseline_path,
+                                       args.tolerance)
+        if args.update:
+            # Validate before writing: a truncated fresh run must never
+            # clobber a good baseline.
+            rows = load_benchmarks(fresh_path)
+            if not rows:
+                print(f"bench_compare: {fresh_path} has no comparable "
+                      f"benchmarks; not updating {baseline_path}",
+                      file=sys.stderr)
+                sys.exit(2)
+            with open(fresh_path, "r", encoding="utf-8") as src:
+                content = src.read()
+            with open(baseline_path, "w", encoding="utf-8") as dst:
+                dst.write(content)
+            print(f"  updated {baseline_path} ({len(rows)} benchmarks)")
 
+    if args.update:
+        if all_regressions:
+            print(f"bench_compare: {len(all_regressions)} regression(s) "
+                  f"baked into the refreshed baselines — intended only "
+                  f"after a reviewed perf change", file=sys.stderr)
+        return 0
     if all_regressions:
         print(f"bench_compare: {len(all_regressions)} regression(s):",
               file=sys.stderr)

@@ -45,6 +45,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace vif;
@@ -82,8 +83,9 @@ void printUsage(std::ostream &OS) {
         "                 the exit code is 1 when a policy is violated\n"
         "  --json         emit one vifc.v1 JSON document (every command\n"
         "                 except serve; docs/SCHEMA.md)\n"
-        "  --jobs N       batch worker threads (check/flows/rm/report;\n"
-        "                 default: up to 8)\n"
+        "  --jobs N       worker threads (check/flows/rm/report): designs\n"
+        "                 in batch mode, per-process solver fan-out on a\n"
+        "                 single FILE; 0 = auto (default: up to 8)\n"
         "  --cache N      (serve) session-cache capacity in entries "
         "(default 32)\n"
         "  --listen PORT  (serve) accept TCP connections on 127.0.0.1:PORT\n"
@@ -121,7 +123,18 @@ struct Options {
     S.Statements = Statements;
     S.Ifa.Improved = Improved;
     S.Ifa.ProgramEndOutgoing = EndOut;
+    // Single-file operation: --jobs parallelizes the per-process rd
+    // fixpoints inside the one analysis (0 = auto). Batch operation
+    // overrides this back to 1 — there the pool fans out across designs
+    // and nesting both levels would oversubscribe.
+    if (JobsGiven)
+      S.Ifa.RD.Jobs = Jobs ? Jobs : defaultJobs();
     return S;
+  }
+
+  static unsigned defaultJobs() {
+    unsigned HW = std::thread::hardware_concurrency();
+    return std::min(HW ? HW : 1u, 8u);
   }
 };
 
@@ -378,6 +391,12 @@ int cmdBatch(const Options &Opt, driver::BatchMode Mode) {
              : Opt.Alfp   ? driver::FlowMethod::Alfp
                           : driver::FlowMethod::Native;
   B.Session = Opt.session();
+  // --jobs fans out across designs when there are several; keep each
+  // design's rd solvers serial then so the two pool levels don't
+  // multiply. With a single design (`--json FILE`) the design pool is
+  // one worker, so the whole budget goes to the solvers instead.
+  if (Opt.Files.size() > 1)
+    B.Session.Ifa.RD.Jobs = 1;
   for (const auto &[From, To] : Opt.Forbidden)
     B.Policy.Forbidden.push_back({From, To});
   B.Jobs = Opt.Jobs;
@@ -561,11 +580,6 @@ int main(int Argc, char **Argv) {
   }
 
   bool Batch = !SingleOnly && (Opt.Json || Opt.Files.size() > 1);
-  if (Opt.JobsGiven && !Batch) {
-    std::cerr << "error: --jobs only applies to batch operation "
-                 "(several FILEs or --json)\n";
-    return usage();
-  }
   if (Opt.Command == "check")
     return Batch ? cmdBatch(Opt, driver::BatchMode::Check) : cmdCheck(Opt);
   if (Opt.Command == "sim")
