@@ -15,6 +15,7 @@
 
 #include "BenchUtil.h"
 #include "cfg/CFG.h"
+#include "gen/Generator.h"
 #include "ifa/InformationFlow.h"
 #include "ifa/Kemmerer.h"
 #include "rd/ReachingDefs.h"
@@ -104,6 +105,57 @@ void BM_Scaling_Mesh(benchmark::State &State) {
   State.SetComplexityN(Procs);
 }
 BENCHMARK(BM_Scaling_Mesh)->RangeMultiplier(2)->Range(2, 16)->Complexity();
+
+/// One fixed-seed generated design per size point: Procs processes of
+/// mixed control flow over a shared pool of signals and ports.
+gen::GenOptions generatedOptions(unsigned Procs) {
+  gen::GenOptions O;
+  O.Seed = 97; // fixed: the sweep varies size, not content
+  O.Processes = Procs;
+  O.StmtsPerProcess = 12;
+  O.MaxDepth = 3;
+  O.ScalarSignals = 2 + Procs;
+  O.VectorSignals = 2;
+  O.ConcAssigns = Procs / 2;
+  O.Blocks = 1;
+  return O;
+}
+
+void BM_Scaling_Generated_Ours(benchmark::State &State) {
+  // Unlike the hand-shaped families above, the generated family exercises
+  // the full grammar mix (waits with until-conditions, slices, blocks,
+  // vector ops) at scale, so the exponent read-off is not an artifact of
+  // one workload shape.
+  unsigned Procs = static_cast<unsigned>(State.range(0));
+  ElaboratedProgram P =
+      mustElaborateDesign(gen::generateDesign(generatedOptions(Procs)));
+  ProgramCFG CFG = ProgramCFG::build(P);
+  for (auto _ : State) {
+    IFAResult R = analyzeInformationFlow(P, CFG);
+    benchmark::DoNotOptimize(R.Graph.numEdges());
+  }
+  State.SetComplexityN(Procs);
+}
+BENCHMARK(BM_Scaling_Generated_Ours)
+    ->RangeMultiplier(2)
+    ->Range(2, 32)
+    ->Complexity();
+
+void BM_Scaling_Generated_Frontend(benchmark::State &State) {
+  // Parse + elaborate of the same generated designs: the cost a fuzz
+  // seed or serve request pays before any analysis runs.
+  unsigned Procs = static_cast<unsigned>(State.range(0));
+  std::string Source = gen::generateDesign(generatedOptions(Procs));
+  for (auto _ : State) {
+    ElaboratedProgram P = mustElaborateDesign(Source);
+    benchmark::DoNotOptimize(P.Processes.size());
+  }
+  State.SetComplexityN(Procs);
+}
+BENCHMARK(BM_Scaling_Generated_Frontend)
+    ->RangeMultiplier(2)
+    ->Range(2, 32)
+    ->Complexity();
 
 void BM_Scaling_RDOnly(benchmark::State &State) {
   // Isolates the "three bit-vector frameworks" part of the paper's

@@ -1,0 +1,586 @@
+//===- gen/Generator.cpp --------------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Generator.h"
+
+#include <cassert>
+#include <sstream>
+#include <vector>
+
+using namespace vif;
+using namespace vif::gen;
+
+namespace {
+
+/// SplitMix64: deterministic and independent of the standard library, so
+/// generated designs are byte-identical across platforms (the same PRNG
+/// the synthetic workload families use).
+struct Rng {
+  uint64_t State;
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+  unsigned below(unsigned N) {
+    assert(N > 0 && "empty range");
+    return static_cast<unsigned>(next() % N);
+  }
+  bool chance(unsigned Percent) { return below(100) < Percent; }
+};
+
+/// A declared scalar object (signal, port or process variable).
+struct ScalarObj {
+  std::string Name;
+  bool Readable;
+  bool Writable;
+  bool IsSignal;
+};
+
+/// A declared vector object with its exact range.
+struct VectorObj {
+  std::string Name;
+  int Left;
+  int Right;
+  bool Downto;
+  bool Readable;
+  bool Writable;
+  bool IsSignal;
+
+  unsigned width() const {
+    return static_cast<unsigned>(Downto ? Left - Right : Right - Left) + 1;
+  }
+};
+
+/// Everything nameable at one point of the design, split by kind so the
+/// expression generator can honor mode rules (never read an out port,
+/// never assign an in port, no variables in concurrent statements).
+struct Scope {
+  std::vector<ScalarObj> Scalars;
+  std::vector<VectorObj> Vectors;
+};
+
+class DesignWriter {
+public:
+  DesignWriter(const GenOptions &Opts, Rng &R) : Opts(Opts), R(R) {}
+
+  std::string generate();
+
+private:
+  // Expression generation. AllowVars distinguishes process bodies from
+  // concurrent statements (whose expressions may only name signals).
+  std::string scalarExpr(const Scope &S, unsigned Depth, bool AllowVars);
+  std::string vectorExpr(const Scope &S, unsigned Width, unsigned Depth,
+                         bool AllowVars);
+  std::string condition(const Scope &S, bool AllowVars) {
+    return scalarExpr(S, 1, AllowVars);
+  }
+
+  const ScalarObj *pickScalar(const Scope &S, bool ForWrite, bool AllowVars,
+                              bool SignalOnly);
+  const VectorObj *pickVector(const Scope &S, bool ForWrite, bool AllowVars,
+                              unsigned MinWidth);
+
+  // Statement generation.
+  void stmt(std::ostream &OS, const Scope &S, unsigned Depth,
+            unsigned Indent);
+  void stmtList(std::ostream &OS, const Scope &S, unsigned Count,
+                unsigned Depth, unsigned Indent);
+  void assignment(std::ostream &OS, const Scope &S, unsigned Indent);
+  void waitStmt(std::ostream &OS, const Scope &S, unsigned Indent);
+
+  // Design-unit generation.
+  void entity(std::ostream &OS, const std::string &Name, Scope &Ports);
+  void architecture(std::ostream &OS, const std::string &ArchName,
+                    const std::string &EntityName, const Scope &Ports,
+                    const std::string &Prefix, unsigned Processes);
+  void process(std::ostream &OS, const Scope &ArchScope,
+               const std::string &Label, unsigned Stmts);
+  void concurrentAssign(std::ostream &OS, const Scope &S, unsigned Indent);
+  void blockStmt(std::ostream &OS, const Scope &ArchScope,
+                 const std::string &Prefix, unsigned Index);
+
+  VectorObj declareVector(const std::string &Name, bool Readable,
+                          bool Writable, bool IsSignal);
+  std::string vectorLiteral(unsigned Width);
+  std::string typeOf(const VectorObj &V) const;
+  std::string sliceOf(const VectorObj &V, unsigned Width);
+
+  const GenOptions &Opts;
+  Rng &R;
+  unsigned NextVar = 0;
+};
+
+VectorObj DesignWriter::declareVector(const std::string &Name, bool Readable,
+                                      bool Writable, bool IsSignal) {
+  static const unsigned Widths[] = {2, 4, 8};
+  unsigned W = Widths[R.below(3)];
+  VectorObj V;
+  V.Name = Name;
+  V.Downto = R.chance(70);
+  int Base = static_cast<int>(R.below(3));
+  if (V.Downto) {
+    V.Right = Base;
+    V.Left = Base + static_cast<int>(W) - 1;
+  } else {
+    V.Left = Base;
+    V.Right = Base + static_cast<int>(W) - 1;
+  }
+  V.Readable = Readable;
+  V.Writable = Writable;
+  V.IsSignal = IsSignal;
+  return V;
+}
+
+std::string DesignWriter::typeOf(const VectorObj &V) const {
+  std::ostringstream OS;
+  OS << "std_logic_vector(" << V.Left << (V.Downto ? " downto " : " to ")
+     << V.Right << ")";
+  return OS.str();
+}
+
+std::string DesignWriter::vectorLiteral(unsigned Width) {
+  std::string Lit(Width, '0');
+  for (char &C : Lit)
+    C = R.chance(50) ? '1' : '0';
+  return "\"" + Lit + "\"";
+}
+
+/// A width-\p Width slice of \p V, in V's declared direction and range.
+std::string DesignWriter::sliceOf(const VectorObj &V, unsigned Width) {
+  assert(V.width() >= Width && "slice wider than its vector");
+  unsigned Slack = V.width() - Width;
+  unsigned Off = Slack ? R.below(Slack + 1) : 0;
+  std::ostringstream OS;
+  if (V.Downto) {
+    int High = V.Right + static_cast<int>(Off + Width) - 1;
+    OS << V.Name << "(" << High << " downto "
+       << High - static_cast<int>(Width) + 1 << ")";
+  } else {
+    int Low = V.Left + static_cast<int>(Off);
+    OS << V.Name << "(" << Low << " to "
+       << Low + static_cast<int>(Width) - 1 << ")";
+  }
+  return OS.str();
+}
+
+const ScalarObj *DesignWriter::pickScalar(const Scope &S, bool ForWrite,
+                                          bool AllowVars, bool SignalOnly) {
+  std::vector<const ScalarObj *> Pool;
+  for (const ScalarObj &O : S.Scalars) {
+    if (ForWrite ? !O.Writable : !O.Readable)
+      continue;
+    if (!O.IsSignal && (!AllowVars || SignalOnly))
+      continue;
+    Pool.push_back(&O);
+  }
+  if (Pool.empty())
+    return nullptr;
+  return Pool[R.below(static_cast<unsigned>(Pool.size()))];
+}
+
+const VectorObj *DesignWriter::pickVector(const Scope &S, bool ForWrite,
+                                          bool AllowVars,
+                                          unsigned MinWidth) {
+  std::vector<const VectorObj *> Pool;
+  for (const VectorObj &O : S.Vectors) {
+    if (ForWrite ? !O.Writable : !O.Readable)
+      continue;
+    if (!O.IsSignal && !AllowVars)
+      continue;
+    if (O.width() < MinWidth)
+      continue;
+    Pool.push_back(&O);
+  }
+  if (Pool.empty())
+    return nullptr;
+  return Pool[R.below(static_cast<unsigned>(Pool.size()))];
+}
+
+std::string DesignWriter::scalarExpr(const Scope &S, unsigned Depth,
+                                     bool AllowVars) {
+  // Leaves: literals and readable scalar names ('clk' always exists, so a
+  // name is always available).
+  if (Depth == 0 || R.chance(35)) {
+    if (R.chance(25))
+      return R.chance(50) ? "'1'" : "'0'";
+    if (const ScalarObj *O = pickScalar(S, false, AllowVars, false))
+      return O->Name;
+    return R.chance(50) ? "'1'" : "'0'";
+  }
+  switch (R.below(6)) {
+  case 0:
+    return "not " + scalarExpr(S, Depth - 1, AllowVars);
+  case 1:
+    return "(" + scalarExpr(S, Depth - 1, AllowVars) + ")";
+  case 2: { // equal-width vector comparison yields std_logic
+    static const char *RelOps[] = {"=", "/=", "<", "<=", ">", ">="};
+    const char *Op = RelOps[R.below(6)];
+    if (const VectorObj *V = pickVector(S, false, AllowVars, 2)) {
+      unsigned W = V->width();
+      return "(" + sliceOf(*V, W) + " " + Op + " " +
+             vectorExpr(S, W, Depth - 1, AllowVars) + ")";
+    }
+    return "(" + scalarExpr(S, 0, AllowVars) + " " + Op + " " +
+           scalarExpr(S, 0, AllowVars) + ")";
+  }
+  default: {
+    static const char *LogicOps[] = {"and", "or", "xor", "nand", "nor",
+                                     "xnor"};
+    return "(" + scalarExpr(S, Depth - 1, AllowVars) + " " +
+           LogicOps[R.below(6)] + " " + scalarExpr(S, Depth - 1, AllowVars) +
+           ")";
+  }
+  }
+}
+
+std::string DesignWriter::vectorExpr(const Scope &S, unsigned Width,
+                                     unsigned Depth, bool AllowVars) {
+  const VectorObj *V = pickVector(S, false, AllowVars, Width);
+  if (Depth == 0 || R.chance(30))
+    return V ? sliceOf(*V, Width) : vectorLiteral(Width);
+  switch (R.below(5)) {
+  case 0:
+    return "not " + vectorExpr(S, Width, Depth - 1, AllowVars);
+  case 1: { // width-preserving logic op
+    static const char *LogicOps[] = {"and", "or", "xor"};
+    return "(" + vectorExpr(S, Width, Depth - 1, AllowVars) + " " +
+           LogicOps[R.below(3)] + " " +
+           vectorExpr(S, Width, Depth - 1, AllowVars) + ")";
+  }
+  case 2: { // equal-width arithmetic
+    static const char *ArithOps[] = {"+", "-", "*"};
+    return "(" + vectorExpr(S, Width, Depth - 1, AllowVars) + " " +
+           ArithOps[R.below(3)] + " " +
+           vectorExpr(S, Width, Depth - 1, AllowVars) + ")";
+  }
+  case 3: { // concatenation; scalar operands carry width 1
+    if (Width < 2)
+      return V ? sliceOf(*V, Width) : vectorLiteral(Width);
+    unsigned W1 = 1 + R.below(Width - 1);
+    unsigned W2 = Width - W1;
+    std::string L = W1 == 1 ? scalarExpr(S, 0, AllowVars)
+                            : vectorExpr(S, W1, Depth - 1, AllowVars);
+    std::string Rhs = W2 == 1 ? scalarExpr(S, 0, AllowVars)
+                              : vectorExpr(S, W2, Depth - 1, AllowVars);
+    return "(" + L + " & " + Rhs + ")";
+  }
+  default:
+    return V ? sliceOf(*V, Width) : vectorLiteral(Width);
+  }
+}
+
+void DesignWriter::assignment(std::ostream &OS, const Scope &S,
+                              unsigned Indent) {
+  std::string Pad(Indent, ' ');
+  // Vector targets (whole object or a slice) now and then; scalar targets
+  // otherwise. Signal vs variable targets pick their own operator.
+  if (R.chance(30)) {
+    if (const VectorObj *V = pickVector(S, true, true, 1)) {
+      const char *Op = V->IsSignal ? " <= " : " := ";
+      if (R.chance(40) && V->width() >= 2) {
+        unsigned W = 1 + R.below(V->width() - 1);
+        OS << Pad << sliceOf(*V, W) << Op << vectorExpr(S, W, 1, true)
+           << ";\n";
+      } else {
+        OS << Pad << V->Name << Op << vectorExpr(S, V->width(), 1, true)
+           << ";\n";
+      }
+      return;
+    }
+  }
+  bool WantSignal = R.chance(50);
+  const ScalarObj *T = pickScalar(S, true, true, WantSignal);
+  if (!T)
+    T = pickScalar(S, true, true, false);
+  if (!T) { // no writable scalar in scope at all: degrade to null
+    OS << Pad << "null;\n";
+    return;
+  }
+  OS << Pad << T->Name << (T->IsSignal ? " <= " : " := ")
+     << scalarExpr(S, 1 + R.below(2), true) << ";\n";
+}
+
+void DesignWriter::waitStmt(std::ostream &OS, const Scope &S,
+                            unsigned Indent) {
+  std::string Pad(Indent, ' ');
+  // Sensitivity lists name readable signals only; 'clk' guarantees one.
+  std::vector<const ScalarObj *> Sigs;
+  for (const ScalarObj &O : S.Scalars)
+    if (O.IsSignal && O.Readable)
+      Sigs.push_back(&O);
+  OS << Pad << "wait";
+  if (!Sigs.empty() && R.chance(85)) {
+    unsigned N = 1 + R.below(3);
+    OS << " on ";
+    for (unsigned I = 0; I < N; ++I)
+      OS << (I ? ", " : "")
+         << Sigs[R.below(static_cast<unsigned>(Sigs.size()))]->Name;
+  }
+  if (R.chance(40))
+    OS << " until " << condition(S, true);
+  OS << ";\n";
+}
+
+void DesignWriter::stmt(std::ostream &OS, const Scope &S, unsigned Depth,
+                        unsigned Indent) {
+  std::string Pad(Indent, ' ');
+  unsigned Kind = R.below(Depth > 0 ? 10 : 6);
+  switch (Kind) {
+  case 6:
+  case 7: { // if / elsif / else
+    OS << Pad << "if " << condition(S, true) << " then\n";
+    stmtList(OS, S, 1 + R.below(2), Depth - 1, Indent + 2);
+    if (R.chance(30)) {
+      OS << Pad << "elsif " << condition(S, true) << " then\n";
+      stmtList(OS, S, 1 + R.below(2), Depth - 1, Indent + 2);
+    }
+    if (R.chance(60)) {
+      OS << Pad << "else\n";
+      stmtList(OS, S, 1 + R.below(2), Depth - 1, Indent + 2);
+    }
+    OS << Pad << "end if;\n";
+    return;
+  }
+  case 8: { // while loop
+    OS << Pad << "while " << condition(S, true) << " loop\n";
+    stmtList(OS, S, 1 + R.below(2), Depth - 1, Indent + 2);
+    OS << Pad << "end loop;\n";
+    return;
+  }
+  case 9: // nested wait inside control flow is covered by case 4 below
+  case 4:
+    waitStmt(OS, S, Indent);
+    return;
+  case 5:
+    if (R.chance(30)) {
+      OS << Pad << "null;\n";
+      return;
+    }
+    assignment(OS, S, Indent);
+    return;
+  default:
+    assignment(OS, S, Indent);
+    return;
+  }
+}
+
+void DesignWriter::stmtList(std::ostream &OS, const Scope &S, unsigned Count,
+                            unsigned Depth, unsigned Indent) {
+  for (unsigned I = 0; I < Count; ++I)
+    stmt(OS, S, Depth, Indent);
+}
+
+void DesignWriter::process(std::ostream &OS, const Scope &ArchScope,
+                           const std::string &Label, unsigned Stmts) {
+  Scope S = ArchScope;
+  OS << "  " << Label << " : process\n";
+  unsigned NumScalarVars = 1 + R.below(3);
+  for (unsigned V = 0; V < NumScalarVars; ++V) {
+    std::string Name = "v_" + std::to_string(NextVar++);
+    OS << "    variable " << Name << " : std_logic";
+    if (R.chance(60))
+      OS << " := " << (R.chance(50) ? "'1'" : "'0'");
+    OS << ";\n";
+    S.Scalars.push_back({Name, true, true, false});
+  }
+  if (R.chance(50)) {
+    std::string Name = "vv_" + std::to_string(NextVar++);
+    VectorObj V = declareVector(Name, true, true, false);
+    OS << "    variable " << Name << " : " << typeOf(V);
+    if (R.chance(50))
+      OS << " := " << vectorLiteral(V.width());
+    OS << ";\n";
+    S.Vectors.push_back(V);
+  }
+  OS << "  begin\n";
+  stmtList(OS, S, Stmts, Opts.MaxDepth, 4);
+  // Every process parks on the clock so generated designs also simulate
+  // without spinning (the analyses do not require it).
+  OS << "    wait on clk;\n";
+  OS << "  end process " << Label << ";\n";
+}
+
+void DesignWriter::concurrentAssign(std::ostream &OS, const Scope &S,
+                                    unsigned Indent) {
+  std::string Pad(Indent, ' ');
+  if (R.chance(25)) {
+    if (const VectorObj *V = pickVector(S, true, false, 1)) {
+      OS << Pad << V->Name << " <= "
+         << vectorExpr(S, V->width(), 1 + R.below(2), false) << ";\n";
+      return;
+    }
+  }
+  if (const ScalarObj *T = pickScalar(S, true, false, true))
+    OS << Pad << T->Name << " <= " << scalarExpr(S, 1 + R.below(2), false)
+       << ";\n";
+}
+
+void DesignWriter::blockStmt(std::ostream &OS, const Scope &ArchScope,
+                             const std::string &Prefix, unsigned Index) {
+  Scope S = ArchScope;
+  std::string Label = Prefix + "b_" + std::to_string(Index);
+  OS << "  " << Label << " : block\n";
+  std::string Local = Prefix + "bs_" + std::to_string(Index);
+  OS << "    signal " << Local << " : std_logic;\n";
+  S.Scalars.push_back({Local, true, true, true});
+  OS << "  begin\n";
+  concurrentAssign(OS, S, 4);
+  if (R.chance(60))
+    process(OS, S, Label + "_p", 1 + Opts.StmtsPerProcess / 2);
+  OS << "  end block " << Label << ";\n";
+}
+
+void DesignWriter::entity(std::ostream &OS, const std::string &Name,
+                          Scope &Ports) {
+  OS << "entity " << Name << " is\n  port(\n";
+  std::vector<std::string> Lines;
+  Lines.push_back("clk : in std_logic");
+  Ports.Scalars.push_back({"clk", true, false, true});
+  for (unsigned I = 0; I < Opts.InPorts; ++I) {
+    std::string N = Name + "_i_" + std::to_string(I);
+    Lines.push_back(N + " : in std_logic");
+    Ports.Scalars.push_back({N, true, false, true});
+  }
+  for (unsigned I = 0; I < Opts.InoutPorts; ++I) {
+    std::string N = Name + "_io_" + std::to_string(I);
+    Lines.push_back(N + " : inout std_logic");
+    Ports.Scalars.push_back({N, true, true, true});
+  }
+  for (unsigned I = 0; I < Opts.VectorPorts; ++I) {
+    std::string N = Name + "_vp_" + std::to_string(I);
+    VectorObj V = declareVector(N, true, true, true);
+    switch (R.below(3)) {
+    case 0:
+      V.Writable = false;
+      Lines.push_back(N + " : in " + typeOf(V));
+      break;
+    case 1:
+      V.Readable = false;
+      Lines.push_back(N + " : out " + typeOf(V));
+      break;
+    default:
+      Lines.push_back(N + " : inout " + typeOf(V));
+      break;
+    }
+    Ports.Vectors.push_back(V);
+  }
+  for (unsigned I = 0; I < Opts.OutPorts; ++I) {
+    std::string N = Name + "_o_" + std::to_string(I);
+    Lines.push_back(N + " : out std_logic");
+    Ports.Scalars.push_back({N, false, true, true});
+  }
+  for (size_t I = 0; I < Lines.size(); ++I)
+    OS << "    " << Lines[I] << (I + 1 < Lines.size() ? ";" : "") << "\n";
+  OS << "  );\nend " << Name << ";\n\n";
+}
+
+void DesignWriter::architecture(std::ostream &OS, const std::string &ArchName,
+                                const std::string &EntityName,
+                                const Scope &Ports,
+                                const std::string &Prefix,
+                                unsigned Processes) {
+  Scope S = Ports;
+  OS << "architecture " << ArchName << " of " << EntityName << " is\n";
+  for (unsigned I = 0; I < Opts.ScalarSignals; ++I) {
+    std::string N = Prefix + "s_" + std::to_string(I);
+    OS << "  signal " << N << " : std_logic";
+    if (R.chance(50))
+      OS << " := " << (R.chance(50) ? "'1'" : "'0'");
+    OS << ";\n";
+    S.Scalars.push_back({N, true, true, true});
+  }
+  for (unsigned I = 0; I < Opts.VectorSignals; ++I) {
+    std::string N = Prefix + "sv_" + std::to_string(I);
+    VectorObj V = declareVector(N, true, true, true);
+    OS << "  signal " << N << " : " << typeOf(V);
+    if (R.chance(40))
+      OS << " := " << vectorLiteral(V.width());
+    OS << ";\n";
+    S.Vectors.push_back(V);
+  }
+  OS << "begin\n";
+  for (unsigned I = 0; I < Opts.ConcAssigns; ++I)
+    concurrentAssign(OS, S, 2);
+  for (unsigned I = 0; I < Opts.Blocks; ++I)
+    blockStmt(OS, S, Prefix, I);
+  for (unsigned P = 0; P < Processes; ++P)
+    process(OS, S, Prefix + "p_" + std::to_string(P),
+            1 + R.below(Opts.StmtsPerProcess + 1));
+  // Drive every out port so the interface has observable flows (an
+  // undriven out port is legal but analytically inert).
+  for (const ScalarObj &O : S.Scalars)
+    if (!O.Readable && O.Writable)
+      OS << "  " << O.Name << " <= " << scalarExpr(S, 1, false) << ";\n";
+  for (const VectorObj &V : S.Vectors)
+    if (!V.Readable && V.Writable)
+      OS << "  " << V.Name << " <= " << vectorExpr(S, V.width(), 1, false)
+         << ";\n";
+  OS << "end " << ArchName << ";\n";
+}
+
+std::string DesignWriter::generate() {
+  std::ostringstream OS;
+  OS << "-- generated by vifc-fuzz, seed " << Opts.Seed << "\n";
+  Scope Ports;
+  entity(OS, "gen0", Ports);
+  architecture(OS, "a0", "gen0", Ports, "", Opts.Processes);
+  if (Opts.SecondArchitecture) {
+    OS << "\n";
+    // Never elaborated (the driver picks the first architecture), but
+    // kept fully valid: the parser and any future multi-arch elaboration
+    // see a second complete body over the same entity interface.
+    architecture(OS, "a1", "gen0", Ports, "alt_",
+                 1 + Opts.Processes / 2);
+  }
+  for (unsigned E = 0; E < Opts.ExtraEntities; ++E) {
+    OS << "\n";
+    std::string Name = "gen" + std::to_string(E + 1);
+    Scope ExtraPorts;
+    entity(OS, Name, ExtraPorts);
+    architecture(OS, "a0_" + Name, Name, ExtraPorts,
+                 Name + "_", 1);
+  }
+  return OS.str();
+}
+
+} // namespace
+
+GenOptions vif::gen::designOptions(uint64_t Seed) {
+  // A separate PRNG stream from the one generateDesign draws on, so size
+  // selection never perturbs content decisions.
+  Rng R(Seed ^ 0xa5a5a5a5a5a5a5a5ull);
+  GenOptions O;
+  O.Seed = Seed;
+  bool Medium = R.below(8) == 0;
+  O.Processes = Medium ? 6 + R.below(6) : 1 + R.below(4);
+  O.StmtsPerProcess = Medium ? 16 + R.below(16) : 3 + R.below(10);
+  O.MaxDepth = 1 + R.below(3);
+  O.InPorts = 1 + R.below(3);
+  O.OutPorts = 1 + R.below(2);
+  O.InoutPorts = R.below(2);
+  O.VectorPorts = R.below(2);
+  O.ScalarSignals = Medium ? 6 + R.below(6) : 2 + R.below(4);
+  O.VectorSignals = R.below(3);
+  O.ConcAssigns = R.below(3);
+  O.Blocks = R.below(2);
+  O.SecondArchitecture = R.below(4) == 0;
+  O.ExtraEntities = R.below(4) == 0 ? 1 : 0;
+  return O;
+}
+
+std::string vif::gen::generateDesign(const GenOptions &Opts) {
+  Rng R(Opts.Seed);
+  DesignWriter W(Opts, R);
+  return W.generate();
+}
+
+std::string vif::gen::generateDesign(uint64_t Seed) {
+  return generateDesign(designOptions(Seed));
+}

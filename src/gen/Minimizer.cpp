@@ -1,0 +1,100 @@
+//===- gen/Minimizer.cpp --------------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Minimizer.h"
+
+#include <vector>
+
+using namespace vif;
+using namespace vif::gen;
+
+namespace {
+
+std::vector<std::string> splitLines(const std::string &S) {
+  std::vector<std::string> Lines;
+  size_t Begin = 0;
+  while (Begin <= S.size()) {
+    size_t End = S.find('\n', Begin);
+    if (End == std::string::npos) {
+      if (Begin < S.size())
+        Lines.push_back(S.substr(Begin));
+      break;
+    }
+    Lines.push_back(S.substr(Begin, End - Begin + 1));
+    Begin = End + 1;
+  }
+  return Lines;
+}
+
+std::string joinAllBut(const std::vector<std::string> &Lines, size_t Skip,
+                       size_t SkipLen) {
+  std::string Out;
+  for (size_t I = 0; I < Lines.size(); ++I)
+    if (I < Skip || I >= Skip + SkipLen)
+      Out += Lines[I];
+  return Out;
+}
+
+} // namespace
+
+std::string vif::gen::minimizeSource(
+    const std::string &Source,
+    const std::function<bool(const std::string &)> &StillFails) {
+  if (!StillFails(Source))
+    return Source;
+  std::string Best = Source;
+
+  // Line-chunk pass: try deleting runs of ChunkLen lines, halving the
+  // chunk size whenever a full sweep makes no progress.
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    std::vector<std::string> Lines = splitLines(Best);
+    for (size_t ChunkLen = Lines.size(); ChunkLen >= 1; ChunkLen /= 2) {
+      bool ChunkProgress = true;
+      while (ChunkProgress) {
+        ChunkProgress = false;
+        Lines = splitLines(Best);
+        if (Lines.size() <= 1)
+          break;
+        for (size_t I = 0; I + 1 <= Lines.size(); I += ChunkLen) {
+          size_t Len = std::min(ChunkLen, Lines.size() - I);
+          std::string Candidate = joinAllBut(Lines, I, Len);
+          if (Candidate.size() < Best.size() && StillFails(Candidate)) {
+            Best = Candidate;
+            Progress = ChunkProgress = true;
+            break; // line indices shifted; re-split
+          }
+        }
+      }
+      if (ChunkLen == 1)
+        break;
+    }
+  }
+
+  // Character trim pass: shave bytes off either end (crash inputs often
+  // minimize to a short prefix no line boundary exposes).
+  for (bool Trimmed = true; Trimmed;) {
+    Trimmed = false;
+    for (size_t Cut : {Best.size() / 2, Best.size() / 4, size_t(1)}) {
+      if (Cut == 0 || Cut >= Best.size())
+        continue;
+      std::string Front = Best.substr(Cut);
+      if (StillFails(Front)) {
+        Best = Front;
+        Trimmed = true;
+        break;
+      }
+      std::string Back = Best.substr(0, Best.size() - Cut);
+      if (StillFails(Back)) {
+        Best = Back;
+        Trimmed = true;
+        break;
+      }
+    }
+  }
+  return Best;
+}

@@ -1,0 +1,39 @@
+//===- gen/Minimizer.h - Greedy failing-input reduction ---------*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small delta-debugging style reducer for failing fuzz inputs. Given a
+/// source and a predicate that re-runs the failing check, it greedily
+/// deletes line chunks (halves, then quarters, ... down to single lines)
+/// as long as the predicate still reports failure, then finishes with a
+/// character-level trim pass. It is deliberately grammar-unaware: for
+/// oracle disagreements the predicate includes parse+elaborate success,
+/// so only still-valid reductions survive; for parser crashes any byte
+/// soup that still crashes is fair game.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_GEN_MINIMIZER_H
+#define VIF_GEN_MINIMIZER_H
+
+#include <functional>
+#include <string>
+
+namespace vif {
+namespace gen {
+
+/// Returns the smallest variant of \p Source (in the greedy search space)
+/// for which \p StillFails returns true. \p StillFails is assumed to be
+/// deterministic and true for \p Source itself; if it is not, \p Source
+/// is returned unchanged.
+std::string minimizeSource(const std::string &Source,
+                           const std::function<bool(const std::string &)>
+                               &StillFails);
+
+} // namespace gen
+} // namespace vif
+
+#endif // VIF_GEN_MINIMIZER_H

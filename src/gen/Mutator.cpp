@@ -1,0 +1,103 @@
+//===- gen/Mutator.cpp ----------------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Mutator.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace vif;
+using namespace vif::gen;
+
+namespace {
+
+struct Rng {
+  uint64_t State;
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+  size_t below(size_t N) {
+    assert(N > 0 && "empty range");
+    return static_cast<size_t>(next() % N);
+  }
+};
+
+/// Tokens spliced into the stream: every keyword and operator the lexer
+/// knows, plus a few pathological fragments (unterminated literals, long
+/// digit runs, lone quotes) that historically tickle error recovery.
+const char *Lexicon[] = {
+    "entity",   "architecture", "process", "begin",  "end",    "if",
+    "elsif",    "else",         "then",    "while",  "loop",   "wait",
+    "on",       "until",        "signal",  "variable", "port", "in",
+    "out",      "inout",        "block",   "of",     "is",     "null",
+    "and",      "or",           "nand",    "nor",    "xor",    "xnor",
+    "not",      "downto",       "to",      "std_logic", "std_logic_vector",
+    "<=",       ":=",           "=",       "/=",     "<",      ">",
+    ">=",       "&",            "+",       "-",      "*",      "(",
+    ")",        ";",            ":",       ",",      "'",      "\"",
+    "'1'",      "'0'",          "\"0101\"", "--",    "'x",     "\"unterminated",
+    "9999999999999999999999999999", "123",  "0",
+};
+
+} // namespace
+
+std::string vif::gen::mutateSource(const std::string &Source,
+                                   const MutateOptions &Opts) {
+  Rng R(Opts.Seed ^ 0xfeedfacecafebeefull);
+  std::string S = Source;
+  for (unsigned M = 0; M < Opts.Mutations; ++M) {
+    if (S.empty()) {
+      S = Lexicon[R.below(std::size(Lexicon))];
+      continue;
+    }
+    switch (R.below(6)) {
+    case 0: { // truncate at a random point
+      S.resize(R.below(S.size() + 1));
+      break;
+    }
+    case 1: { // delete a range
+      size_t Begin = R.below(S.size());
+      size_t Len = 1 + R.below(std::min<size_t>(S.size() - Begin, 64));
+      S.erase(Begin, Len);
+      break;
+    }
+    case 2: { // duplicate a range elsewhere
+      size_t Begin = R.below(S.size());
+      size_t Len = 1 + R.below(std::min<size_t>(S.size() - Begin, 256));
+      std::string Chunk = S.substr(Begin, Len);
+      S.insert(R.below(S.size() + 1), Chunk);
+      break;
+    }
+    case 3: { // splice lexicon tokens
+      size_t N = 1 + R.below(4);
+      for (size_t I = 0; I < N; ++I) {
+        std::string Tok = Lexicon[R.below(std::size(Lexicon))];
+        S.insert(R.below(S.size() + 1), " " + Tok + " ");
+      }
+      break;
+    }
+    case 4: { // flip random bytes (printable and not)
+      size_t N = 1 + R.below(8);
+      for (size_t I = 0; I < N; ++I)
+        S[R.below(S.size())] = static_cast<char>(R.next() & 0xff);
+      break;
+    }
+    default: { // swap two halves around a pivot
+      size_t Pivot = R.below(S.size());
+      S = S.substr(Pivot) + S.substr(0, Pivot);
+      break;
+    }
+    }
+  }
+  if (S.size() > Opts.MaxSize)
+    S.resize(Opts.MaxSize);
+  return S;
+}

@@ -1,0 +1,43 @@
+//===- gen/Mutator.h - Source corruption for robustness fuzzing -*- C++ -*-===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded destructive mutation of (usually generated) VHDL1 sources. The
+/// output is almost never valid; the point is that the parser and
+/// elaborator must diagnose it cleanly — exit-2 territory, never a crash,
+/// hang, or sanitizer report. Mutations are byte- and token-level:
+/// truncation, range deletion/duplication, token splicing from a lexicon
+/// of keywords and operators, and raw byte flips.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIF_GEN_MUTATOR_H
+#define VIF_GEN_MUTATOR_H
+
+#include <cstdint>
+#include <string>
+
+namespace vif {
+namespace gen {
+
+struct MutateOptions {
+  uint64_t Seed = 1;
+  /// How many mutation operations to stack on one source.
+  unsigned Mutations = 4;
+  /// Hard cap on the mutated size; duplication-heavy seeds would
+  /// otherwise grow sources (and parser recovery time) without bound.
+  size_t MaxSize = 64 * 1024;
+};
+
+/// Applies MutateOptions::Mutations random corruptions to \p Source.
+/// Deterministic in (Source, Opts); the result may even be valid by
+/// accident — callers must accept both clean diagnosis and success.
+std::string mutateSource(const std::string &Source, const MutateOptions &Opts);
+
+} // namespace gen
+} // namespace vif
+
+#endif // VIF_GEN_MUTATOR_H

@@ -7,6 +7,7 @@
 #include "parse/Lexer.h"
 
 #include <cctype>
+#include <cstdint>
 #include <unordered_map>
 
 using namespace vif;
@@ -240,99 +241,121 @@ std::vector<Token> Lexer::lexAll() {
 }
 
 Token Lexer::lexOne() {
-  skipTrivia();
-  SourceLoc Start = loc();
-  if (atEnd())
-    return make(TokenKind::Eof, Start);
+  // The error-recovery arms loop back here instead of recursing: recovery
+  // once per bad byte must cost a loop iteration, not a stack frame
+  // (megabytes of garbage input would otherwise overflow the stack).
+  for (;;) {
+    skipTrivia();
+    SourceLoc Start = loc();
+    if (atEnd())
+      return make(TokenKind::Eof, Start);
 
-  char C = advance();
+    char C = advance();
 
-  if (isIdentStart(C)) {
-    std::string Ident(1, lowered(C));
-    while (!atEnd() && isIdentCont(peek()))
-      Ident.push_back(lowered(advance()));
-    auto It = keywordTable().find(Ident);
-    if (It != keywordTable().end())
-      return make(It->second, Start);
-    return make(TokenKind::Identifier, Start, std::move(Ident));
-  }
-
-  if (std::isdigit(static_cast<unsigned char>(C))) {
-    int64_t Value = C - '0';
-    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
-      Value = Value * 10 + (advance() - '0');
-    Token T = make(TokenKind::IntLiteral, Start);
-    T.IntValue = Value;
-    return T;
-  }
-
-  switch (C) {
-  case '\'': {
-    // Character literal: exactly one character between ticks.
-    if (atEnd() || peek(1) != '\'') {
-      Diags.error(Start, "malformed character literal");
-      return lexOne();
+    if (isIdentStart(C)) {
+      std::string Ident(1, lowered(C));
+      while (!atEnd() && isIdentCont(peek()))
+        Ident.push_back(lowered(advance()));
+      auto It = keywordTable().find(Ident);
+      if (It != keywordTable().end())
+        return make(It->second, Start);
+      return make(TokenKind::Identifier, Start, std::move(Ident));
     }
-    char Body = advance();
-    advance(); // closing tick
-    return make(TokenKind::CharLiteral, Start, std::string(1, Body));
-  }
-  case '"': {
-    std::string Body;
-    while (!atEnd() && peek() != '"' && peek() != '\n')
-      Body.push_back(advance());
-    if (atEnd() || peek() != '"') {
-      Diags.error(Start, "unterminated string literal");
+
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      // Accumulate with an explicit overflow check: a digit run longer
+      // than int64 holds (fuzzed inputs produce them) must saturate with
+      // a diagnostic, not wrap through signed overflow.
+      const int64_t Max = INT64_MAX;
+      int64_t Value = C - '0';
+      bool Overflow = false;
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        int64_t Digit = advance() - '0';
+        if (Value > (Max - Digit) / 10) {
+          Overflow = true;
+          Value = Max;
+          while (!atEnd() &&
+                 std::isdigit(static_cast<unsigned char>(peek())))
+            advance();
+          break;
+        }
+        Value = Value * 10 + Digit;
+      }
+      if (Overflow)
+        Diags.error(Start, "integer literal too large");
+      Token T = make(TokenKind::IntLiteral, Start);
+      T.IntValue = Value;
+      return T;
+    }
+
+    switch (C) {
+    case '\'': {
+      // Character literal: exactly one character between ticks.
+      if (atEnd() || peek(1) != '\'') {
+        Diags.error(Start, "malformed character literal");
+        continue;
+      }
+      char Body = advance();
+      advance(); // closing tick
+      return make(TokenKind::CharLiteral, Start, std::string(1, Body));
+    }
+    case '"': {
+      std::string Body;
+      while (!atEnd() && peek() != '"' && peek() != '\n')
+        Body.push_back(advance());
+      if (atEnd() || peek() != '"') {
+        Diags.error(Start, "unterminated string literal");
+        return make(TokenKind::StringLiteral, Start, std::move(Body));
+      }
+      advance(); // closing quote
       return make(TokenKind::StringLiteral, Start, std::move(Body));
     }
-    advance(); // closing quote
-    return make(TokenKind::StringLiteral, Start, std::move(Body));
-  }
-  case '(':
-    return make(TokenKind::LParen, Start);
-  case ')':
-    return make(TokenKind::RParen, Start);
-  case ';':
-    return make(TokenKind::Semi, Start);
-  case ',':
-    return make(TokenKind::Comma, Start);
-  case ':':
-    if (peek() == '=') {
-      advance();
-      return make(TokenKind::ColonEq, Start);
+    case '(':
+      return make(TokenKind::LParen, Start);
+    case ')':
+      return make(TokenKind::RParen, Start);
+    case ';':
+      return make(TokenKind::Semi, Start);
+    case ',':
+      return make(TokenKind::Comma, Start);
+    case ':':
+      if (peek() == '=') {
+        advance();
+        return make(TokenKind::ColonEq, Start);
+      }
+      return make(TokenKind::Colon, Start);
+    case '<':
+      if (peek() == '=') {
+        advance();
+        return make(TokenKind::LessEq, Start);
+      }
+      return make(TokenKind::Less, Start);
+    case '>':
+      if (peek() == '=') {
+        advance();
+        return make(TokenKind::GreaterEq, Start);
+      }
+      return make(TokenKind::Greater, Start);
+    case '=':
+      return make(TokenKind::Eq, Start);
+    case '/':
+      if (peek() == '=') {
+        advance();
+        return make(TokenKind::NotEq, Start);
+      }
+      Diags.error(Start, "expected '=' after '/'");
+      continue;
+    case '+':
+      return make(TokenKind::Plus, Start);
+    case '-':
+      return make(TokenKind::Minus, Start);
+    case '*':
+      return make(TokenKind::Star, Start);
+    case '&':
+      return make(TokenKind::Amp, Start);
+    default:
+      Diags.error(Start, std::string("unexpected character '") + C + "'");
+      continue;
     }
-    return make(TokenKind::Colon, Start);
-  case '<':
-    if (peek() == '=') {
-      advance();
-      return make(TokenKind::LessEq, Start);
-    }
-    return make(TokenKind::Less, Start);
-  case '>':
-    if (peek() == '=') {
-      advance();
-      return make(TokenKind::GreaterEq, Start);
-    }
-    return make(TokenKind::Greater, Start);
-  case '=':
-    return make(TokenKind::Eq, Start);
-  case '/':
-    if (peek() == '=') {
-      advance();
-      return make(TokenKind::NotEq, Start);
-    }
-    Diags.error(Start, "expected '=' after '/'");
-    return lexOne();
-  case '+':
-    return make(TokenKind::Plus, Start);
-  case '-':
-    return make(TokenKind::Minus, Start);
-  case '*':
-    return make(TokenKind::Star, Start);
-  case '&':
-    return make(TokenKind::Amp, Start);
-  default:
-    Diags.error(Start, std::string("unexpected character '") + C + "'");
-    return lexOne();
   }
 }

@@ -49,6 +49,16 @@ bool Parser::expect(TokenKind K, const char *Context) {
   return false;
 }
 
+bool Parser::enterNesting() {
+  if (NestingDepth >= MaxNestingDepth) {
+    Diags.error(cur().Loc, "nesting too deep");
+    skipToSemi();
+    return false;
+  }
+  ++NestingDepth;
+  return true;
+}
+
 void Parser::skipToSemi() {
   while (!at(TokenKind::Eof) && !at(TokenKind::Semi))
     consume();
@@ -339,6 +349,14 @@ StmtPtr Parser::parseStatementList() {
 }
 
 StmtPtr Parser::parseStmt() {
+  if (!enterNesting())
+    return nullptr;
+  StmtPtr S = parseStmtImpl();
+  --NestingDepth;
+  return S;
+}
+
+StmtPtr Parser::parseStmtImpl() {
   SourceLoc Start = cur().Loc;
   if (accept(TokenKind::KwNull)) {
     expect(TokenKind::Semi, "null statement");
@@ -365,6 +383,14 @@ StmtPtr Parser::parseStmt() {
 }
 
 StmtPtr Parser::parseIf(SourceLoc Start) {
+  if (!enterNesting())
+    return nullptr;
+  StmtPtr S = parseIfImpl(Start);
+  --NestingDepth;
+  return S;
+}
+
+StmtPtr Parser::parseIfImpl(SourceLoc Start) {
   ExprPtr Cond = parseExpr();
   expect(TokenKind::KwThen, "if statement");
   StmtPtr Then = parseStatementList();
@@ -544,6 +570,14 @@ ExprPtr Parser::parseMultiplicative() {
 }
 
 ExprPtr Parser::parsePrimary() {
+  if (!enterNesting())
+    return nullptr;
+  ExprPtr E = parsePrimaryImpl();
+  --NestingDepth;
+  return E;
+}
+
+ExprPtr Parser::parsePrimaryImpl() {
   SourceLoc Start = cur().Loc;
   if (at(TokenKind::KwNot)) {
     consume();

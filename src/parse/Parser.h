@@ -62,7 +62,9 @@ private:
   ConcStmtPtr parseBlock(std::string Label, SourceLoc Start);
 
   StmtPtr parseStmt();
+  StmtPtr parseStmtImpl();
   StmtPtr parseIf(SourceLoc Start);
+  StmtPtr parseIfImpl(SourceLoc Start);
   StmtPtr parseWhile(SourceLoc Start);
   StmtPtr parseWait(SourceLoc Start);
   StmtPtr parseAssignment();
@@ -72,14 +74,23 @@ private:
   ExprPtr parseAdditive();
   ExprPtr parseMultiplicative();
   ExprPtr parsePrimary();
+  ExprPtr parsePrimaryImpl();
   std::optional<SliceSpec> parseSliceSuffix();
 
   /// True if the statement-list terminator set begins at the cursor.
   bool atStmtListEnd() const;
 
+  /// Guards the recursive descent against adversarial nesting (fuzzed
+  /// inputs with tens of thousands of '(' or nested 'if's would otherwise
+  /// overflow the stack). Checked wherever the grammar recurses through
+  /// itself: primaries, statements and elsif chains share the counter.
+  bool enterNesting();
+  static constexpr unsigned MaxNestingDepth = 512;
+
   std::vector<Token> Tokens;
   DiagnosticEngine &Diags;
   size_t Index = 0;
+  unsigned NestingDepth = 0;
 };
 
 /// Convenience: lex and parse \p Source as a full design file.

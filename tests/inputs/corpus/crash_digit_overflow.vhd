@@ -1,0 +1,3 @@
+-- minimized mutation-fuzzer crasher: signed int64 overflow while
+-- lexing an overlong integer literal (pre saturation fix)
+b := x(99999999999999999999999999999999999 downto 0);

@@ -332,6 +332,70 @@ TEST(ParserRobustness, DeeplyNestedIfs) {
   ASSERT_TRUE(S);
 }
 
+// Pinned by the mutation fuzzer (vifc-fuzz --mode mutate): adversarial
+// inputs beyond the nesting budget must produce diagnostics, never smash
+// the stack. The recursive descent guards itself with a shared depth
+// counter (Parser::MaxNestingDepth).
+TEST(ParserRobustness, PathologicalNestingIsDiagnosed) {
+  std::string Parens = "x := " + std::string(100000, '(') + "y" +
+                       std::string(100000, ')') + ";";
+  DiagnosticEngine D1;
+  parseStatements(Parens, D1);
+  EXPECT_TRUE(D1.hasErrors());
+
+  std::string Ifs, Close;
+  for (int I = 0; I < 50000; ++I) {
+    Ifs += "if c then ";
+    Close += " end if;";
+  }
+  DiagnosticEngine D2;
+  parseStatements(Ifs + "null;" + Close, D2);
+  EXPECT_TRUE(D2.hasErrors());
+
+  // elsif chains recurse per arm and share the same budget; past it they
+  // must degrade to diagnostics too.
+  std::string Elsifs = "if c then x := y; ";
+  for (int I = 0; I < 2000; ++I)
+    Elsifs += "elsif c then x := y; ";
+  DiagnosticEngine D3;
+  parseStatements(Elsifs + "end if;", D3);
+  EXPECT_TRUE(D3.hasErrors());
+}
+
+// Pinned by the mutation fuzzer: lexer error recovery must iterate, not
+// recurse — megabytes of garbage used to overflow the stack one frame
+// per bad byte (under sanitizers, which disable tail calls).
+TEST(ParserRobustness, LongGarbageInputRecoversIteratively) {
+  std::string Garbage(2 * 1024 * 1024, '$');
+  DiagnosticEngine Diags;
+  parseStatements(Garbage, Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+
+  // The malformed-char-literal arm recovers through the same loop.
+  std::string Ticks(1024 * 1024, '\'');
+  DiagnosticEngine D2;
+  parseStatements("x := " + Ticks + ";", D2);
+  EXPECT_TRUE(D2.hasErrors());
+}
+
+// Pinned by the mutation fuzzer: digit runs longer than int64 must
+// saturate with a diagnostic instead of wrapping through signed overflow
+// into a bogus (possibly "valid") slice bound.
+TEST(ParserRobustness, OverlongIntegerLiteralIsDiagnosed) {
+  DiagnosticEngine Diags;
+  parseStatements("x := y(99999999999999999999999999999999999 downto 0);",
+                  Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("integer literal too large"), std::string::npos)
+      << Diags.str();
+
+  // The largest representable literal still lexes fine.
+  DiagnosticEngine D2;
+  parseStatements("x := y(9223372036854775807 downto 0);", D2);
+  EXPECT_EQ(D2.str().find("integer literal too large"), std::string::npos)
+      << D2.str();
+}
+
 //===----------------------------------------------------------------------===//
 // Round trips: parse(print(ast)) == ast (structurally)
 //===----------------------------------------------------------------------===//

@@ -15,14 +15,17 @@
 
 #include "driver/Serialize.h"
 #include "driver/Serve.h"
+#include "gen/Generator.h"
 #include "support/JsonParse.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include <sys/socket.h>
@@ -324,6 +327,53 @@ TEST(Serve, FdTransportOverSocketpair) {
   EXPECT_FALSE(Docs[0].find("cacheHit")->asBool());
   EXPECT_TRUE(Docs[1].find("cacheHit")->asBool()) << "warm across requests";
   EXPECT_EQ(str(Docs[2], "command"), "shutdown");
+}
+
+TEST(Serve, ConcurrentGeneratedDesignsMatchSerialReplay) {
+  // N generated designs, analyzed once serially for the expected flow
+  // edges, then pushed through one shared SessionCache from several
+  // threads with every design requested by every thread. The per-entry
+  // lock must serialize each lazy pipeline (each design computed exactly
+  // once despite the collisions -> Misses == N) and every concurrent
+  // answer must equal the serial one.
+  constexpr size_t N = 12;
+  constexpr size_t Threads = 6;
+  std::vector<std::string> Sources;
+  std::vector<std::vector<std::pair<std::string, std::string>>> Expected;
+  for (size_t I = 0; I < N; ++I) {
+    Sources.push_back(gen::generateDesign(9000 + I));
+    AnalysisSession S =
+        AnalysisSession::fromSource("serial", Sources.back());
+    const IFAResult *R = S.ifa();
+    ASSERT_NE(R, nullptr) << "seed " << 9000 + I << "\n"
+                          << S.diagnostics().str();
+    Expected.push_back(R->Graph.sortedEdges());
+  }
+
+  SessionCache Cache(N); // capacity == N: no evictions in the mix
+  std::atomic<size_t> Disagreements{0};
+  std::vector<std::thread> Workers;
+  for (size_t T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      // Walk all designs from a per-thread offset and stride, so
+      // threads collide on the same entries in different orders.
+      for (size_t Step = 0; Step < N; ++Step) {
+        size_t I = (T + Step * (1 + T % 3)) % N;
+        SessionCache::Ref R = Cache.acquire("g" + std::to_string(I),
+                                            Sources[I], SessionOptions());
+        const IFAResult *Ifa = R.session().ifa();
+        if (!Ifa || Ifa->Graph.sortedEdges() != Expected[I])
+          ++Disagreements;
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+
+  EXPECT_EQ(Disagreements.load(), 0u);
+  EXPECT_EQ(Cache.stats().Misses, N) << "each design computed exactly once";
+  EXPECT_EQ(Cache.stats().Hits, Threads * N - N);
+  EXPECT_EQ(Cache.stats().Evictions, 0u);
+  EXPECT_EQ(Cache.size(), N);
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,13 +1,26 @@
 #!/usr/bin/env bash
 # Tier-1 verify, as run by CI (.github/workflows/ci.yml) and locally.
 # Usage: tools/ci.sh [build-dir]   (default: build-ci)
+#
+# VIFC_SANITIZE=address,undefined (or address / undefined / thread) builds
+# the whole tree with -fsanitize and runs the same suite under it; the
+# bench steps are skipped there (sanitized timings mean nothing).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-ci}"
+SANITIZE="${VIFC_SANITIZE:-}"
 
-cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DVIFC_WERROR=ON
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DVIFC_WERROR=ON \
+  -DVIFC_SANITIZE="$SANITIZE"
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+# Differential fuzz smoke straight through the CLI (ctest's
+# vifc_fuzz_smoke covers seeds 1-200; this fixed range extends it and
+# proves the reproducer interface works from a shell).
+"$BUILD_DIR/vifc-fuzz" --mode all --start 1000 --count 100 --mutants 2 \
+  --quiet
+echo "fuzz smoke passed"
 
 # Serve smoke: the long-lived mode must answer line-delimited vifc.v1
 # requests with a cache hit on the repeated one (full protocol coverage
@@ -32,7 +45,10 @@ fi
 # Bench smoke: the perf binaries must keep running end-to-end so they can't
 # silently rot between perf PRs. Committed baselines live in
 # bench/baselines/ (see bench/baselines/README.md for how to regenerate).
-if [ -x "$BUILD_DIR/bench_fig5" ]; then
+# Skipped under sanitizers: instrumented timings are meaningless.
+if [ -n "$SANITIZE" ]; then
+  echo "sanitized build ($SANITIZE); skipping bench smoke and compare"
+elif [ -x "$BUILD_DIR/bench_fig5" ]; then
   "$BUILD_DIR/bench_fig5" --benchmark_min_time=0.01x >/dev/null
   echo "bench smoke passed (bench_fig5)"
 else
@@ -44,7 +60,8 @@ fi
 # tools/bench_compare.py. Off by default — baselines are machine-
 # dependent, so this only means something on the machine that produced
 # them. Tune the allowed slowdown with VIFC_BENCH_TOLERANCE (ratio).
-if [ "${VIFC_BENCH_COMPARE:-0}" = "1" ] && [ -x "$BUILD_DIR/bench_fig5" ]; then
+if [ -z "$SANITIZE" ] && [ "${VIFC_BENCH_COMPARE:-0}" = "1" ] &&
+   [ -x "$BUILD_DIR/bench_fig5" ]; then
   mkdir -p "$BUILD_DIR/bench-json"
   for b in bench_fig5 bench_scaling bench_alfp bench_ablation; do
     name=$(sed -e 's/bench_fig5/BENCH_closure/' -e 's/bench_/BENCH_/' <<<"$b")

@@ -1,0 +1,416 @@
+//===- tools/vifc-fuzz/main.cpp - Differential fuzzing driver -------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// vifc-fuzz: drive randomized designs (src/gen) through every retained
+/// dense/reference oracle pair and through destructive source mutation.
+///
+///   vifc-fuzz [--mode oracle|mutate|all] [--start N] [--count N]
+///             [--seed N] [--mutants N] [--minimize] [--dump DIR] [--quiet]
+///
+/// Oracle mode, per seed: generate a valid-by-construction design, then
+/// assert (1) parse + elaborate succeed, (2) dense RD == ReferenceSolver
+/// label by label, (3) --jobs invariance of both RD fixpoints, (4) full
+/// IFA through the dense solvers == through the reference solvers,
+/// (5) BitSet closure == IFAOptions::ReferenceClosure, (6) sorted-run
+/// ResourceMatrix == ReferenceResourceMatrix under shuffled replay,
+/// (7) Digraph::transitiveClosure == DFS reachability on the flow graph,
+/// (8) determinism: regeneration and reanalysis are byte/set identical.
+///
+/// Mutate mode, per seed: corrupt the generated source (truncation, token
+/// splicing, byte flips — src/gen/Mutator.h) and require the frontend to
+/// diagnose cleanly or succeed; crashes, hangs and sanitizer reports are
+/// the failures this mode exists to surface.
+///
+/// Any failing seed prints a one-line reproducer (`vifc-fuzz --seed N`)
+/// and, with --minimize, a greedily reduced source. Exit code: 0 clean,
+/// 1 failures found, 2 usage error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gen/Generator.h"
+#include "gen/Minimizer.h"
+#include "gen/Mutator.h"
+#include "ifa/InformationFlow.h"
+#include "parse/Parser.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace vif;
+
+namespace {
+
+struct Options {
+  enum class Mode { Oracle, Mutate, All };
+  Mode M = Mode::All;
+  uint64_t Start = 1;
+  uint64_t Count = 50;
+  bool SingleSeed = false;
+  unsigned Mutants = 2;
+  bool Minimize = false;
+  bool Quiet = false;
+  std::string DumpDir;
+};
+
+int usage() {
+  std::cerr
+      << "usage: vifc-fuzz [options]\n"
+         "  --mode oracle|mutate|all  which battery to run (default all)\n"
+         "  --start N                 first seed (default 1)\n"
+         "  --count N                 number of seeds (default 50)\n"
+         "  --seed N                  run exactly seed N (reproducer)\n"
+         "  --mutants N               mutated variants per seed (default 2)\n"
+         "  --minimize                reduce any failing source greedily\n"
+         "  --dump DIR                write generated designs to "
+         "DIR/gen_<seed>.vhd\n"
+         "  --quiet                   only report failures and the summary\n";
+  return 2;
+}
+
+bool parseU64(const char *S, uint64_t &Out) {
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S, &End, 10);
+  if (!End || *End)
+    return false;
+  Out = V;
+  return true;
+}
+
+/// Parse + elaborate \p Source as a design file. On failure returns
+/// nullopt with the diagnostics in \p Err.
+std::optional<ElaboratedProgram> frontend(const std::string &Source,
+                                          std::string &Err) {
+  DiagnosticEngine Diags;
+  DesignFile F = parseDesign(Source, Diags);
+  std::optional<ElaboratedProgram> P;
+  if (!Diags.hasErrors())
+    P = elaborateDesign(F, Diags);
+  if (!P)
+    Err = Diags.str();
+  return P;
+}
+
+/// DFS reachability oracle for Digraph::transitiveClosure.
+Digraph naiveClosure(const Digraph &G) {
+  Digraph C;
+  for (const std::string &Name : G.nodes())
+    C.addNode(Name);
+  size_t N = G.numNodes();
+  for (Digraph::NodeId S = 0; S < N; ++S) {
+    std::vector<bool> Seen(N, false);
+    std::vector<Digraph::NodeId> Stack = {S};
+    while (!Stack.empty()) {
+      Digraph::NodeId Cur = Stack.back();
+      Stack.pop_back();
+      for (Digraph::NodeId Succ : G.successors(Cur))
+        if (!Seen[Succ]) {
+          Seen[Succ] = true;
+          C.addEdge(S, Succ);
+          Stack.push_back(Succ);
+        }
+    }
+  }
+  return C;
+}
+
+std::vector<RMEntry> entriesOf(const ResourceMatrix &RM) {
+  return std::vector<RMEntry>(RM.begin(), RM.end());
+}
+
+/// Runs the whole oracle battery on \p Source. Returns an empty string on
+/// agreement, a description of the first disagreement otherwise. This is
+/// also the minimizer predicate for oracle failures, so it must depend on
+/// nothing but the source text.
+std::string oracleFailure(const std::string &Source) {
+  std::string Err;
+  std::optional<ElaboratedProgram> P = frontend(Source, Err);
+  if (!P)
+    return "generator emitted an invalid design:\n" + Err;
+  ProgramCFG CFG = ProgramCFG::build(*P);
+
+  // (2) dense vs reference solvers, label by label.
+  ActiveSignalsResult Dense = analyzeActiveSignals(*P, CFG);
+  ActiveSignalsResult Ref = analyzeActiveSignalsReference(*P, CFG);
+  for (LabelId L = 1; L <= CFG.numLabels(); ++L) {
+    if (!(Dense.MayEntry[L] == Ref.MayEntry[L]) ||
+        !(Dense.MayExit[L] == Ref.MayExit[L]))
+      return "active-signal may sets disagree at label " + std::to_string(L);
+    if (!(Dense.MustEntry[L] == Ref.MustEntry[L]) ||
+        !(Dense.MustExit[L] == Ref.MustExit[L]))
+      return "active-signal must sets disagree at label " + std::to_string(L);
+  }
+  ReachingDefsResult RDDense = analyzeReachingDefs(*P, CFG, Dense);
+  ReachingDefsResult RDRef = analyzeReachingDefsReference(*P, CFG, Ref);
+  for (LabelId L = 1; L <= CFG.numLabels(); ++L)
+    if (!(RDDense.Entry[L] == RDRef.Entry[L]) ||
+        !(RDDense.Exit[L] == RDRef.Exit[L]))
+      return "reaching-defs sets disagree at label " + std::to_string(L);
+
+  // (3) --jobs invariance of both fixpoints.
+  ActiveSignalsResult DenseJ = analyzeActiveSignals(*P, CFG, 4);
+  ReachingDefsOptions JobsOpts;
+  JobsOpts.Jobs = 4;
+  ReachingDefsResult RDJ = analyzeReachingDefs(*P, CFG, DenseJ, JobsOpts);
+  for (LabelId L = 1; L <= CFG.numLabels(); ++L) {
+    if (!(DenseJ.MayEntry[L] == Dense.MayEntry[L]) ||
+        !(DenseJ.MustExit[L] == Dense.MustExit[L]))
+      return "active signals not --jobs invariant at label " +
+             std::to_string(L);
+    if (!(RDJ.Entry[L] == RDDense.Entry[L]) ||
+        !(RDJ.Exit[L] == RDDense.Exit[L]))
+      return "reaching defs not --jobs invariant at label " +
+             std::to_string(L);
+  }
+
+  // (4) full IFA dense vs routed through the reference solvers.
+  IFAOptions Plain;
+  IFAOptions RefRD;
+  RefRD.RD.ReferenceSolver = true;
+  IFAResult IfaDense = analyzeInformationFlow(*P, CFG, Plain);
+  IFAResult IfaRef = analyzeInformationFlow(*P, CFG, RefRD);
+  if (!(IfaDense.RMgl == IfaRef.RMgl))
+    return "IFA RMgl differs between dense and reference RD";
+  if (IfaDense.Graph.numNodes() != IfaRef.Graph.numNodes() ||
+      IfaDense.Graph.sortedEdges() != IfaRef.Graph.sortedEdges())
+    return "IFA flow graph differs between dense and reference RD";
+
+  // (5) BitSet closure vs ReferenceClosure, plain and improved. The
+  // improved result (richer matrix: interface nodes) feeds (6)-(8).
+  IFAResult IfaImproved;
+  for (bool Improved : {false, true}) {
+    IFAOptions ClosOpts;
+    ClosOpts.Improved = Improved;
+    IFAOptions RefC = ClosOpts;
+    RefC.ReferenceClosure = true;
+    IFAResult A = analyzeInformationFlow(*P, CFG, ClosOpts);
+    IFAResult B = analyzeInformationFlow(*P, CFG, RefC);
+    if (!(A.RMlo == B.RMlo) || !(A.RMgl == B.RMgl))
+      return std::string("closure matrices disagree (improved=") +
+             (Improved ? "1)" : "0)");
+    if (!A.Graph.sameFlows(B.Graph))
+      return std::string("closure graphs disagree (improved=") +
+             (Improved ? "1)" : "0)");
+    if (Improved)
+      IfaImproved = std::move(A);
+  }
+
+  // (6) matrix backends under shuffled replay of the global matrix.
+  {
+    std::vector<RMEntry> Entries = entriesOf(IfaImproved.RMgl);
+    uint64_t S = 0x243f6a8885a308d3ull;
+    for (size_t I = Entries.size(); I > 1; --I) {
+      S ^= S << 13;
+      S ^= S >> 7;
+      S ^= S << 17;
+      std::swap(Entries[I - 1], Entries[S % I]);
+    }
+    ResourceMatrix DenseRM;
+    ReferenceResourceMatrix RefRM;
+    size_t Op = 0;
+    for (const RMEntry &E : Entries) {
+      if (DenseRM.insert(E.N, E.L, E.A) != RefRM.insert(E.N, E.L, E.A))
+        return "matrix backends disagree on insert";
+      if (++Op % 5 == 0 && DenseRM.size() != RefRM.size())
+        return "matrix backends disagree on size";
+    }
+    std::vector<RMEntry> FromDense = entriesOf(DenseRM);
+    std::vector<RMEntry> FromRef(RefRM.begin(), RefRM.end());
+    if (FromDense.size() != FromRef.size())
+      return "matrix backends disagree on entry count";
+    for (size_t I = 0; I < FromDense.size(); ++I)
+      if (!(FromDense[I] == FromRef[I]))
+        return "matrix entry streams diverge at " + std::to_string(I);
+  }
+
+  // (7) Warshall closure vs DFS oracle on this design's flow graph.
+  {
+    Digraph Fast = IfaImproved.Graph.transitiveClosure();
+    Digraph Oracle = naiveClosure(IfaImproved.Graph);
+    if (!Fast.sameFlows(Oracle))
+      return "transitive closure disagrees with DFS reachability";
+    if (!Fast.isTransitive())
+      return "transitive closure is not transitive";
+  }
+
+  // (8) determinism: a second analysis run over a fresh elaboration must
+  // reproduce the matrices and graph exactly.
+  {
+    std::string Err2;
+    std::optional<ElaboratedProgram> P2 = frontend(Source, Err2);
+    if (!P2)
+      return "re-elaboration failed:\n" + Err2;
+    ProgramCFG CFG2 = ProgramCFG::build(*P2);
+    IFAOptions Improved;
+    Improved.Improved = true;
+    IFAResult Again = analyzeInformationFlow(*P2, CFG2, Improved);
+    if (!(Again.RMgl == IfaImproved.RMgl) ||
+        Again.Graph.sortedEdges() != IfaImproved.Graph.sortedEdges())
+      return "re-analysis is not deterministic";
+  }
+  return "";
+}
+
+/// Mutation battery: the frontend must terminate with either success or
+/// diagnostics on arbitrary corruptions. Returns a failure description or
+/// empty. Crashes/hangs are caught by the harness (sanitizers + ctest
+/// timeout), not here.
+std::string mutationFailure(const std::string &Mutant) {
+  DiagnosticEngine Diags;
+  DesignFile F = parseDesign(Mutant, Diags);
+  if (Diags.hasErrors())
+    return ""; // cleanly diagnosed
+  std::optional<ElaboratedProgram> P = elaborateDesign(F, Diags);
+  if (!P) {
+    if (!Diags.hasErrors())
+      return "elaboration failed without diagnostics";
+    return "";
+  }
+  // Valid by accident: the analyses must cope too (bounded — mutants are
+  // capped at 64KB by the mutator).
+  ProgramCFG CFG = ProgramCFG::build(*P);
+  analyzeInformationFlow(*P, CFG);
+  return "";
+}
+
+void reportFailure(uint64_t Seed, const std::string &What,
+                   const std::string &Source, const Options &Opts,
+                   const std::function<bool(const std::string &)> &Pred) {
+  std::cerr << "FAIL seed " << Seed << ": " << What << "\n"
+            << "  reproduce: vifc-fuzz --seed " << Seed << "\n";
+  if (Opts.Minimize) {
+    std::string Min = gen::minimizeSource(Source, Pred);
+    std::cerr << "  minimized to " << Min.size() << " bytes:\n"
+              << "----------------------------------------\n"
+              << Min
+              << (Min.empty() || Min.back() == '\n' ? "" : "\n")
+              << "----------------------------------------\n";
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options Opts;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto value = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else if (A == "--mode") {
+      const char *V = value();
+      if (!V)
+        return usage();
+      std::string M = V;
+      if (M == "oracle")
+        Opts.M = Options::Mode::Oracle;
+      else if (M == "mutate")
+        Opts.M = Options::Mode::Mutate;
+      else if (M == "all")
+        Opts.M = Options::Mode::All;
+      else
+        return usage();
+    } else if (A == "--start") {
+      const char *V = value();
+      if (!V || !parseU64(V, Opts.Start))
+        return usage();
+    } else if (A == "--count") {
+      const char *V = value();
+      if (!V || !parseU64(V, Opts.Count))
+        return usage();
+    } else if (A == "--seed") {
+      const char *V = value();
+      if (!V || !parseU64(V, Opts.Start))
+        return usage();
+      Opts.Count = 1;
+      Opts.SingleSeed = true;
+    } else if (A == "--mutants") {
+      uint64_t N;
+      const char *V = value();
+      if (!V || !parseU64(V, N))
+        return usage();
+      Opts.Mutants = static_cast<unsigned>(N);
+    } else if (A == "--minimize") {
+      Opts.Minimize = true;
+    } else if (A == "--quiet") {
+      Opts.Quiet = true;
+    } else if (A == "--dump") {
+      const char *V = value();
+      if (!V)
+        return usage();
+      Opts.DumpDir = V;
+    } else {
+      std::cerr << "vifc-fuzz: unknown argument '" << A << "'\n";
+      return usage();
+    }
+  }
+
+  bool RunOracle = Opts.M != Options::Mode::Mutate;
+  bool RunMutate = Opts.M != Options::Mode::Oracle;
+  unsigned Failures = 0;
+  uint64_t OracleRuns = 0, MutantRuns = 0;
+
+  for (uint64_t Seed = Opts.Start; Seed < Opts.Start + Opts.Count; ++Seed) {
+    std::string Source = gen::generateDesign(Seed);
+    if (Source != gen::generateDesign(Seed)) {
+      std::cerr << "FAIL seed " << Seed << ": generator not deterministic\n";
+      ++Failures;
+      continue;
+    }
+    if (!Opts.DumpDir.empty()) {
+      std::string Path =
+          Opts.DumpDir + "/gen_" + std::to_string(Seed) + ".vhd";
+      std::ofstream Out(Path, std::ios::binary);
+      Out << Source;
+      if (!Out) {
+        std::cerr << "vifc-fuzz: cannot write " << Path << "\n";
+        return 2;
+      }
+    }
+    if (RunOracle) {
+      ++OracleRuns;
+      std::string What = oracleFailure(Source);
+      if (!What.empty()) {
+        ++Failures;
+        reportFailure(Seed, What, Source, Opts, [](const std::string &S) {
+          return !oracleFailure(S).empty();
+        });
+      } else if (!Opts.Quiet) {
+        std::cout << "seed " << Seed << ": " << Source.size()
+                  << " bytes, oracle battery ok\n";
+      }
+    }
+    if (RunMutate) {
+      for (unsigned K = 0; K < Opts.Mutants; ++K) {
+        gen::MutateOptions MOpts;
+        MOpts.Seed = Seed * 0x10001 + K;
+        std::string Mutant = gen::mutateSource(Source, MOpts);
+        ++MutantRuns;
+        std::string What = mutationFailure(Mutant);
+        if (!What.empty()) {
+          ++Failures;
+          reportFailure(Seed, What + " (mutant " + std::to_string(K) + ")",
+                        Mutant, Opts, [](const std::string &S) {
+                          return !mutationFailure(S).empty();
+                        });
+        }
+      }
+      if (!Opts.Quiet)
+        std::cout << "seed " << Seed << ": " << Opts.Mutants
+                  << " mutants diagnosed cleanly\n";
+    }
+  }
+
+  std::cout << "vifc-fuzz: " << OracleRuns << " oracle seeds, " << MutantRuns
+            << " mutants, " << Failures << " failure(s)\n";
+  return Failures ? 1 : 0;
+}
