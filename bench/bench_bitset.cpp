@@ -1,0 +1,109 @@
+//===- bench/bench_bitset.cpp - Word-span union kernel throughput ---------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+// Pins the bits:: union kernels (support/BitSet.h) that every dense
+// inner loop funnels through: the grew-checked orInto driving the rd
+// worklists and the Table 8 R0 closure, the unchecked orWords inside
+// the Warshall closure, and the closure itself end-to-end. The kernels
+// are unrolled four words wide and BitMatrix pads/aligns its rows so
+// these loops autovectorize; a regression here taxes every analysis.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitSet.h"
+#include "support/Graph.h"
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+using namespace vif;
+
+namespace {
+
+/// Deterministic fill so the unions do real mixing work.
+void scatter(BitMatrix &M, uint64_t Salt) {
+  for (size_t R = 0; R < M.numRows(); ++R)
+    for (size_t B = Salt % 7; B < M.numBits(); B += 5 + ((R + Salt) % 11))
+      M.set(R, B);
+}
+
+/// Grew-checked row union (the rd-solver / R0-closure inner step),
+/// cycled over many row pairs so the working set exceeds one row.
+void BM_BitMatrix_OrInto(benchmark::State &State) {
+  size_t Bits = static_cast<size_t>(State.range(0));
+  const size_t Rows = 64;
+  BitMatrix Src(Rows, Bits), Dst(Rows, Bits);
+  scatter(Src, 1);
+  scatter(Dst, 2);
+  size_t I = 0;
+  for (auto _ : State) {
+    bool Grew = BitMatrix::orInto(Dst.row(I % Rows),
+                                  Src.row((I + 1) % Rows),
+                                  Dst.wordsPerRow());
+    benchmark::DoNotOptimize(Grew);
+    ++I;
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Dst.wordsPerRow() * 8));
+}
+BENCHMARK(BM_BitMatrix_OrInto)->RangeMultiplier(4)->Range(256, 16384);
+
+/// Unchecked row union (the Warshall inner loop body).
+void BM_BitMatrix_OrWords(benchmark::State &State) {
+  size_t Bits = static_cast<size_t>(State.range(0));
+  const size_t Rows = 64;
+  BitMatrix Src(Rows, Bits), Dst(Rows, Bits);
+  scatter(Src, 3);
+  scatter(Dst, 4);
+  size_t I = 0;
+  for (auto _ : State) {
+    bits::orWords(Dst.row(I % Rows), Src.row((I + 1) % Rows),
+                  Dst.wordsPerRow());
+    benchmark::DoNotOptimize(Dst.row(I % Rows)[0]);
+    ++I;
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Dst.wordsPerRow() * 8));
+}
+BENCHMARK(BM_BitMatrix_OrWords)->RangeMultiplier(4)->Range(256, 16384);
+
+/// BitSet::unionWith with the grew bit consumed — the Table 8 R0
+/// closure's per-edge step.
+void BM_BitSet_UnionWith(benchmark::State &State) {
+  size_t Bits = static_cast<size_t>(State.range(0));
+  BitSet A(Bits), B(Bits);
+  for (size_t I = 0; I < Bits; I += 3)
+    A.set(I);
+  for (size_t I = 1; I < Bits; I += 7)
+    B.set(I);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(A.unionWith(B));
+    benchmark::DoNotOptimize(B.unionWith(A));
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) * 2 *
+                          static_cast<int64_t>((Bits + 63) / 64 * 8));
+}
+BENCHMARK(BM_BitSet_UnionWith)->RangeMultiplier(4)->Range(256, 16384);
+
+/// The Warshall closure end-to-end on a linear chain — worst-case fill
+/// (every node reaches every later node), dominated by orWords.
+void BM_Warshall_Chain(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Digraph G;
+  for (unsigned I = 0; I + 1 < N; ++I)
+    G.addEdge("n" + std::to_string(I), "n" + std::to_string(I + 1));
+  for (auto _ : State) {
+    Digraph C = G.transitiveClosure();
+    benchmark::DoNotOptimize(C.numEdges());
+  }
+  State.SetComplexityN(N);
+}
+BENCHMARK(BM_Warshall_Chain)->RangeMultiplier(2)->Range(64, 512)
+    ->Complexity();
+
+} // namespace
+
+BENCHMARK_MAIN();

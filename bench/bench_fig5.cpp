@@ -24,11 +24,11 @@ using vif::bench::mustElaborateStatements;
 
 namespace {
 
-std::string stripMarks(const std::string &Name) {
+std::string stripMarks(std::string_view Name) {
   return std::string(stripInterfaceMark(Name));
 }
 
-bool isStateNode(const std::string &Name) {
+bool isStateNode(std::string_view Name) {
   return Name.rfind("a_", 0) == 0;
 }
 

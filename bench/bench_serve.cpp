@@ -13,21 +13,24 @@
 
 #include "driver/Serve.h"
 #include "driver/SessionCache.h"
+#include "gen/Generator.h"
 #include "support/Json.h"
 #include "workloads/Synthetic.h"
 
 #include <benchmark/benchmark.h>
 
 #include <string>
+#include <vector>
 
 using namespace vif;
 
 namespace {
 
-std::string flowsRequest(const std::string &Source) {
+std::string flowsRequest(const std::string &Source,
+                         const std::string &ExtraMembers = "") {
   return std::string("{\"schema\":\"vifc.v1\",\"command\":\"flows\","
                      "\"source\":\"") +
-         jsonEscape(Source) + "\"}";
+         jsonEscape(Source) + "\"" + ExtraMembers + "}";
 }
 
 /// Every request misses: a fresh server per iteration, so each request
@@ -56,6 +59,49 @@ void BM_Serve_Hit(benchmark::State &State) {
   State.SetComplexityN(State.range(0));
 }
 BENCHMARK(BM_Serve_Hit)->RangeMultiplier(4)->Range(4, 64)->Complexity();
+
+/// Warm `flows` with the v1b binary response instead of the JSON line —
+/// the remaining per-request cost is request parse + frame emission.
+/// Compare against BM_Serve_Hit at the same size for the JSON-vs-v1b
+/// serialization ratio (recorded in bench/baselines/README.md).
+void BM_Serve_Hit_V1b(benchmark::State &State) {
+  std::string Req = flowsRequest(
+      workloads::pipelineDesign(static_cast<unsigned>(State.range(0))),
+      ",\"format\":\"v1b\"");
+  driver::Server S;
+  benchmark::DoNotOptimize(S.handleLine(Req)); // warm the cache
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.handleLine(Req));
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_Serve_Hit_V1b)->RangeMultiplier(4)->Range(4, 64)->Complexity();
+
+/// Flows-heavy warm traffic over a family of generated designs (one
+/// request per design, round-robin, all warm after the first lap): the
+/// serve steady state a fuzz or sweep driver produces, with varied node
+/// names and edge shapes rather than one synthetic pipeline.
+void serveGenFlows(benchmark::State &State, const std::string &Extra) {
+  const uint64_t Seeds = 16;
+  std::vector<std::string> Reqs;
+  for (uint64_t Seed = 1; Seed <= Seeds; ++Seed)
+    Reqs.push_back(flowsRequest(gen::generateDesign(Seed), Extra));
+  driver::Server S;
+  for (const std::string &Req : Reqs)
+    benchmark::DoNotOptimize(S.handleLine(Req)); // warm lap
+  size_t I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(S.handleLine(Reqs[I]));
+    I = (I + 1) % Reqs.size();
+  }
+}
+void BM_Serve_GenFlows_Json(benchmark::State &State) {
+  serveGenFlows(State, "");
+}
+BENCHMARK(BM_Serve_GenFlows_Json);
+void BM_Serve_GenFlows_V1b(benchmark::State &State) {
+  serveGenFlows(State, ",\"format\":\"v1b\"");
+}
+BENCHMARK(BM_Serve_GenFlows_V1b);
 
 /// The cache layer alone, without the JSON protocol around it: acquire on
 /// a warm entry (hash + LRU bump + per-entry lock).

@@ -26,13 +26,12 @@ namespace {
 
 /// Strips the ◦ / • interface marks so incoming and outgoing nodes merge,
 /// as the paper does for Figure 5(b).
-std::string stripMarks(const std::string &Name) {
-  auto Strip = [&](const char *Suffix) -> std::string {
-    std::string S(Suffix);
-    if (Name.size() >= S.size() &&
-        Name.compare(Name.size() - S.size(), S.size(), S) == 0)
-      return Name.substr(0, Name.size() - S.size());
-    return Name;
+std::string stripMarks(std::string_view Name) {
+  auto Strip = [&](std::string_view Suffix) -> std::string {
+    if (Name.size() >= Suffix.size() &&
+        Name.substr(Name.size() - Suffix.size()) == Suffix)
+      return std::string(Name.substr(0, Name.size() - Suffix.size()));
+    return std::string(Name);
   };
   std::string Out = Strip("◦");
   if (Out != Name)
@@ -40,7 +39,7 @@ std::string stripMarks(const std::string &Name) {
   return Strip("•");
 }
 
-bool isStateNode(const std::string &Name) {
+bool isStateNode(std::string_view Name) {
   return Name.rfind("a_", 0) == 0;
 }
 

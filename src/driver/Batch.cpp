@@ -51,7 +51,11 @@ namespace {
 void recordGraph(DesignResult &D, const Digraph &G) {
   D.NumNodes = G.numNodes();
   D.NumEdges = G.numEdges();
-  D.Edges = G.sortedEdges();
+  // Borrow the graph instead of copying its edge list; materialize the
+  // sorted views now, while the producing session is still exclusively
+  // held, so every later read through D.Graph is a pure read.
+  G.ensureSortedViews();
+  D.Graph = &G;
 }
 
 /// Drives \p S through the artifacts \p Opts.Mode needs and records the
@@ -88,7 +92,12 @@ DesignResult resultFromSession(AnalysisSession &S, const std::string &Name,
       case FlowMethod::Alfp:
         if (const AlfpClosureResult *A = S.alfp()) {
           if (A->Solved) {
-            recordGraph(D, extractFlowGraph(A->RMgl, *P));
+            // The ALFP flow graph is extracted per request, not stored in
+            // the session, so the result owns it outright.
+            auto G = std::make_shared<Digraph>(
+                extractFlowGraph(A->RMgl, *P));
+            recordGraph(D, *G);
+            D.GraphOwner = std::move(G);
             D.Ok = true;
           } else {
             D.Diagnostics = "alfp error: " + A->Error + "\n";
@@ -161,6 +170,10 @@ DesignResult vif::driver::analyzeDesign(const BatchInput &In,
               : Opts.Cache->acquireOwned(In.Name, std::move(FileSource),
                                          Opts.Session);
       DesignResult D = resultFromSession(Ref.session(), In.Name, Opts);
+      // A borrowed graph lives in the cached session; keep the entry (not
+      // its lock) alive for as long as the result is.
+      if (D.Graph && !D.GraphOwner)
+        D.GraphOwner = Ref.keepAlive();
       D.CacheHit = Ref.hit();
       // The session never read a file (it was built fromSource), so its
       // ReadMs is 0; report this request's read instead.
@@ -168,11 +181,14 @@ DesignResult vif::driver::analyzeDesign(const BatchInput &In,
       return D;
     }
   }
-  AnalysisSession S =
+  auto S = std::make_shared<AnalysisSession>(
       In.Source ? AnalysisSession::fromSource(In.Name, *In.Source,
                                               Opts.Session)
-                : AnalysisSession::fromFile(In.Name, Opts.Session);
-  return resultFromSession(S, In.Name, Opts);
+                : AnalysisSession::fromFile(In.Name, Opts.Session));
+  DesignResult D = resultFromSession(*S, In.Name, Opts);
+  if (D.Graph && !D.GraphOwner)
+    D.GraphOwner = std::move(S);
+  return D;
 }
 
 BatchResult vif::driver::runBatch(const std::vector<BatchInput> &Inputs,
@@ -223,8 +239,11 @@ void vif::driver::printBatchText(std::ostream &OS, const BatchResult &R,
       break;
     case BatchMode::Flows:
       OS << D.NumNodes << " node(s), " << D.NumEdges << " edge(s)\n";
-      for (const auto &[From, To] : D.Edges)
-        OS << From << " -> " << To << '\n';
+      if (D.Graph)
+        D.Graph->forEachSortedEdge(
+            [&OS](std::string_view From, std::string_view To) {
+              OS << From << " -> " << To << '\n';
+            });
       break;
     case BatchMode::Matrices:
       OS << "== RMlo (" << D.RMloEntries << " entries)\n" << D.RMloText;

@@ -20,8 +20,10 @@
 
 #include "driver/AnalysisSession.h"
 #include "ifa/Policy.h"
+#include "support/Graph.h"
 
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -90,10 +92,18 @@ struct DesignResult {
   size_t NumSignals = 0;
   size_t NumVariables = 0;
 
-  /// Flows / Report modes: the flow graph and its edge list.
+  /// Flows / Report modes: the flow graph, borrowed from the session that
+  /// computed it (or owned through GraphOwner). Its sorted views are
+  /// materialized before the producing session's lock is released, so all
+  /// reads through this pointer — forEachSortedEdge, rankedNodes — are
+  /// pure and need no further synchronization. Null in other modes and on
+  /// failure.
   size_t NumNodes = 0;
   size_t NumEdges = 0;
-  std::vector<std::pair<std::string, std::string>> Edges;
+  const Digraph *Graph = nullptr;
+  /// Keeps *Graph alive: the cache entry, the ad-hoc session, or a
+  /// standalone graph (the ALFP extraction). Never dereferenced.
+  std::shared_ptr<const void> GraphOwner;
 
   /// Matrices mode: entry counts and the rendered matrices.
   size_t RMloEntries = 0;

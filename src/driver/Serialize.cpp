@@ -38,12 +38,14 @@ void vif::driver::writeDesignBody(JsonWriter &J, const DesignResult &D,
     J.member("edges", D.NumEdges);
     J.key("edgeList");
     J.beginArray();
-    for (const auto &[From, To] : D.Edges) {
-      J.beginObject();
-      J.member("from", From);
-      J.member("to", To);
-      J.endObject();
-    }
+    if (D.Graph)
+      D.Graph->forEachSortedEdge(
+          [&J](std::string_view From, std::string_view To) {
+            J.beginObject();
+            J.member("from", From);
+            J.member("to", To);
+            J.endObject();
+          });
     J.endArray();
     J.endObject();
   }

@@ -8,11 +8,14 @@
 
 #include "driver/Batch.h"
 #include "driver/Serialize.h"
+#include "driver/V1b.h"
+#include "support/Json.h"
 #include "support/JsonParse.h"
 
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <istream>
 #include <ostream>
@@ -41,6 +44,9 @@ struct ServeRequest {
   FlowMethod Method = FlowMethod::Native;
   SessionOptions Session;
   FlowPolicy Policy;
+  /// "format": "v1b" — answer with one binary frame (driver/V1b.h)
+  /// instead of the JSON document. Errors are always JSON.
+  bool V1b = false;
 };
 
 bool isAnalysisCommand(const std::string &C, BatchMode &Mode) {
@@ -126,6 +132,7 @@ std::string parseRequest(const JsonValue &Doc, ServeRequest &R) {
   if (std::string Dup = firstDuplicateMember(Doc); !Dup.empty())
     return "duplicate member \"" + Dup + "\"";
   const JsonValue *Options = nullptr;
+  bool HasFormat = false;
   for (const auto &[Key, Value] : Doc.members()) {
     if (Key == "schema" || Key == "id")
       continue;
@@ -146,6 +153,15 @@ std::string parseRequest(const JsonValue &Doc, ServeRequest &R) {
       if (!Value.isString())
         return "\"name\" must be a string";
       R.Name = Value.asString();
+    } else if (Key == "format") {
+      if (!Value.isString())
+        return "\"format\" must be a string";
+      const std::string &F = Value.asString();
+      if (F == "v1b")
+        R.V1b = true;
+      else if (F != "json")
+        return "unknown format \"" + F + "\" (expected \"json\" or \"v1b\")";
+      HasFormat = true;
     } else if (Key == "options") {
       Options = &Value;
     } else {
@@ -161,7 +177,8 @@ std::string parseRequest(const JsonValue &Doc, ServeRequest &R) {
     return "unknown command \"" + R.Command + "\"";
 
   if (!Analysis) {
-    if (!R.Path.empty() || R.HasSource || !R.Name.empty() || Options)
+    if (!R.Path.empty() || R.HasSource || !R.Name.empty() || Options ||
+        HasFormat)
       return "\"" + R.Command + "\" takes no input or options";
     return "";
   }
@@ -197,6 +214,26 @@ void writeId(JsonWriter &J, const JsonValue *Id) {
   } else {
     J.null();
   }
+}
+
+/// The request's "id" as a standalone JSON value token — what writeId
+/// would emit after the key — for echoing into a v1b IDNT section.
+/// Empty when the request carried no id.
+std::string renderIdToken(const JsonValue *Id) {
+  if (!Id)
+    return "";
+  if (Id->isString())
+    return "\"" + jsonEscape(Id->asString()) + "\"";
+  if (Id->isNumber()) {
+    double N = Id->asNumber();
+    char Num[32];
+    if (N == std::floor(N) && std::abs(N) <= 9007199254740992.0)
+      std::snprintf(Num, sizeof(Num), "%lld", static_cast<long long>(N));
+    else
+      std::snprintf(Num, sizeof(Num), "%.6g", N);
+    return Num;
+  }
+  return "null";
 }
 
 std::string errorResponse(const JsonValue *Id, std::string_view Code,
@@ -292,6 +329,14 @@ std::string Server::handleLine(const std::string &Line) {
   double WallMs = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - Start)
                       .count();
+
+  if (R.V1b) {
+    // One self-delimiting binary frame; no timings or cache statistics,
+    // so identical requests yield byte-identical responses.
+    std::string Frame;
+    writeV1bDesign(Frame, D, B, renderIdToken(Id));
+    return Frame;
+  }
 
   J.beginObject();
   writeSchemaTag(J);

@@ -80,6 +80,12 @@ public:
     /// True when the session already existed (a cache hit).
     bool hit() const { return Hit; }
     uint64_t key() const { return E->Key; }
+    /// Shared ownership of the entry *without* its lock, for results that
+    /// borrow session artifacts (e.g. a flow graph) beyond the Ref's
+    /// lifetime: the artifacts stay alive across eviction, but nothing
+    /// stays locked — holding locked Refs long-term would deadlock the
+    /// next acquire of the same content.
+    std::shared_ptr<const void> keepAlive() const { return E; }
 
   private:
     friend class SessionCache;

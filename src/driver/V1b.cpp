@@ -1,0 +1,443 @@
+//===- driver/V1b.cpp -----------------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/V1b.h"
+
+#include "support/Json.h"
+#include "support/JsonParse.h"
+
+#include <cmath>
+#include <cstring>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+using namespace vif;
+using namespace vif::driver;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Little-endian primitives
+//===----------------------------------------------------------------------===//
+
+void putU8(std::string &B, uint8_t V) { B.push_back(static_cast<char>(V)); }
+
+void putU32(std::string &B, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    B.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void putU64(std::string &B, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    B.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+/// u32 length prefix + raw bytes.
+void putStr(std::string &B, std::string_view S) {
+  putU32(B, static_cast<uint32_t>(S.size()));
+  B.append(S.data(), S.size());
+}
+
+/// Accumulates sections, then wraps them in the frame header. Section
+/// payloads are built independently so each one's length prefix is exact.
+class FrameBuilder {
+public:
+  /// Tags are written through this single call so tools/schema_check.py
+  /// can grep the emitted section table out of this file.
+  void section(const char (&Tag)[5], std::string Payload) {
+    Body.append(Tag, 4);
+    putU64(Body, Payload.size());
+    Body += Payload;
+    ++Count;
+  }
+
+  void finish(std::string &Out) const {
+    // Header: magic, u32 version, u64 total frame length, u32 section
+    // count, then the section bytes.
+    Out.append(V1bMagic, 4);
+    putU32(Out, V1bVersion);
+    putU64(Out, 4 + 4 + 8 + 4 + Body.size());
+    putU32(Out, Count);
+    Out += Body;
+  }
+
+private:
+  std::string Body;
+  uint32_t Count = 0;
+};
+
+uint8_t commandCode(BatchMode M) {
+  switch (M) {
+  case BatchMode::Check:
+    return 0;
+  case BatchMode::Flows:
+    return 1;
+  case BatchMode::Matrices:
+    return 2;
+  case BatchMode::Report:
+    return 3;
+  }
+  return 0xff;
+}
+
+uint8_t methodCode(FlowMethod M) {
+  switch (M) {
+  case FlowMethod::Native:
+    return 0;
+  case FlowMethod::Alfp:
+    return 1;
+  case FlowMethod::Kemmerer:
+    return 2;
+  }
+  return 0xff;
+}
+
+const char *commandName(uint8_t Code) {
+  switch (Code) {
+  case 0:
+    return "check";
+  case 1:
+    return "flows";
+  case 2:
+    return "rm";
+  case 3:
+    return "report";
+  }
+  return nullptr;
+}
+
+const char *methodName(uint8_t Code) {
+  switch (Code) {
+  case 0:
+    return "native";
+  case 1:
+    return "alfp";
+  case 2:
+    return "kemmerer";
+  }
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Decoder cursor
+//===----------------------------------------------------------------------===//
+
+/// Bounds-checked little-endian reader over one byte range. Every getter
+/// sets Failed (and returns 0/"") past the end instead of reading wild.
+struct Cursor {
+  explicit Cursor(std::string_view Bytes) : Bytes(Bytes) {}
+
+  bool take(size_t N, std::string_view &Out) {
+    if (Failed || Bytes.size() - Off < N) {
+      Failed = true;
+      return false;
+    }
+    Out = Bytes.substr(Off, N);
+    Off += N;
+    return true;
+  }
+
+  uint8_t u8() {
+    std::string_view S;
+    return take(1, S) ? static_cast<uint8_t>(S[0]) : 0;
+  }
+
+  uint32_t u32() {
+    std::string_view S;
+    if (!take(4, S))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 3; I >= 0; --I)
+      V = (V << 8) | static_cast<uint8_t>(S[I]);
+    return V;
+  }
+
+  uint64_t u64() {
+    std::string_view S;
+    if (!take(8, S))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 7; I >= 0; --I)
+      V = (V << 8) | static_cast<uint8_t>(S[I]);
+    return V;
+  }
+
+  std::string_view str() {
+    uint32_t N = u32();
+    std::string_view S;
+    take(N, S);
+    return S;
+  }
+
+  bool atEnd() const { return !Failed && Off == Bytes.size(); }
+
+  std::string_view Bytes;
+  size_t Off = 0;
+  bool Failed = false;
+};
+
+bool fail(std::string *Error, const char *Message) {
+  if (Error)
+    *Error = Message;
+  return false;
+}
+
+} // namespace
+
+void vif::driver::writeV1bDesign(std::string &Out, const DesignResult &D,
+                                 const BatchOptions &Opts,
+                                 std::string_view IdToken) {
+  FrameBuilder F;
+  {
+    std::string Meta;
+    putU8(Meta, commandCode(Opts.Mode));
+    putU8(Meta, methodCode(Opts.Method));
+    putU8(Meta, D.Ok ? 1 : 0);
+    putU8(Meta, D.Unreadable ? 1 : 0);
+    putStr(Meta, D.Name);
+    putU64(Meta, D.NumProcesses);
+    putU64(Meta, D.NumSignals);
+    putU64(Meta, D.NumVariables);
+    F.section("META", std::move(Meta));
+  }
+  if (!IdToken.empty())
+    F.section("IDNT", std::string(IdToken));
+  if (!D.Diagnostics.empty())
+    F.section("DIAG", D.Diagnostics);
+  if (D.Ok &&
+      (Opts.Mode == BatchMode::Flows || Opts.Mode == BatchMode::Report) &&
+      D.Graph) {
+    const Digraph &G = *D.Graph;
+    {
+      // Node string table, lexicographic (rank) order.
+      std::string Nodes;
+      putU32(Nodes, static_cast<uint32_t>(G.numNodes()));
+      for (Digraph::NodeId Id : G.rankedNodes())
+        putStr(Nodes, G.name(Id));
+      F.section("NODE", std::move(Nodes));
+    }
+    {
+      // Edges as (from, to) indices into the NODE table, sorted — the
+      // same order the JSON edgeList streams in, two u32s per edge.
+      std::string EdgeSec;
+      putU64(EdgeSec, G.numEdges());
+      EdgeSec.reserve(EdgeSec.size() + 8 * G.numEdges());
+      G.forEachSortedEdgeRanked(
+          [&EdgeSec](Digraph::NodeId From, Digraph::NodeId To) {
+            putU32(EdgeSec, From);
+            putU32(EdgeSec, To);
+          });
+      F.section("EDGE", std::move(EdgeSec));
+    }
+  }
+  if (D.Ok && Opts.Mode == BatchMode::Matrices) {
+    std::string Mtrx;
+    putU64(Mtrx, D.RMloEntries);
+    putU64(Mtrx, D.RMglEntries);
+    F.section("MTRX", std::move(Mtrx));
+  }
+  if (D.Ok && Opts.Mode == BatchMode::Report) {
+    std::string Viol;
+    putU32(Viol, static_cast<uint32_t>(D.Violations.size()));
+    for (const PolicyViolation &V : D.Violations) {
+      putStr(Viol, V.From);
+      putStr(Viol, V.To);
+      putU8(Viol, V.ViaPath ? 1 : 0);
+    }
+    F.section("VIOL", std::move(Viol));
+  }
+  F.finish(Out);
+}
+
+void vif::driver::printBatchV1b(std::ostream &OS, const BatchResult &R,
+                                const BatchOptions &Opts) {
+  std::string Out;
+  for (const DesignResult &D : R.Designs) {
+    Out.clear();
+    writeV1bDesign(Out, D, Opts);
+    OS.write(Out.data(), static_cast<std::streamsize>(Out.size()));
+  }
+}
+
+uint64_t vif::driver::v1bFrameLength(std::string_view Bytes) {
+  if (Bytes.size() < 16 || std::memcmp(Bytes.data(), V1bMagic, 4) != 0)
+    return 0;
+  Cursor C(Bytes.substr(8));
+  return C.u64();
+}
+
+bool vif::driver::decodeV1bToJson(std::string_view Frame,
+                                  std::string &JsonOut, std::string *Error) {
+  Cursor C(Frame);
+  std::string_view Magic;
+  if (!C.take(4, Magic) || std::memcmp(Magic.data(), V1bMagic, 4) != 0)
+    return fail(Error, "not a v1b frame (bad magic)");
+  if (C.u32() != V1bVersion)
+    return fail(Error, "unsupported v1b version");
+  uint64_t FrameLen = C.u64();
+  if (FrameLen != Frame.size())
+    return fail(Error, "frame length mismatch");
+  uint32_t SectionCount = C.u32();
+
+  // Collect the section payloads by tag; unknown tags are skipped.
+  std::string_view Meta, IdTok, Diag, NodeSec, EdgeSec, Mtrx, Viol;
+  bool HasMeta = false, HasNode = false, HasEdge = false, HasMtrx = false,
+       HasViol = false;
+  for (uint32_t I = 0; I < SectionCount; ++I) {
+    std::string_view Tag;
+    if (!C.take(4, Tag))
+      return fail(Error, "truncated section header");
+    uint64_t Len = C.u64();
+    std::string_view Payload;
+    if (!C.take(Len, Payload))
+      return fail(Error, "truncated section payload");
+    if (Tag == "META") {
+      Meta = Payload;
+      HasMeta = true;
+    } else if (Tag == "IDNT") {
+      IdTok = Payload;
+    } else if (Tag == "DIAG") {
+      Diag = Payload;
+    } else if (Tag == "NODE") {
+      NodeSec = Payload;
+      HasNode = true;
+    } else if (Tag == "EDGE") {
+      EdgeSec = Payload;
+      HasEdge = true;
+    } else if (Tag == "MTRX") {
+      Mtrx = Payload;
+      HasMtrx = true;
+    } else if (Tag == "VIOL") {
+      Viol = Payload;
+      HasViol = true;
+    }
+  }
+  if (!C.atEnd())
+    return fail(Error, "trailing bytes after last section");
+  if (!HasMeta)
+    return fail(Error, "missing META section");
+
+  Cursor M(Meta);
+  uint8_t Command = M.u8();
+  uint8_t Method = M.u8();
+  bool Ok = M.u8() != 0;
+  bool Unreadable = M.u8() != 0;
+  std::string_view Name = M.str();
+  uint64_t Processes = M.u64();
+  uint64_t Signals = M.u64();
+  uint64_t Variables = M.u64();
+  if (!M.atEnd())
+    return fail(Error, "malformed META section");
+  const char *CommandStr = commandName(Command);
+  const char *MethodStr = methodName(Method);
+  if (!CommandStr || !MethodStr)
+    return fail(Error, "unknown command or method code");
+
+  std::ostringstream OS;
+  JsonWriter J(OS, JsonStyle::Compact);
+  J.beginObject();
+  J.member("schema", "vifc.v1");
+  if (!IdTok.empty()) {
+    // The token is a complete JSON value (string, number or null); parse
+    // and re-emit it so JsonOut stays well-formed even on a hostile frame.
+    std::string ParseError;
+    std::optional<JsonValue> Id = parseJson(IdTok, &ParseError);
+    if (!Id || (!Id->isString() && !Id->isNumber() && !Id->isNull()))
+      return fail(Error, "malformed IDNT section");
+    J.key("id");
+    if (Id->isString()) {
+      J.value(Id->asString());
+    } else if (Id->isNumber()) {
+      double N = Id->asNumber();
+      if (N == std::floor(N) && std::abs(N) <= 9007199254740992.0)
+        J.value(static_cast<long long>(N));
+      else
+        J.value(N);
+    } else {
+      J.null();
+    }
+  }
+  J.member("command", CommandStr);
+  if (Command == 1) // flows
+    J.member("method", MethodStr);
+  J.member("file", Name);
+  J.member("status", Ok ? "ok" : "error");
+  if (Unreadable)
+    J.member("unreadable", true);
+  if (!Diag.empty())
+    J.member("diagnostics", Diag);
+  if (Ok) {
+    J.member("processes", Processes);
+    J.member("signals", Signals);
+    J.member("variables", Variables);
+  }
+  if (Ok && HasNode && HasEdge) {
+    Cursor N(NodeSec);
+    uint32_t NodeCount = N.u32();
+    std::vector<std::string_view> Nodes;
+    Nodes.reserve(NodeCount);
+    for (uint32_t I = 0; I < NodeCount && !N.Failed; ++I)
+      Nodes.push_back(N.str());
+    if (!N.atEnd() || Nodes.size() != NodeCount)
+      return fail(Error, "malformed NODE section");
+    Cursor E(EdgeSec);
+    uint64_t EdgeCount = E.u64();
+    J.key("graph");
+    J.beginObject();
+    J.member("nodes", NodeCount);
+    J.member("edges", EdgeCount);
+    J.key("edgeList");
+    J.beginArray();
+    for (uint64_t I = 0; I < EdgeCount; ++I) {
+      uint32_t From = E.u32(), To = E.u32();
+      if (E.Failed || From >= NodeCount || To >= NodeCount)
+        return fail(Error, "malformed EDGE section");
+      J.beginObject();
+      J.member("from", Nodes[From]);
+      J.member("to", Nodes[To]);
+      J.endObject();
+    }
+    J.endArray();
+    J.endObject();
+    if (!E.atEnd())
+      return fail(Error, "malformed EDGE section");
+  }
+  if (Ok && HasMtrx) {
+    Cursor X(Mtrx);
+    uint64_t RMlo = X.u64(), RMgl = X.u64();
+    if (!X.atEnd())
+      return fail(Error, "malformed MTRX section");
+    J.key("matrices");
+    J.beginObject();
+    J.member("rmlo", RMlo);
+    J.member("rmgl", RMgl);
+    J.endObject();
+  }
+  if (Ok && HasViol) {
+    Cursor V(Viol);
+    uint32_t Count = V.u32();
+    J.key("violations");
+    J.beginArray();
+    for (uint32_t I = 0; I < Count; ++I) {
+      std::string_view From = V.str(), To = V.str();
+      bool ViaPath = V.u8() != 0;
+      if (V.Failed)
+        return fail(Error, "malformed VIOL section");
+      J.beginObject();
+      J.member("from", From);
+      J.member("to", To);
+      J.member("viaPath", ViaPath);
+      J.endObject();
+    }
+    J.endArray();
+    if (!V.atEnd())
+      return fail(Error, "malformed VIOL section");
+  }
+  J.endObject();
+  JsonOut = OS.str();
+  return true;
+}

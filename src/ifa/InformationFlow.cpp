@@ -19,7 +19,7 @@ using namespace vif;
 Digraph IFAResult::interfaceGraph() const {
   // Interface nodes carry the ◦ / • suffix (see Resource::name).
   return Graph.inducedSubgraph(
-      [](const std::string &Name) { return hasInterfaceMark(Name); });
+      [](std::string_view Name) { return hasInterfaceMark(Name); });
 }
 
 namespace {

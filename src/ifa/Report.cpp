@@ -7,25 +7,22 @@
 #include "ifa/Report.h"
 
 #include <algorithm>
-#include <map>
+#include <optional>
 #include <ostream>
 #include <sstream>
+#include <string_view>
+#include <unordered_map>
 
 using namespace vif;
 
 namespace {
 
-struct NodeStats {
-  size_t FanIn = 0;
-  size_t FanOut = 0;
-};
-
 /// True for the interface decorations n◦ / n•.
-bool isIncomingNode(const std::string &N) {
-  return N.size() >= 3 && N.compare(N.size() - 3, 3, "◦") == 0;
+bool isIncomingNode(std::string_view N) {
+  return N.size() >= 3 && N.substr(N.size() - 3) == "◦";
 }
-bool isOutgoingNode(const std::string &N) {
-  return N.size() >= 3 && N.compare(N.size() - 3, 3, "•") == 0;
+bool isOutgoingNode(std::string_view N) {
+  return N.size() >= 3 && N.substr(N.size() - 3) == "•";
 }
 
 } // namespace
@@ -44,30 +41,35 @@ void vif::writeAuditReport(std::ostream &OS,
                                                : "non-transitive")
      << "\n\n";
 
-  // Per-node fan-in/out.
-  std::map<std::string, NodeStats> Stats;
-  for (const std::string &N : G.sortedNodes())
-    Stats[N];
-  for (const auto &[From, To] : G.sortedEdges()) {
-    ++Stats[From].FanOut;
-    ++Stats[To].FanIn;
-  }
+  // Per-node fan-in/out, counted over dense node ids in one edge scan and
+  // printed in rank (lexicographic) order — no name-keyed map.
+  std::vector<size_t> FanIn(G.numNodes(), 0), FanOut(G.numNodes(), 0);
+  G.forEachEdgeId([&](Digraph::NodeId From, Digraph::NodeId To) {
+    ++FanOut[From];
+    ++FanIn[To];
+  });
+  // Port-role annotations, resolved through one name-indexed pass over the
+  // signal table instead of one signal-table scan per node.
+  std::unordered_map<std::string_view, SignalClass> PortClass;
+  for (const ElabSignal &Sig : Program.Signals)
+    if (Sig.Class != SignalClass::Internal)
+      PortClass.emplace(Sig.UniqueName, Sig.Class);
   OS << "-- resources (fan-in / fan-out)\n";
-  for (const auto &[Name, S] : Stats) {
+  for (Digraph::NodeId Id : G.rankedNodes()) {
+    std::string_view Name = G.name(Id);
     OS << "  " << Name;
-    // Annotate port roles where applicable.
-    for (const ElabSignal &Sig : Program.Signals)
-      if (Sig.UniqueName == Name && Sig.Class != SignalClass::Internal)
-        OS << " [" << signalClassName(Sig.Class) << " port]";
-    OS << ": in=" << S.FanIn << " out=" << S.FanOut;
-    if (S.FanIn == 0 && S.FanOut == 0)
+    auto It = PortClass.find(Name);
+    if (It != PortClass.end())
+      OS << " [" << signalClassName(It->second) << " port]";
+    OS << ": in=" << FanIn[Id] << " out=" << FanOut[Id];
+    if (FanIn[Id] == 0 && FanOut[Id] == 0)
       OS << " (isolated)";
     OS << '\n';
   }
 
   // Interface summary: which inputs reach which outputs. Uses ports when
   // the design has them; falls back to ◦/• nodes for statement programs.
-  std::vector<std::string> Ins, Outs;
+  std::vector<std::string_view> Ins, Outs;
   for (const ElabSignal &S : Program.Signals) {
     if (S.isInput())
       Ins.push_back(S.UniqueName);
@@ -75,7 +77,8 @@ void vif::writeAuditReport(std::ostream &OS,
       Outs.push_back(S.UniqueName);
   }
   if (Ins.empty() && Outs.empty()) {
-    for (const std::string &N : G.sortedNodes()) {
+    for (Digraph::NodeId Id : G.rankedNodes()) {
+      std::string_view N = G.name(Id);
       if (isIncomingNode(N))
         Ins.push_back(N);
       if (isOutgoingNode(N))
@@ -83,15 +86,29 @@ void vif::writeAuditReport(std::ostream &OS,
     }
   }
   if (!Ins.empty() && !Outs.empty()) {
+    // Resolve each interface name to its node id once; the per-(In, Out)
+    // probes below are then pure id binary searches, no string hashing.
+    auto idsOf = [&G](const std::vector<std::string_view> &Names) {
+      std::vector<std::optional<Digraph::NodeId>> Ids;
+      Ids.reserve(Names.size());
+      for (std::string_view N : Names)
+        Ids.push_back(G.hasNode(N)
+                          ? std::optional<Digraph::NodeId>(G.id(N))
+                          : std::nullopt);
+      return Ids;
+    };
+    std::vector<std::optional<Digraph::NodeId>> InIds = idsOf(Ins),
+                                                OutIds = idsOf(Outs);
     OS << "\n-- interface flows (input -> outputs it may reach)\n";
-    for (const std::string &In : Ins) {
-      OS << "  " << In << " ->";
+    for (size_t I = 0; I < Ins.size(); ++I) {
+      OS << "  " << Ins[I] << " ->";
       bool Any = false;
-      for (const std::string &Out : Outs)
-        if (G.hasEdge(In, Out)) {
-          OS << ' ' << Out;
-          Any = true;
-        }
+      if (InIds[I])
+        for (size_t O = 0; O < Outs.size(); ++O)
+          if (OutIds[O] && G.hasEdge(*InIds[I], *OutIds[O])) {
+            OS << ' ' << Outs[O];
+            Any = true;
+          }
       if (!Any)
         OS << " (nothing)";
       OS << '\n';
@@ -100,8 +117,9 @@ void vif::writeAuditReport(std::ostream &OS,
 
   if (Opts.ListEdges) {
     OS << "\n-- all flows\n";
-    for (const auto &[From, To] : G.sortedEdges())
+    G.forEachSortedEdge([&OS](std::string_view From, std::string_view To) {
       OS << "  " << From << " -> " << To << '\n';
+    });
   }
 
   if (!Opts.Policy.Forbidden.empty()) {

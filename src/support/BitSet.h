@@ -28,6 +28,59 @@
 
 namespace vif {
 
+/// The word-span union kernels every bit-vector consumer funnels through
+/// (BitSet::unionWith, BitMatrix::orInto, the Warshall closure's row
+/// union). Unrolled four words wide with independent grew accumulators,
+/// so the loop body is a straight-line dependency-free block the
+/// autovectorizer turns into 256-bit lanes; BitMatrix aligns and pads
+/// its rows (32-byte rows, wordsPerRow a multiple of 4) so the unrolled
+/// loop runs tail-free and aligned on matrix rows. bench/bench_bitset.cpp
+/// pins the throughput.
+namespace bits {
+
+/// Dst |= Src over \p W words; returns true if Dst grew. Safe under
+/// Dst == Src (reports no growth).
+inline bool orInto(uint64_t *Dst, const uint64_t *Src, size_t W) {
+  uint64_t G0 = 0, G1 = 0, G2 = 0, G3 = 0;
+  size_t I = 0;
+  for (; I + 4 <= W; I += 4) {
+    uint64_t N0 = Dst[I + 0] | Src[I + 0];
+    uint64_t N1 = Dst[I + 1] | Src[I + 1];
+    uint64_t N2 = Dst[I + 2] | Src[I + 2];
+    uint64_t N3 = Dst[I + 3] | Src[I + 3];
+    G0 |= N0 ^ Dst[I + 0];
+    G1 |= N1 ^ Dst[I + 1];
+    G2 |= N2 ^ Dst[I + 2];
+    G3 |= N3 ^ Dst[I + 3];
+    Dst[I + 0] = N0;
+    Dst[I + 1] = N1;
+    Dst[I + 2] = N2;
+    Dst[I + 3] = N3;
+  }
+  for (; I < W; ++I) {
+    uint64_t New = Dst[I] | Src[I];
+    G0 |= New ^ Dst[I];
+    Dst[I] = New;
+  }
+  return (G0 | G1 | G2 | G3) != 0;
+}
+
+/// Dst |= Src without the grew check — the Warshall inner loop, where
+/// the guard bit already told us the union is wanted.
+inline void orWords(uint64_t *Dst, const uint64_t *Src, size_t W) {
+  size_t I = 0;
+  for (; I + 4 <= W; I += 4) {
+    Dst[I + 0] |= Src[I + 0];
+    Dst[I + 1] |= Src[I + 1];
+    Dst[I + 2] |= Src[I + 2];
+    Dst[I + 3] |= Src[I + 3];
+  }
+  for (; I < W; ++I)
+    Dst[I] |= Src[I];
+}
+
+} // namespace bits
+
 class BitSet {
 public:
   BitSet() = default;
@@ -59,13 +112,7 @@ public:
   /// this := this ∪ O; returns true if this grew.
   bool unionWith(const BitSet &O) {
     assert(O.NumBitsVal == NumBitsVal && "universe mismatch");
-    uint64_t GrewBits = 0;
-    for (size_t I = 0; I < Words.size(); ++I) {
-      uint64_t New = Words[I] | O.Words[I];
-      GrewBits |= New ^ Words[I];
-      Words[I] = New;
-    }
-    return GrewBits != 0;
+    return bits::orInto(Words.data(), O.Words.data(), Words.size());
   }
 
   /// this := this ∩ O.
@@ -137,15 +184,36 @@ class BitMatrix {
 public:
   BitMatrix() = default;
   BitMatrix(size_t NumRows, size_t NumBits) { reset(NumRows, NumBits); }
+  // Base points into Words, so copies re-align against their own buffer
+  // and copy row payloads (the aligned start may sit at a different
+  // element offset in the new allocation). Moves keep the buffer and
+  // with it the pointer.
+  BitMatrix(const BitMatrix &O) { *this = O; }
+  BitMatrix &operator=(const BitMatrix &O) {
+    if (this != &O) {
+      reset(O.Rows, O.Bits);
+      if (Rows)
+        copy(row(0), O.row(0), Rows * WPR);
+    }
+    return *this;
+  }
+  BitMatrix(BitMatrix &&) = default;
+  BitMatrix &operator=(BitMatrix &&) = default;
 
   /// Resets to \p NumRows rows of \p NumBits bits, all clear, reusing
   /// the buffer's capacity when it suffices (for callers that solve many
-  /// fixpoints with one scratch matrix).
+  /// fixpoints with one scratch matrix). Rows are padded to a multiple
+  /// of 4 words and the first row is placed on a 32-byte boundary, so
+  /// every row is 32-byte aligned and the 4-wide union kernels (see
+  /// namespace bits) run tail-free over whole rows; the padding words
+  /// stay zero under every lattice operation.
   void reset(size_t NumRows, size_t NumBits) {
     Rows = NumRows;
     Bits = NumBits;
-    WPR = (NumBits + 63) / 64;
-    Words.assign(Rows * WPR, 0);
+    WPR = ((NumBits + 63) / 64 + 3) & ~size_t(3);
+    Words.assign(Rows * WPR + 3, 0);
+    uintptr_t P = reinterpret_cast<uintptr_t>(Words.data());
+    Base = Words.data() + (((P + 31) & ~uintptr_t(31)) - P) / 8;
   }
 
   size_t numRows() const { return Rows; }
@@ -154,11 +222,11 @@ public:
 
   uint64_t *row(size_t R) {
     assert(R < Rows && "row out of range");
-    return Words.data() + R * WPR;
+    return Base + R * WPR;
   }
   const uint64_t *row(size_t R) const {
     assert(R < Rows && "row out of range");
-    return Words.data() + R * WPR;
+    return Base + R * WPR;
   }
 
   void set(size_t R, size_t B) {
@@ -174,13 +242,7 @@ public:
   /// the common wordsPerRow of the operands.
   /// Dst |= Src; returns true if Dst grew.
   static bool orInto(uint64_t *Dst, const uint64_t *Src, size_t W) {
-    uint64_t Grew = 0;
-    for (size_t I = 0; I < W; ++I) {
-      uint64_t New = Dst[I] | Src[I];
-      Grew |= New ^ Dst[I];
-      Dst[I] = New;
-    }
-    return Grew != 0;
+    return bits::orInto(Dst, Src, W);
   }
   /// Dst &= Src.
   static void andWith(uint64_t *Dst, const uint64_t *Src, size_t W) {
@@ -222,6 +284,8 @@ public:
 private:
   size_t Rows = 0, Bits = 0, WPR = 0;
   std::vector<uint64_t> Words;
+  /// First row, 32-byte aligned within Words (never null after reset).
+  uint64_t *Base = nullptr;
 };
 
 } // namespace vif

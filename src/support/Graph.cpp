@@ -6,30 +6,67 @@
 
 #include "support/Graph.h"
 
+#include "support/BitSet.h"
+
 #include <algorithm>
-#include <cstdint>
+#include <cstring>
+#include <numeric>
 #include <ostream>
 #include <sstream>
 
 using namespace vif;
 
-Digraph::NodeId Digraph::addNode(const std::string &Name) {
+std::string_view Digraph::intern(std::string_view Name) {
+  if (Name.empty())
+    return std::string_view("", 0);
+  if (Name.size() > ArenaCap - ArenaUsed || ArenaBlocks.empty()) {
+    size_t Cap = std::max<size_t>(Name.size(), 4096);
+    ArenaBlocks.push_back(std::make_unique<char[]>(Cap));
+    ArenaCap = Cap;
+    ArenaUsed = 0;
+  }
+  char *Slot = ArenaBlocks.back().get() + ArenaUsed;
+  std::memcpy(Slot, Name.data(), Name.size());
+  ArenaUsed += Name.size();
+  return std::string_view(Slot, Name.size());
+}
+
+Digraph::Digraph(const Digraph &Other) {
+  Other.flushEdges();
+  reserveNodes(Other.Names.size());
+  for (std::string_view Name : Other.Names)
+    addNode(Name);
+  Edges = Other.Edges;
+}
+
+Digraph &Digraph::operator=(const Digraph &Other) {
+  if (this != &Other) {
+    Digraph Copy(Other);
+    *this = std::move(Copy);
+  }
+  return *this;
+}
+
+Digraph::NodeId Digraph::addNode(std::string_view Name) {
   auto It = Ids.find(Name);
   if (It != Ids.end())
     return It->second;
   NodeId Id = static_cast<NodeId>(Names.size());
-  Names.push_back(Name);
-  Ids.emplace(Name, Id);
+  std::string_view Stable = intern(Name);
+  Names.push_back(Stable);
+  Ids.emplace(Stable, Id);
+  RankValid = false; // relative ranks survive, so EdgeOrder stays valid
   return Id;
 }
 
-void Digraph::addEdge(const std::string &From, const std::string &To) {
+void Digraph::addEdge(std::string_view From, std::string_view To) {
   addEdge(addNode(From), addNode(To));
 }
 
 void Digraph::addEdge(NodeId From, NodeId To) {
   assert(From < Names.size() && To < Names.size() && "edge endpoint unknown");
   Pending.push_back({From, To});
+  EdgeOrderValid = false;
 }
 
 void Digraph::addEdges(std::vector<std::pair<NodeId, NodeId>> EdgeList) {
@@ -38,10 +75,13 @@ void Digraph::addEdges(std::vector<std::pair<NodeId, NodeId>> EdgeList) {
     assert(From < Names.size() && To < Names.size() &&
            "edge endpoint unknown");
 #endif
+  if (EdgeList.empty())
+    return;
   if (Pending.empty())
     Pending = std::move(EdgeList);
   else
     Pending.insert(Pending.end(), EdgeList.begin(), EdgeList.end());
+  EdgeOrderValid = false;
 }
 
 void Digraph::flushEdges() const {
@@ -59,6 +99,36 @@ void Digraph::flushEdges() const {
     Edges.swap(Merged);
     Pending.clear();
   }
+  EdgeOrderValid = false;
+}
+
+void Digraph::ensureRank() const {
+  if (RankValid)
+    return;
+  RankOrder.resize(Names.size());
+  std::iota(RankOrder.begin(), RankOrder.end(), NodeId(0));
+  std::sort(RankOrder.begin(), RankOrder.end(),
+            [this](NodeId A, NodeId B) { return Names[A] < Names[B]; });
+  RankOf.resize(Names.size());
+  for (size_t Rank = 0; Rank < RankOrder.size(); ++Rank)
+    RankOf[RankOrder[Rank]] = static_cast<NodeId>(Rank);
+  RankValid = true;
+}
+
+void Digraph::ensureEdgeOrder() const {
+  if (EdgeOrderValid)
+    return;
+  EdgeOrder.resize(Edges.size());
+  std::iota(EdgeOrder.begin(), EdgeOrder.end(), uint32_t(0));
+  std::sort(EdgeOrder.begin(), EdgeOrder.end(),
+            [this](uint32_t A, uint32_t B) {
+              const auto &EA = Edges[A], &EB = Edges[B];
+              NodeId FA = RankOf[EA.first], FB = RankOf[EB.first];
+              if (FA != FB)
+                return FA < FB;
+              return RankOf[EA.second] < RankOf[EB.second];
+            });
+  EdgeOrderValid = true;
 }
 
 void Digraph::reserveNodes(size_t N) {
@@ -66,11 +136,11 @@ void Digraph::reserveNodes(size_t N) {
   Ids.reserve(N);
 }
 
-bool Digraph::hasNode(const std::string &Name) const {
+bool Digraph::hasNode(std::string_view Name) const {
   return Ids.count(Name) != 0;
 }
 
-bool Digraph::hasEdge(const std::string &From, const std::string &To) const {
+bool Digraph::hasEdge(std::string_view From, std::string_view To) const {
   auto F = Ids.find(From), T = Ids.find(To);
   if (F == Ids.end() || T == Ids.end())
     return false;
@@ -83,25 +153,27 @@ bool Digraph::hasEdge(NodeId From, NodeId To) const {
                             std::make_pair(From, To));
 }
 
-Digraph::NodeId Digraph::id(const std::string &Name) const {
+Digraph::NodeId Digraph::id(std::string_view Name) const {
   auto It = Ids.find(Name);
   assert(It != Ids.end() && "unknown node name");
   return It->second;
 }
 
 std::vector<std::string> Digraph::sortedNodes() const {
-  std::vector<std::string> Result = Names;
-  std::sort(Result.begin(), Result.end());
+  ensureRank();
+  std::vector<std::string> Result;
+  Result.reserve(RankOrder.size());
+  for (NodeId Id : RankOrder)
+    Result.emplace_back(Names[Id]);
   return Result;
 }
 
 std::vector<std::pair<std::string, std::string>> Digraph::sortedEdges() const {
-  flushEdges();
   std::vector<std::pair<std::string, std::string>> Result;
-  Result.reserve(Edges.size());
-  for (const auto &[From, To] : Edges)
-    Result.emplace_back(Names[From], Names[To]);
-  std::sort(Result.begin(), Result.end());
+  Result.reserve(numEdges());
+  forEachSortedEdge([&Result](std::string_view From, std::string_view To) {
+    Result.emplace_back(From, To);
+  });
   return Result;
 }
 
@@ -124,7 +196,7 @@ std::vector<Digraph::NodeId> Digraph::predecessors(NodeId Id) const {
   return Result;
 }
 
-bool Digraph::reachable(const std::string &From, const std::string &To) const {
+bool Digraph::reachable(std::string_view From, std::string_view To) const {
   auto F = Ids.find(From), T = Ids.find(To);
   if (F == Ids.end() || T == Ids.end())
     return false;
@@ -150,7 +222,8 @@ bool Digraph::reachable(const std::string &From, const std::string &To) const {
 Digraph Digraph::transitiveClosure() const {
   flushEdges();
   Digraph Result;
-  for (const std::string &Name : Names)
+  Result.reserveNodes(Names.size());
+  for (std::string_view Name : Names)
     Result.addNode(Name);
   // Warshall closure over packed bit rows: one flat uint64 buffer holds
   // the N x N reachability matrix, and the inner J loop collapses to a
@@ -158,7 +231,9 @@ Digraph Digraph::transitiveClosure() const {
   // constant cut over the bool-matrix formulation ("the traditional
   // method of Kemmerer" is the remaining cubic family; see DESIGN.md).
   size_t N = Names.size();
-  size_t W = (N + 63) / 64; // words per row
+  // Words per row, padded to a multiple of 4 so the unrolled union
+  // kernel (bits::orWords) runs tail-free; padding bits stay zero.
+  size_t W = ((N + 63) / 64 + 3) & ~size_t(3);
   std::vector<uint64_t> M(N * W, 0);
   for (const auto &[From, To] : Edges)
     M[static_cast<size_t>(From) * W + (To >> 6)] |= uint64_t(1)
@@ -166,11 +241,12 @@ Digraph Digraph::transitiveClosure() const {
   for (size_t K = 0; K < N; ++K) {
     const uint64_t *RowK = M.data() + K * W;
     for (size_t I = 0; I < N; ++I) {
+      if (I == K)
+        continue; // RowI |= RowI is a no-op (and would alias)
       uint64_t *RowI = M.data() + I * W;
       if (!((RowI[K >> 6] >> (K & 63)) & 1))
         continue;
-      for (size_t J = 0; J < W; ++J)
-        RowI[J] |= RowK[J];
+      bits::orWords(RowI, RowK, W);
     }
   }
   // Row-major set-bit order is exactly the sorted edge order, so the
@@ -200,10 +276,10 @@ bool Digraph::isTransitive() const {
 }
 
 Digraph Digraph::mergeNodes(
-    const std::function<std::string(const std::string &)> &Rename) const {
+    const std::function<std::string(std::string_view)> &Rename) const {
   flushEdges();
   Digraph Result;
-  for (const std::string &Name : Names)
+  for (std::string_view Name : Names)
     Result.addNode(Rename(Name));
   for (const auto &[From, To] : Edges) {
     std::string F = Rename(Names[From]), T = Rename(Names[To]);
@@ -219,10 +295,10 @@ Digraph Digraph::mergeNodes(
 }
 
 Digraph Digraph::inducedSubgraph(
-    const std::function<bool(const std::string &)> &Keep) const {
+    const std::function<bool(std::string_view)> &Keep) const {
   flushEdges();
   Digraph Result;
-  for (const std::string &Name : Names)
+  for (std::string_view Name : Names)
     if (Keep(Name))
       Result.addNode(Name);
   for (const auto &[From, To] : Edges)
@@ -234,9 +310,10 @@ Digraph Digraph::inducedSubgraph(
 std::vector<std::pair<std::string, std::string>>
 Digraph::edgesNotIn(const Digraph &Other) const {
   std::vector<std::pair<std::string, std::string>> Result;
-  for (const auto &[From, To] : sortedEdges())
+  forEachSortedEdge([&](std::string_view From, std::string_view To) {
     if (!Other.hasEdge(From, To))
       Result.emplace_back(From, To);
+  });
   return Result;
 }
 
@@ -245,16 +322,18 @@ bool Digraph::sameFlows(const Digraph &Other) const {
          sortedEdges() == Other.sortedEdges();
 }
 
-void Digraph::printDOT(std::ostream &OS, const std::string &Title) const {
+void Digraph::printDOT(std::ostream &OS, std::string_view Title) const {
   OS << "digraph \"" << Title << "\" {\n";
-  for (const std::string &Name : sortedNodes())
-    OS << "  \"" << Name << "\";\n";
-  for (const auto &[From, To] : sortedEdges())
+  ensureRank();
+  for (NodeId Id : RankOrder)
+    OS << "  \"" << Names[Id] << "\";\n";
+  forEachSortedEdge([&OS](std::string_view From, std::string_view To) {
     OS << "  \"" << From << "\" -> \"" << To << "\";\n";
+  });
   OS << "}\n";
 }
 
-std::string Digraph::dot(const std::string &Title) const {
+std::string Digraph::dot(std::string_view Title) const {
   std::ostringstream OS;
   printDOT(OS, Title);
   return OS.str();

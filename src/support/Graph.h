@@ -20,9 +20,12 @@
 #define VIF_SUPPORT_GRAPH_H
 
 #include <cassert>
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -34,22 +37,37 @@ namespace vif {
 /// Node ids are dense and assigned in insertion order; all iteration orders
 /// exposed by the class are deterministic.
 ///
+/// Node names are bump-allocated into an internal arena and exposed as
+/// string_views; the arena blocks never move, so views stay valid across
+/// addNode and across moves of the whole graph.
+///
 /// Edges live in one flat sorted vector; addEdge/addEdges append to a
 /// pending buffer that is merged in lazily, so bulk construction (the flow
 /// graphs, the Warshall closure below) never pays per-edge ordered-set
-/// node allocations. The lazy merge mutates on const reads — like the
-/// LazyPairSets boundary in rd/DenseDomain.h, a Digraph must not be read
-/// from multiple threads concurrently (per-design results never are; the
-/// SessionCache holds a per-entry lock while a session is in use).
+/// node allocations. Sorted iteration orders are likewise cached lazily: a
+/// lexicographic node-rank permutation and an edge permutation sorted by
+/// (rank[from], rank[to]) are computed once and reused, so emitting a
+/// result costs an integer sort the first time and nothing after. The lazy
+/// merge mutates on const reads — like the LazyPairSets boundary in
+/// rd/DenseDomain.h, a Digraph must not be read from multiple threads
+/// concurrently unless ensureSortedViews() was called first (per-design
+/// results never are; the SessionCache materializes the views while the
+/// per-entry lock is still held).
 class Digraph {
 public:
   using NodeId = unsigned;
 
+  Digraph() = default;
+  Digraph(Digraph &&) = default;
+  Digraph &operator=(Digraph &&) = default;
+  Digraph(const Digraph &Other);
+  Digraph &operator=(const Digraph &Other);
+
   /// Adds a node (no-op if present); returns its id.
-  NodeId addNode(const std::string &Name);
+  NodeId addNode(std::string_view Name);
 
   /// Adds both endpoints as needed and then the edge From -> To.
-  void addEdge(const std::string &From, const std::string &To);
+  void addEdge(std::string_view From, std::string_view To);
   void addEdge(NodeId From, NodeId To);
 
   /// Bulk-inserts edges given as id pairs over existing nodes. The list is
@@ -61,13 +79,13 @@ public:
   /// Pre-sizes the name table and index for \p N expected nodes.
   void reserveNodes(size_t N);
 
-  bool hasNode(const std::string &Name) const;
-  bool hasEdge(const std::string &From, const std::string &To) const;
+  bool hasNode(std::string_view Name) const;
+  bool hasEdge(std::string_view From, std::string_view To) const;
   bool hasEdge(NodeId From, NodeId To) const;
 
   /// Returns the id for \p Name; asserts that the node exists.
-  NodeId id(const std::string &Name) const;
-  const std::string &name(NodeId Id) const {
+  NodeId id(std::string_view Name) const;
+  std::string_view name(NodeId Id) const {
     assert(Id < Names.size() && "node id out of range");
     return Names[Id];
   }
@@ -79,11 +97,68 @@ public:
   }
 
   /// Node names in insertion order.
-  const std::vector<std::string> &nodes() const { return Names; }
-  /// Node names sorted lexicographically.
+  const std::vector<std::string_view> &nodes() const { return Names; }
+  /// Node names sorted lexicographically (a per-call copy; prefer
+  /// rankedNodes() on hot paths).
   std::vector<std::string> sortedNodes() const;
-  /// All edges as (from, to) name pairs, sorted lexicographically.
+  /// All edges as (from, to) name pairs, sorted lexicographically (a
+  /// per-call copy; prefer forEachSortedEdge on hot paths).
   std::vector<std::pair<std::string, std::string>> sortedEdges() const;
+
+  /// Node ids in lexicographic name order (the rank permutation). The
+  /// reference stays valid until the next node insertion.
+  const std::vector<NodeId> &rankedNodes() const {
+    ensureRank();
+    return RankOrder;
+  }
+  /// Lexicographic rank of node \p Id: name(rankedNodes()[rankOf(Id)]) ==
+  /// name(Id).
+  NodeId rankOf(NodeId Id) const {
+    ensureRank();
+    assert(Id < RankOf.size() && "node id out of range");
+    return RankOf[Id];
+  }
+
+  /// Forces the lazy edge flush, rank permutation and sorted-edge
+  /// permutation. After this call all read accessors are pure reads, so the
+  /// graph may be shared across threads (the SessionCache's publish point).
+  void ensureSortedViews() const {
+    flushEdges();
+    ensureRank();
+    ensureEdgeOrder();
+  }
+
+  /// Streams the edges in lexicographic (from-name, to-name) order as
+  /// string_view pairs, without materializing any intermediate vector.
+  /// Exactly the order of sortedEdges().
+  template <typename Callback> void forEachSortedEdge(Callback &&CB) const {
+    ensureSortedViews();
+    for (uint32_t Index : EdgeOrder) {
+      const auto &[From, To] = Edges[Index];
+      CB(Names[From], Names[To]);
+    }
+  }
+
+  /// Streams the edges in the same sorted order as (rank, rank) pairs —
+  /// indices into rankedNodes(), i.e. into the sorted node table. The pair
+  /// sequence itself is sorted ascending; this is the v1b EDGE section.
+  template <typename Callback>
+  void forEachSortedEdgeRanked(Callback &&CB) const {
+    ensureSortedViews();
+    for (uint32_t Index : EdgeOrder) {
+      const auto &[From, To] = Edges[Index];
+      CB(RankOf[From], RankOf[To]);
+    }
+  }
+
+  /// Streams all edges as (from-id, to-id) pairs in ascending id order (the
+  /// flat storage order). Cheapest whole-edge-set scan; used for id-indexed
+  /// fan-in/out counting.
+  template <typename Callback> void forEachEdgeId(Callback &&CB) const {
+    flushEdges();
+    for (const auto &[From, To] : Edges)
+      CB(From, To);
+  }
 
   /// Successor ids of \p Id in ascending id order.
   std::vector<NodeId> successors(NodeId Id) const;
@@ -91,7 +166,7 @@ public:
   std::vector<NodeId> predecessors(NodeId Id) const;
 
   /// True if there is a directed path (of length >= 1) From -> To.
-  bool reachable(const std::string &From, const std::string &To) const;
+  bool reachable(std::string_view From, std::string_view To) const;
 
   /// The transitive closure over the same node set: an edge a -> b for every
   /// path a -> ... -> b of length >= 1. This is the "traditional method of
@@ -106,12 +181,12 @@ public:
   /// A graph with every node renamed through \p Rename; edges whose endpoints
   /// collapse to the same node become self-loops only if they already were
   /// self-loops (merging n with n◦/n• must not fabricate flows n -> n).
-  Digraph mergeNodes(
-      const std::function<std::string(const std::string &)> &Rename) const;
+  Digraph
+  mergeNodes(const std::function<std::string(std::string_view)> &Rename) const;
 
   /// The subgraph induced by the nodes for which \p Keep returns true.
   Digraph
-  inducedSubgraph(const std::function<bool(const std::string &)> &Keep) const;
+  inducedSubgraph(const std::function<bool(std::string_view)> &Keep) const;
 
   /// Edges present in \p this but not in \p Other (by node name). Used to
   /// count Kemmerer false positives relative to the RD-guided analysis.
@@ -122,19 +197,44 @@ public:
   bool sameFlows(const Digraph &Other) const;
 
   /// Emits the graph in Graphviz DOT syntax with nodes and edges sorted.
-  void printDOT(std::ostream &OS, const std::string &Title = "flows") const;
-  std::string dot(const std::string &Title = "flows") const;
+  void printDOT(std::ostream &OS, std::string_view Title = "flows") const;
+  std::string dot(std::string_view Title = "flows") const;
 
 private:
+  /// Copies \p Name into the arena and returns the stable view.
+  std::string_view intern(std::string_view Name);
+
   /// Merges Pending into the sorted, deduplicated Edges vector.
   void flushEdges() const;
+  /// Computes RankOrder/RankOf if stale.
+  void ensureRank() const;
+  /// Computes EdgeOrder if stale. Requires flushed edges and a valid rank.
+  void ensureEdgeOrder() const;
 
-  std::vector<std::string> Names;
-  std::unordered_map<std::string, NodeId> Ids;
+  /// Bump-allocated name storage. Blocks never move or shrink, so the views
+  /// in Names (and those handed out) remain valid for the graph's lifetime.
+  std::vector<std::unique_ptr<char[]>> ArenaBlocks;
+  size_t ArenaUsed = 0;
+  size_t ArenaCap = 0;
+
+  std::vector<std::string_view> Names;
+  std::unordered_map<std::string_view, NodeId> Ids;
   /// Sorted and deduplicated (after flushEdges).
   mutable std::vector<std::pair<NodeId, NodeId>> Edges;
   /// Edges appended since the last flush, in arrival order.
   mutable std::vector<std::pair<NodeId, NodeId>> Pending;
+
+  /// Node ids in lexicographic name order and its inverse, computed once
+  /// per node-set generation. Adding a node only invalidates these two
+  /// (relative ranks of existing nodes are preserved, so EdgeOrder — sorted
+  /// by relative rank — stays correct).
+  mutable std::vector<NodeId> RankOrder;
+  mutable std::vector<NodeId> RankOf;
+  mutable bool RankValid = false;
+  /// Indices into Edges in (rank[from], rank[to]) order — the lexicographic
+  /// edge order without touching a byte of string data.
+  mutable std::vector<uint32_t> EdgeOrder;
+  mutable bool EdgeOrderValid = false;
 };
 
 } // namespace vif

@@ -13,48 +13,70 @@
 
 using namespace vif;
 
-std::string vif::jsonEscape(std::string_view S) {
-  std::string Out;
-  Out.reserve(S.size());
-  for (unsigned char C : S) {
+void vif::jsonEscapeTo(std::string &Out, std::string_view S) {
+  size_t RunStart = 0;
+  auto FlushRun = [&](size_t End) {
+    if (End > RunStart)
+      Out.append(S.data() + RunStart, End - RunStart);
+  };
+  for (size_t I = 0; I < S.size(); ++I) {
+    unsigned char C = static_cast<unsigned char>(S[I]);
+    const char *Escape = nullptr;
     switch (C) {
     case '"':
-      Out += "\\\"";
+      Escape = "\\\"";
       break;
     case '\\':
-      Out += "\\\\";
+      Escape = "\\\\";
       break;
     case '\b':
-      Out += "\\b";
+      Escape = "\\b";
       break;
     case '\f':
-      Out += "\\f";
+      Escape = "\\f";
       break;
     case '\n':
-      Out += "\\n";
+      Escape = "\\n";
       break;
     case '\r':
-      Out += "\\r";
+      Escape = "\\r";
       break;
     case '\t':
-      Out += "\\t";
+      Escape = "\\t";
       break;
     default:
       if (C < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-        Out += Buf;
-      } else {
-        Out += static_cast<char>(C);
+        FlushRun(I);
+        char Hex[8];
+        std::snprintf(Hex, sizeof(Hex), "\\u%04x", C);
+        Out += Hex;
+        RunStart = I + 1;
       }
+      continue;
     }
+    FlushRun(I);
+    Out += Escape;
+    RunStart = I + 1;
   }
+  FlushRun(S.size());
+}
+
+std::string vif::jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  jsonEscapeTo(Out, S);
   return Out;
 }
 
+void JsonWriter::flush() {
+  if (!Buf.empty()) {
+    OS.write(Buf.data(), static_cast<std::streamsize>(Buf.size()));
+    Buf.clear();
+  }
+}
+
 void JsonWriter::indent() {
-  for (size_t I = 0, E = Stack.size() * IndentWidth; I < E; ++I)
-    OS << ' ';
+  Buf.append(Stack.size() * IndentWidth, ' ');
 }
 
 void JsonWriter::prefix() {
@@ -65,9 +87,9 @@ void JsonWriter::prefix() {
   if (Stack.empty())
     return;
   if (Stack.back() != 0)
-    OS << ',';
+    Buf += ',';
   if (!Compact) {
-    OS << '\n';
+    Buf += '\n';
     indent();
   }
   ++Stack.back();
@@ -75,7 +97,7 @@ void JsonWriter::prefix() {
 
 void JsonWriter::open(char C) {
   prefix();
-  OS << C;
+  Buf += C;
   Stack.push_back(0);
 }
 
@@ -84,53 +106,65 @@ void JsonWriter::close(char C) {
   bool HadElements = Stack.back() != 0;
   Stack.pop_back();
   if (HadElements && !Compact) {
-    OS << '\n';
+    Buf += '\n';
     indent();
   }
-  OS << C;
-  if (Stack.empty() && !Compact)
-    OS << '\n';
+  Buf += C;
+  if (Stack.empty()) {
+    if (!Compact)
+      Buf += '\n';
+    // The document is complete; hand it to the stream in one write.
+    flush();
+  }
 }
 
 void JsonWriter::key(std::string_view K) {
   assert(!AfterKey && "key without a value");
   prefix();
-  OS << '"' << jsonEscape(K) << (Compact ? "\":" : "\": ");
+  Buf += '"';
+  jsonEscapeTo(Buf, K);
+  Buf += (Compact ? "\":" : "\": ");
   AfterKey = true;
 }
 
 void JsonWriter::value(std::string_view V) {
   prefix();
-  OS << '"' << jsonEscape(V) << '"';
+  Buf += '"';
+  jsonEscapeTo(Buf, V);
+  Buf += '"';
 }
 
 void JsonWriter::value(bool V) {
   prefix();
-  OS << (V ? "true" : "false");
+  Buf += (V ? "true" : "false");
 }
 
 void JsonWriter::value(double V) {
   prefix();
   if (!std::isfinite(V)) {
-    OS << "null"; // JSON has no Inf/NaN
+    Buf += "null"; // JSON has no Inf/NaN
     return;
   }
-  char Buf[32];
-  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
-  OS << Buf;
+  char Num[32];
+  std::snprintf(Num, sizeof(Num), "%.6g", V);
+  Buf += Num;
 }
 
 void JsonWriter::value(long long V) {
   prefix();
-  OS << V;
+  char Num[24];
+  std::snprintf(Num, sizeof(Num), "%lld", V);
+  Buf += Num;
 }
 
 void JsonWriter::value(unsigned long long V) {
   prefix();
-  OS << V;
+  char Num[24];
+  std::snprintf(Num, sizeof(Num), "%llu", V);
+  Buf += Num;
 }
 
 void JsonWriter::null() {
   prefix();
-  OS << "null";
+  Buf += "null";
 }

@@ -29,6 +29,11 @@ namespace vif {
 /// included).
 std::string jsonEscape(std::string_view S);
 
+/// Appends the escaped form of \p S to \p Out. Clean runs (the common
+/// case — most emitted strings need no escaping at all) are appended in
+/// one block instead of per character.
+void jsonEscapeTo(std::string &Out, std::string_view S);
+
 /// Layout of an emitted document: Pretty is the human-facing multi-line
 /// form (`vifc --json`); Compact packs the whole document onto one line
 /// with no trailing newline — the shape the line-delimited `vifc serve`
@@ -41,6 +46,10 @@ enum class JsonStyle : uint8_t { Pretty, Compact };
 ///   J.beginObject();
 ///   J.key("designs"); J.beginArray(); ... J.endArray();
 ///   J.endObject();   // emits the final newline (Pretty style only)
+///
+/// Output is batched in an internal buffer and reaches the stream when
+/// the top-level container closes (or on destruction), so emitting a
+/// large document costs string appends, not per-token ostream calls.
 class JsonWriter {
 public:
   explicit JsonWriter(std::ostream &OS, unsigned IndentWidth = 2)
@@ -48,6 +57,9 @@ public:
   JsonWriter(std::ostream &OS, JsonStyle Style, unsigned IndentWidth = 2)
       : OS(OS), IndentWidth(IndentWidth),
         Compact(Style == JsonStyle::Compact) {}
+  JsonWriter(const JsonWriter &) = delete;
+  JsonWriter &operator=(const JsonWriter &) = delete;
+  ~JsonWriter() { flush(); }
 
   void beginObject() { open('{'); }
   void endObject() { close('}'); }
@@ -85,8 +97,13 @@ private:
   /// Emits the separator/indentation due before the next value.
   void prefix();
   void indent();
+  /// Writes the buffered output to the stream.
+  void flush();
 
   std::ostream &OS;
+  /// Pending output; flushed when the outermost container closes and on
+  /// destruction.
+  std::string Buf;
   unsigned IndentWidth;
   /// Compact style: no newlines, no indentation, no trailing newline.
   bool Compact = false;

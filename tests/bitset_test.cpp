@@ -138,7 +138,11 @@ TEST(BitMatrix, RowsShareOneBufferAcrossWordBoundaries) {
     BitMatrix M(3, Bits);
     EXPECT_EQ(M.numRows(), 3u);
     EXPECT_EQ(M.numBits(), Bits);
-    EXPECT_EQ(M.wordsPerRow(), (Bits + 63) / 64);
+    // Rows are padded to a multiple of 4 words (32-byte stride) so the
+    // unrolled union kernels run tail-free.
+    EXPECT_EQ(M.wordsPerRow(), ((Bits + 63) / 64 + 3) & ~size_t(3));
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(M.row(0)) % 32, 0u)
+        << "rows must be 32-byte aligned";
     if (Bits == 0)
       continue;
     M.set(0, 0);
@@ -181,9 +185,9 @@ TEST(BitMatrix, SpanOperationsMatchBitSetSemantics) {
   BitMatrix::clear(M.row(3), W);
   BitMatrix::forEachBit(M.row(3), W, [&](size_t) { FAIL(); });
 
-  // reset() clears content and reshapes.
+  // reset() clears content and reshapes (padded to 4-word rows).
   M.reset(2, 63);
-  EXPECT_EQ(M.wordsPerRow(), 1u);
+  EXPECT_EQ(M.wordsPerRow(), 4u);
   EXPECT_FALSE(M.test(0, 0));
 }
 

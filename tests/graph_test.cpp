@@ -99,8 +99,8 @@ TEST(Digraph, MergeNodes) {
   Digraph G;
   G.addEdge("a.in", "b.out");
   G.addEdge("b.in", "c.out");
-  Digraph M = G.mergeNodes([](const std::string &N) {
-    return N.substr(0, N.find('.'));
+  Digraph M = G.mergeNodes([](std::string_view N) {
+    return std::string(N.substr(0, N.find('.')));
   });
   EXPECT_TRUE(M.hasEdge("a", "b"));
   EXPECT_TRUE(M.hasEdge("b", "c"));
@@ -111,8 +111,8 @@ TEST(Digraph, MergeDoesNotFabricateSelfLoops) {
   Digraph G;
   G.addEdge("a.in", "a.out");
   G.addEdge("b.in", "b.in"); // genuine self loop survives
-  Digraph M = G.mergeNodes([](const std::string &N) {
-    return N.substr(0, N.find('.'));
+  Digraph M = G.mergeNodes([](std::string_view N) {
+    return std::string(N.substr(0, N.find('.')));
   });
   EXPECT_FALSE(M.hasEdge("a", "a"))
       << "a.in -> a.out collapses, not loops";
@@ -123,7 +123,7 @@ TEST(Digraph, InducedSubgraph) {
   Digraph G = path3();
   G.addEdge("a", "x");
   Digraph S = G.inducedSubgraph(
-      [](const std::string &N) { return N != "x"; });
+      [](std::string_view N) { return N != "x"; });
   EXPECT_EQ(S.numNodes(), 3u);
   EXPECT_EQ(S.numEdges(), 2u);
   EXPECT_FALSE(S.hasNode("x"));

@@ -245,7 +245,7 @@ TEST(ClosureDifferential, EndOutVariant) {
 /// one DFS per source over the successor lists.
 Digraph naiveClosure(const Digraph &G) {
   Digraph C;
-  for (const std::string &Name : G.nodes())
+  for (std::string_view Name : G.nodes())
     C.addNode(Name);
   size_t N = G.numNodes();
   for (Digraph::NodeId S = 0; S < N; ++S) {

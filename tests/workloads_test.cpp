@@ -37,17 +37,15 @@ Analyzed elaborate(const std::string &Source, bool IsDesign) {
   return A;
 }
 
-std::string stripMarks(const std::string &Name) {
-  for (const char *Suffix : {"◦", "•"}) {
-    std::string S(Suffix);
-    if (Name.size() >= S.size() &&
-        Name.compare(Name.size() - S.size(), S.size(), S) == 0)
-      return Name.substr(0, Name.size() - S.size());
-  }
-  return Name;
+std::string stripMarks(std::string_view Name) {
+  for (std::string_view Suffix : {"◦", "•"})
+    if (Name.size() >= Suffix.size() &&
+        Name.substr(Name.size() - Suffix.size()) == Suffix)
+      return std::string(Name.substr(0, Name.size() - Suffix.size()));
+  return std::string(Name);
 }
 
-bool isStateNode(const std::string &Name) {
+bool isStateNode(std::string_view Name) {
   return Name.rfind("a_", 0) == 0;
 }
 

@@ -31,6 +31,12 @@ SOURCES = sorted(
 FIELD_RE = re.compile(r'\b(?:member|key)\(\s*"([A-Za-z0-9_]+)"')
 VERSION_RE = re.compile(r'SchemaVersion\[\]\s*=\s*"([^"]+)"')
 
+# Binary v1b frames: every section tag the encoder emits
+# (F.section("XXXX", ...) in driver/V1b.cpp) must appear in SCHEMA.md's
+# section table, same drift rule as for JSON fields.
+V1B_CPP = ROOT / "src" / "driver" / "V1b.cpp"
+SECTION_RE = re.compile(r'\bsection\(\s*"([A-Z0-9]{4})"')
+
 
 def main() -> int:
     if not SCHEMA_MD.exists():
@@ -65,6 +71,19 @@ def main() -> int:
                   file=sys.stderr)
         return 1
 
+    tags = set(SECTION_RE.findall(V1B_CPP.read_text(encoding="utf-8")))
+    if not tags:
+        print("schema_check: found no v1b section tags in "
+              "src/driver/V1b.cpp — scan broken?", file=sys.stderr)
+        return 1
+    undocumented_tags = {t for t in tags if t not in documented}
+    if undocumented_tags:
+        print("schema_check: v1b sections emitted but not documented in "
+              "docs/SCHEMA.md:", file=sys.stderr)
+        for tag in sorted(undocumented_tags):
+            print(f"  `{tag}`", file=sys.stderr)
+        return 1
+
     version = VERSION_RE.search(SERIALIZE_H.read_text(encoding="utf-8"))
     if not version:
         print("schema_check: cannot find SchemaVersion in "
@@ -75,8 +94,9 @@ def main() -> int:
               f"schema version `{version.group(1)}`", file=sys.stderr)
         return 1
 
-    print(f"schema_check: {len(emitted)} emitted fields all documented; "
-          f"schema version {version.group(1)} consistent")
+    print(f"schema_check: {len(emitted)} emitted fields and {len(tags)} "
+          f"v1b sections all documented; schema version "
+          f"{version.group(1)} consistent")
     return 0
 
 

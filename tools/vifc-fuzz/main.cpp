@@ -100,7 +100,7 @@ std::optional<ElaboratedProgram> frontend(const std::string &Source,
 /// DFS reachability oracle for Digraph::transitiveClosure.
 Digraph naiveClosure(const Digraph &G) {
   Digraph C;
-  for (const std::string &Name : G.nodes())
+  for (std::string_view Name : G.nodes())
     C.addNode(Name);
   size_t N = G.numNodes();
   for (Digraph::NodeId S = 0; S < N; ++S) {

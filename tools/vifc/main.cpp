@@ -33,6 +33,7 @@
 #include "driver/Serialize.h"
 #include "driver/Serve.h"
 #include "driver/SessionCache.h"
+#include "driver/V1b.h"
 #include "ifa/Report.h"
 #include "sim/Simulator.h"
 #include "sim/VcdWriter.h"
@@ -83,6 +84,9 @@ void printUsage(std::ostream &OS) {
         "                 the exit code is 1 when a policy is violated\n"
         "  --json         emit one vifc.v1 JSON document (every command\n"
         "                 except serve; docs/SCHEMA.md)\n"
+        "  --format FMT   response format: 'json', or 'v1b' for binary\n"
+        "                 columnar frames, one per FILE (check/flows/rm/\n"
+        "                 report; --format=v1b also works; docs/SCHEMA.md)\n"
         "  --jobs N       worker threads (check/flows/rm/report): designs\n"
         "                 in batch mode, per-process solver fan-out on a\n"
         "                 single FILE; 0 = auto (default: up to 8)\n"
@@ -109,6 +113,8 @@ struct Options {
   bool Alfp = false;
   bool Dot = false;
   bool Json = false;
+  /// --format=v1b: emit binary v1b frames instead of text/JSON.
+  bool V1bOut = false;
   unsigned Deltas = 1u << 16;
   unsigned Jobs = 0;
   bool JobsGiven = false;
@@ -158,6 +164,7 @@ const FlagSpec FlagSpecs[] = {
     {"--vcd", "sim"},
     {"--forbid", "report"},
     {"--json", "check sim flows rm report datalog"},
+    {"--format", "check flows rm report"},
     {"--jobs", "check flows rm report"},
     {"--cache", "serve"},
     {"--listen", "serve"},
@@ -281,8 +288,9 @@ int cmdFlows(const Options &Opt) {
   }
   std::cout << Graph->numNodes() << " node(s), " << Graph->numEdges()
             << " edge(s)\n";
-  for (const auto &[From, To] : Graph->sortedEdges())
+  Graph->forEachSortedEdge([](std::string_view From, std::string_view To) {
     std::cout << From << " -> " << To << '\n';
+  });
   return 0;
 }
 
@@ -400,7 +408,7 @@ int cmdBatch(const Options &Opt, driver::BatchMode Mode) {
   for (const auto &[From, To] : Opt.Forbidden)
     B.Policy.Forbidden.push_back({From, To});
   B.Jobs = Opt.Jobs;
-  B.CaptureRenderedText = !Opt.Json;
+  B.CaptureRenderedText = !Opt.Json && !Opt.V1bOut;
   B.Cache = &Cache;
 
   std::vector<driver::BatchInput> Inputs;
@@ -409,7 +417,9 @@ int cmdBatch(const Options &Opt, driver::BatchMode Mode) {
     Inputs.push_back({File, std::nullopt});
 
   driver::BatchResult R = driver::runBatch(Inputs, B);
-  if (Opt.Json)
+  if (Opt.V1bOut)
+    driver::printBatchV1b(std::cout, R, B);
+  else if (Opt.Json)
     driver::printBatchJson(std::cout, R, B);
   else
     driver::printBatchText(std::cout, R, B);
@@ -503,7 +513,26 @@ int main(int Argc, char **Argv) {
       Opt.Dot = true;
     else if (A == "--json")
       Opt.Json = true;
-    else if (A == "--deltas") {
+    else if (A == "--format" || A.rfind("--format=", 0) == 0) {
+      if (A != "--format") {
+        // Inline form --format=FMT; re-check applicability under the
+        // registered spelling, which the generic check above missed.
+        if (!checkFlagApplies(Opt.Command, "--format"))
+          return usage();
+        Value = A.substr(9);
+      } else if (!nextValue(A, Value))
+        return usage();
+      if (Value == "json")
+        Opt.Json = true;
+      else if (Value == "v1b")
+        Opt.V1bOut = true;
+      else {
+        std::cerr << "error: option '--format' expects 'json' or 'v1b', "
+                     "got '"
+                  << Value << "'\n";
+        return usage();
+      }
+    } else if (A == "--deltas") {
       if (!nextValue(A, Value) || !parseCount(A, Value, Opt.Deltas))
         return usage();
     } else if (A == "--jobs") {
@@ -574,12 +603,18 @@ int main(int Argc, char **Argv) {
     std::cerr << "error: --vcd - (stdout) cannot be combined with --json\n";
     return usage();
   }
-  if (Opt.Dot && (Opt.Json || Opt.Files.size() > 1)) {
-    std::cerr << "error: --dot requires a single FILE without --json\n";
+  if (Opt.Json && Opt.V1bOut) {
+    std::cerr << "error: --json cannot be combined with --format=v1b\n";
+    return usage();
+  }
+  if (Opt.Dot && (Opt.Json || Opt.V1bOut || Opt.Files.size() > 1)) {
+    std::cerr << "error: --dot requires a single FILE without --json or "
+                 "--format=v1b\n";
     return usage();
   }
 
-  bool Batch = !SingleOnly && (Opt.Json || Opt.Files.size() > 1);
+  bool Batch =
+      !SingleOnly && (Opt.Json || Opt.V1bOut || Opt.Files.size() > 1);
   if (Opt.Command == "check")
     return Batch ? cmdBatch(Opt, driver::BatchMode::Check) : cmdCheck(Opt);
   if (Opt.Command == "sim")
