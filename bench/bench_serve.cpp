@@ -19,8 +19,20 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 using namespace vif;
 
@@ -121,6 +133,256 @@ BENCHMARK(BM_SessionCache_AcquireHit)
     ->RangeMultiplier(4)
     ->Range(4, 64)
     ->Complexity();
+
+//===----------------------------------------------------------------------===//
+// Concurrent load generator: N clients over loopback TCP against the
+// worker-pool front end (Server::listenAndServe), measuring aggregate
+// warm-request throughput and the per-request latency distribution.
+//===----------------------------------------------------------------------===//
+
+/// HDR-style latency histogram: power-of-two octaves split into 32
+/// linear sub-buckets (~3% relative error), covering 1 ns to ~5 min.
+/// Fixed footprint, constant-time record — cheap enough to sit on the
+/// timed path.
+class LatencyHistogram {
+public:
+  static constexpr unsigned SubBits = 5;
+  static constexpr size_t NumBuckets = size_t(60) << SubBits;
+
+  void record(uint64_t Ns) {
+    ++Counts[bucketOf(Ns)];
+    ++Total;
+  }
+
+  void merge(const LatencyHistogram &O) {
+    for (size_t I = 0; I < NumBuckets; ++I)
+      Counts[I] += O.Counts[I];
+    Total += O.Total;
+  }
+
+  /// The representative value (bucket midpoint) at quantile \p Q in
+  /// [0, 1]; 0 when empty.
+  double percentileNs(double Q) const {
+    if (!Total)
+      return 0;
+    uint64_t Rank = static_cast<uint64_t>(Q * double(Total - 1)) + 1;
+    uint64_t Seen = 0;
+    for (size_t I = 0; I < NumBuckets; ++I) {
+      Seen += Counts[I];
+      if (Seen >= Rank)
+        return midpointOf(I);
+    }
+    return midpointOf(NumBuckets - 1);
+  }
+
+private:
+  static size_t bucketOf(uint64_t Ns) {
+    constexpr uint64_t Sub = 1ull << SubBits;
+    if (Ns < Sub)
+      return static_cast<size_t>(Ns); // first octave: exact
+    unsigned Exp = 63u - static_cast<unsigned>(__builtin_clzll(Ns));
+    unsigned Shift = Exp - SubBits;
+    size_t Bucket = ((size_t(Shift) + 1) << SubBits) +
+                    ((Ns >> Shift) & (Sub - 1));
+    return std::min(Bucket, NumBuckets - 1);
+  }
+
+  static double midpointOf(size_t B) {
+    constexpr uint64_t Sub = 1ull << SubBits;
+    if (B < Sub)
+      return double(B);
+    unsigned Shift = static_cast<unsigned>((B >> SubBits) - 1);
+    uint64_t Lo = (Sub + (B & (Sub - 1))) << Shift;
+    return double(Lo) + double(1ull << Shift) / 2.0;
+  }
+
+  std::array<uint64_t, NumBuckets> Counts{};
+  uint64_t Total = 0;
+};
+
+int connectLoopback(uint16_t Port) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    ::close(Fd);
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return Fd;
+}
+
+/// One request/response round trip; returns false on transport failure.
+/// \p Buf carries any bytes read beyond the response line (none in this
+/// closed-loop harness, but kept correct).
+bool roundTrip(int Fd, const std::string &Request, std::string &Buf) {
+  size_t Off = 0;
+  while (Off < Request.size()) {
+    ssize_t W = ::write(Fd, Request.data() + Off, Request.size() - Off);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(W);
+  }
+  while (Buf.find('\n') == std::string::npos) {
+    char Chunk[4096];
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return false;
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+  Buf.erase(0, Buf.find('\n') + 1);
+  return true;
+}
+
+/// N closed-loop clients, each with its own connection and its own
+/// design (distinct cache entries — a fleet, not N hits on one entry),
+/// all warm. Every benchmark iteration releases the clients for
+/// RequestsPerIter round trips each and waits for the batch, so
+/// real_time tracks aggregate throughput (items/s is requests/s) and
+/// every round trip lands in the latency histogram: p50/p99 are
+/// reported as counters and recorded in the committed baseline.
+/// The worker pool is pinned at 8 so the 1-vs-8-client ratio measures
+/// client-side scaling against a constant server (the ROADMAP "4x at 8
+/// clients on 8 cores" acceptance number).
+void BM_Serve_LoadTcp(benchmark::State &State) {
+  const unsigned Clients = static_cast<unsigned>(State.range(0));
+  const unsigned RequestsPerIter = 16;
+
+  driver::ServeOptions SO;
+  SO.Workers = 8;
+  driver::Server Srv(SO);
+  std::thread ServerThread([&Srv] { Srv.listenAndServe(0, nullptr); });
+  while (Srv.boundPort() == 0)
+    std::this_thread::yield();
+  uint16_t Port = Srv.boundPort();
+
+  struct Client {
+    int Fd = -1;
+    std::string Request;
+    std::string Buf;
+    LatencyHistogram Hist;
+    std::thread T;
+    bool Ok = true;
+  };
+  std::vector<Client> Cs(Clients);
+
+  std::mutex M;
+  std::condition_variable GoCV, DoneCV;
+  uint64_t Generation = 0;
+  unsigned DoneCount = 0, ReadyCount = 0;
+  bool Stop = false;
+
+  for (unsigned I = 0; I < Clients; ++I) {
+    Client &C = Cs[I];
+    C.Request = flowsRequest(workloads::pipelineDesign(16) + "-- client " +
+                             std::to_string(I) + "\n");
+    C.Request += '\n';
+    C.T = std::thread([&, I] {
+      Client &Me = Cs[I];
+      Me.Fd = connectLoopback(Port);
+      // Warm this client's session before anything is timed.
+      if (Me.Fd < 0 || !roundTrip(Me.Fd, Me.Request, Me.Buf))
+        Me.Ok = false;
+      uint64_t MyGen = 0;
+      {
+        std::lock_guard<std::mutex> G(M);
+        ++ReadyCount;
+      }
+      DoneCV.notify_all();
+      for (;;) {
+        {
+          std::unique_lock<std::mutex> G(M);
+          GoCV.wait(G, [&] { return Stop || Generation > MyGen; });
+          if (Stop)
+            return;
+          MyGen = Generation;
+        }
+        for (unsigned R = 0; Me.Ok && R < RequestsPerIter; ++R) {
+          auto T0 = std::chrono::steady_clock::now();
+          if (!roundTrip(Me.Fd, Me.Request, Me.Buf))
+            Me.Ok = false;
+          auto T1 = std::chrono::steady_clock::now();
+          Me.Hist.record(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0)
+                  .count()));
+        }
+        {
+          std::lock_guard<std::mutex> G(M);
+          ++DoneCount;
+        }
+        DoneCV.notify_all();
+      }
+    });
+  }
+  {
+    std::unique_lock<std::mutex> G(M);
+    DoneCV.wait(G, [&] { return ReadyCount == Clients; });
+  }
+
+  for (auto _ : State) {
+    {
+      std::lock_guard<std::mutex> G(M);
+      DoneCount = 0;
+      ++Generation;
+    }
+    GoCV.notify_all();
+    std::unique_lock<std::mutex> G(M);
+    DoneCV.wait(G, [&] { return DoneCount == Clients; });
+  }
+
+  {
+    std::lock_guard<std::mutex> G(M);
+    Stop = true;
+  }
+  GoCV.notify_all();
+  LatencyHistogram All;
+  bool AllOk = true;
+  for (Client &C : Cs) {
+    C.T.join();
+    if (C.Fd >= 0)
+      ::close(C.Fd);
+    All.merge(C.Hist);
+    AllOk = AllOk && C.Ok;
+  }
+
+  // Stop the server: one more connection carrying a shutdown request.
+  {
+    int Fd = connectLoopback(Port);
+    if (Fd >= 0) {
+      std::string Buf;
+      roundTrip(Fd, "{\"schema\":\"vifc.v1\",\"command\":\"shutdown\"}\n",
+                Buf);
+      ::close(Fd);
+    }
+  }
+  ServerThread.join();
+
+  if (!AllOk)
+    State.SkipWithError("client transport failure");
+  State.SetItemsProcessed(State.iterations() * Clients * RequestsPerIter);
+  State.counters["p50_us"] = All.percentileNs(0.50) / 1e3;
+  State.counters["p99_us"] = All.percentileNs(0.99) / 1e3;
+}
+BENCHMARK(BM_Serve_LoadTcp)
+    ->RangeMultiplier(2)
+    ->Range(1, 8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 } // namespace
 

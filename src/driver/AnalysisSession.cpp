@@ -71,6 +71,7 @@ bool vif::driver::readSourceFile(const std::string &Path, std::string &Out) {
 
 const std::string *AnalysisSession::source() {
   if (SourceState == State::NotComputed) {
+    ++ArtifactEpoch;
     SourceState = State::Failed;
     StageTimer T(Times.ReadMs);
     if (readSourceFile(Name, Src))
@@ -81,6 +82,7 @@ const std::string *AnalysisSession::source() {
 
 bool AnalysisSession::ensureParsed() {
   if (ParseState == State::NotComputed) {
+    ++ArtifactEpoch;
     ParseState = State::Failed;
     if (const std::string *Text = source()) {
       StageTimer T(Times.ParseMs);
@@ -109,6 +111,7 @@ const StatementProgram *AnalysisSession::statementAst() {
 
 const ElaboratedProgram *AnalysisSession::program() {
   if (ElabState == State::NotComputed) {
+    ++ArtifactEpoch;
     ElabState = State::Failed;
     if (ensureParsed()) {
       StageTimer T(Times.ElaborateMs);
@@ -127,6 +130,7 @@ const ElaboratedProgram *AnalysisSession::program() {
 
 const ProgramCFG *AnalysisSession::cfg() {
   if (CfgState == State::NotComputed) {
+    ++ArtifactEpoch;
     CfgState = State::Failed;
     if (const ElaboratedProgram *P = program()) {
       StageTimer T(Times.CfgMs);
@@ -139,6 +143,7 @@ const ProgramCFG *AnalysisSession::cfg() {
 
 const IFAResult *AnalysisSession::ifa() {
   if (IfaState == State::NotComputed) {
+    ++ArtifactEpoch;
     IfaState = State::Failed;
     const ElaboratedProgram *P = program();
     const ProgramCFG *C = cfg();
@@ -158,6 +163,7 @@ const ReachingDefsResult *AnalysisSession::reachingDefs() {
 
 const KemmererResult *AnalysisSession::kemmerer() {
   if (KemmererState == State::NotComputed) {
+    ++ArtifactEpoch;
     KemmererState = State::Failed;
     const ElaboratedProgram *P = program();
     const ProgramCFG *C = cfg();
@@ -172,6 +178,7 @@ const KemmererResult *AnalysisSession::kemmerer() {
 
 const AlfpClosureResult *AnalysisSession::alfp() {
   if (AlfpState == State::NotComputed) {
+    ++ArtifactEpoch;
     AlfpState = State::Failed;
     const IFAResult *Native = ifa();
     if (Native) {
@@ -181,4 +188,21 @@ const AlfpClosureResult *AnalysisSession::alfp() {
     }
   }
   return AlfpState == State::Ok ? &*Alfp : nullptr;
+}
+
+size_t AnalysisSession::memoryBytes() const {
+  size_t Bytes = sizeof(AnalysisSession) + Src.capacity() + Name.capacity();
+  // The parse/elaborate/CFG tier holds trees proportional to the source:
+  // every node, label and flow pair traces back to a handful of source
+  // bytes. 4x the text is a deliberate flat estimate — the artifacts
+  // below are measured exactly and dominate on every warm session.
+  if (ParseState == State::Ok)
+    Bytes += 4 * Src.size();
+  if (Ifa)
+    Bytes += Ifa->memoryBytes();
+  if (Kemm)
+    Bytes += Kemm->memoryBytes();
+  if (Alfp)
+    Bytes += Alfp->memoryBytes();
+  return Bytes;
 }

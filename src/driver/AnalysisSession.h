@@ -107,6 +107,25 @@ public:
   /// solver ran; check Solved for its verdict.
   const AlfpClosureResult *alfp();
 
+  /// Deep size of everything this session currently holds, in bytes:
+  /// the source text plus the measured footprints of every computed
+  /// artifact (ResourceMatrix/BitMatrix/Digraph/PairSet allocations —
+  /// the structures that dominate a warm session). The AST/elaboration/
+  /// CFG tier is estimated at a fixed multiple of the source size (those
+  /// trees are a small constant factor of it) rather than walked. This
+  /// is what SessionCache charges an entry against its `--cache-bytes`
+  /// budget; it only measures, never computes or flushes anything. Not
+  /// thread-safe against concurrent lazy computation — call it while
+  /// holding the session's cache-entry lock.
+  size_t memoryBytes() const;
+
+  /// Bumped every time a lazy stage runs (successfully or not), so
+  /// holders can tell whether memoryBytes() could have changed since
+  /// they last measured — a pure consumer of already-computed artifacts
+  /// leaves the epoch alone, and SessionCache skips the re-measure on
+  /// such releases. Same thread-safety rule as memoryBytes().
+  unsigned artifactEpoch() const { return ArtifactEpoch; }
+
 private:
   AnalysisSession() = default;
 
@@ -119,6 +138,7 @@ private:
   SessionOptions Opts;
   DiagnosticEngine Diags;
   StageTimings Times;
+  unsigned ArtifactEpoch = 0;
 
   State SourceState = State::NotComputed;
   State ParseState = State::NotComputed;

@@ -90,6 +90,8 @@ void vif::driver::writeCacheObject(JsonWriter &J, const SessionCache &Cache) {
   J.member("hits", St.Hits);
   J.member("misses", St.Misses);
   J.member("evictions", St.Evictions);
+  J.member("bytes", Cache.bytes());
+  J.member("bytesBudget", Cache.bytesBudget());
   J.endObject();
 }
 

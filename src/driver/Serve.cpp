@@ -11,7 +11,9 @@
 #include "driver/V1b.h"
 #include "support/Json.h"
 #include "support/JsonParse.h"
+#include "support/Parallel.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -20,9 +22,11 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include <csignal>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -249,13 +253,41 @@ std::string errorResponse(const JsonValue *Id, std::string_view Code,
   return OS.str();
 }
 
+/// Best-effort write of \p Line + '\n' to \p Fd; errors are the peer's
+/// problem (used for the admission-control `overloaded` response).
+void writeLineBestEffort(int Fd, const std::string &Line) {
+  std::string Out = Line + '\n';
+  size_t Off = 0;
+  while (Off < Out.size()) {
+    ssize_t W = ::write(Fd, Out.data() + Off, Out.size() - Off);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return;
+    }
+    Off += static_cast<size_t>(W);
+  }
+}
+
 } // namespace
 
 Server::Server(ServeOptions Opts)
-    : Opts(Opts), Cache(Opts.CacheCapacity) {}
+    : Opts(Opts), Cache(Opts.CacheCapacity, Opts.CacheBytes) {}
+
+unsigned Server::effectiveWorkers() const {
+  if (Opts.Workers)
+    return Opts.Workers;
+  unsigned HW = std::thread::hardware_concurrency();
+  return std::max(1u, std::min(HW ? HW : 1u, 8u));
+}
 
 std::string Server::handleLine(const std::string &Line) {
-  ++Requests;
+  Requests.fetch_add(1, std::memory_order_relaxed);
+  InFlight.fetch_add(1, std::memory_order_relaxed);
+  struct InFlightGuard {
+    std::atomic<uint64_t> &C;
+    ~InFlightGuard() { C.fetch_sub(1, std::memory_order_relaxed); }
+  } Guard{InFlight};
   auto Start = std::chrono::steady_clock::now();
 
   std::string ParseError;
@@ -287,7 +319,7 @@ std::string Server::handleLine(const std::string &Line) {
 
   if (R.Command == "ping" || R.Command == "shutdown") {
     if (R.Command == "shutdown")
-      ShuttingDown = true;
+      ShuttingDown.store(true, std::memory_order_release);
     J.beginObject();
     writeSchemaTag(J);
     writeId(J, Id);
@@ -303,7 +335,9 @@ std::string Server::handleLine(const std::string &Line) {
     writeId(J, Id);
     J.member("command", R.Command);
     J.member("status", "ok");
-    J.member("requests", Requests);
+    J.member("requests", Requests.load(std::memory_order_relaxed));
+    // Counts this stats request itself, so it is always >= 1.
+    J.member("inFlight", InFlight.load(std::memory_order_relaxed));
     writeCacheObject(J, Cache);
     J.endObject();
     return OS.str();
@@ -440,21 +474,87 @@ bool Server::listenAndServe(uint16_t Port, std::string *Error) {
   Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   if (::bind(Sock, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0)
     return fail("bind", Sock);
-  if (::listen(Sock, 8) < 0)
+
+  unsigned Workers = effectiveWorkers();
+  size_t MaxQueued =
+      Opts.MaxQueuedConns ? Opts.MaxQueuedConns : 2 * size_t(Workers);
+  // The kernel backlog follows the admission bound: connections we would
+  // accept-and-shed anyway may as well queue in the kernel first, but a
+  // tiny fixed backlog (the old hardcoded 8) made bursts of concurrent
+  // connects fail with ECONNREFUSED before admission control ever saw
+  // them.
+  int Backlog = static_cast<int>(
+      std::min<size_t>(size_t(Workers) + MaxQueued + 8, 256));
+  if (::listen(Sock, Backlog) < 0)
     return fail("listen", Sock);
 
-  while (!ShuttingDown) {
-    int Conn = ::accept(Sock, nullptr, nullptr);
-    if (Conn < 0) {
-      if (errno == EINTR)
+  sockaddr_in Bound;
+  socklen_t BoundLen = sizeof(Bound);
+  if (::getsockname(Sock, reinterpret_cast<sockaddr *>(&Bound),
+                    &BoundLen) == 0)
+    BoundPort.store(ntohs(Bound.sin_port), std::memory_order_release);
+  else
+    BoundPort.store(Port, std::memory_order_release);
+  if (Opts.OnListening)
+    Opts.OnListening(boundPort());
+
+  // Accept loop + worker pool. Each queued task owns one accepted
+  // connection: a worker runs the full per-connection pipelined request
+  // loop, so responses on one connection stay in request order while
+  // other connections progress on other workers. tryEnqueue failing is
+  // the admission bound — the connection is answered with one
+  // `overloaded` error line and closed instead of waiting unboundedly.
+  {
+    WorkerPool Pool(Workers, MaxQueued);
+    const std::string Overloaded = errorResponse(
+        nullptr, "overloaded",
+        "server at connection capacity; retry later");
+    while (!shuttingDown()) {
+      // Poll with a timeout so a shutdown served on a worker thread
+      // stops the accept loop promptly instead of blocking in accept
+      // until one more client connects.
+      pollfd P{Sock, POLLIN, 0};
+      int Ready = ::poll(&P, 1, 100);
+      if (Ready < 0) {
+        if (errno == EINTR)
+          continue;
+        ::close(Sock);
+        Pool.close();
+        return fail("poll", -1);
+      }
+      if (Ready == 0)
         continue;
-      return fail("accept", Sock);
+      int Conn = ::accept(Sock, nullptr, nullptr);
+      if (Conn < 0) {
+        if (errno == EINTR)
+          continue;
+        ::close(Sock);
+        Pool.close();
+        return fail("accept", -1);
+      }
+      bool Queued = Pool.tryEnqueue([this, Conn] {
+        // Connections still queued when shutdown arrives are closed
+        // unanswered (the drain guarantee covers requests in flight,
+        // not connections that never reached a worker).
+        if (!shuttingDown()) {
+          std::string ConnError;
+          if (!serveFd(Conn, &ConnError))
+            // One broken connection must not take the server down:
+            // log and keep serving everyone else (docs/SERVER.md).
+            std::fprintf(stderr, "vifc serve: connection error: %s\n",
+                         ConnError.c_str());
+        }
+        ::close(Conn);
+      });
+      if (!Queued) {
+        writeLineBestEffort(Conn, Overloaded);
+        ::close(Conn);
+      }
     }
-    // One client at a time; a dropped connection is the client's
-    // problem, not the listener's.
-    serveFd(Conn, nullptr);
-    ::close(Conn);
+    // Stop accepting first, then drain: workers finish the requests they
+    // are answering (serveFd re-checks shuttingDown between requests).
+    ::close(Sock);
+    Pool.close();
   }
-  ::close(Sock);
   return true;
 }

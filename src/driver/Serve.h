@@ -14,8 +14,12 @@
 /// the normative protocol walkthrough; docs/SCHEMA.md specifies the
 /// response documents.
 ///
-/// The core is transport-agnostic: handleLine() maps one request string
-/// to one response string, and the stdio/fd/TCP loops are thin wrappers —
+/// The core is transport-agnostic and thread-safe: handleLine() maps one
+/// request string to one response string and may be called from many
+/// threads at once (the SessionCache underneath serializes per entry).
+/// The stdio/fd loops are thin single-connection wrappers; listenAndServe
+/// is the concurrent TCP front end — an accept loop handing connections
+/// to a fixed WorkerPool (support/Parallel.h) with bounded admission,
 /// which is also what makes the server testable in-process.
 ///
 //===----------------------------------------------------------------------===//
@@ -25,7 +29,9 @@
 
 #include "driver/SessionCache.h"
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 
@@ -33,15 +39,27 @@ namespace vif {
 namespace driver {
 
 struct ServeOptions {
-  /// LRU capacity of the session cache (entries, not bytes).
+  /// LRU capacity of the session cache in entries.
   size_t CacheCapacity = SessionCache::DefaultCapacity;
+  /// Byte budget for the session cache (deep-measured entry sizes);
+  /// 0 = entries-only eviction.
+  size_t CacheBytes = 0;
+  /// TCP worker threads (listenAndServe): each worker owns one
+  /// connection at a time. 0 = auto (hardware concurrency, capped at 8).
+  unsigned Workers = 0;
+  /// Connections allowed to wait for a free worker before new ones are
+  /// shed with an `overloaded` error response. 0 = auto (2x workers).
+  size_t MaxQueuedConns = 0;
+  /// Called once the TCP listener is bound, with the actual port —
+  /// which is only known here when asking for an ephemeral port (0).
+  std::function<void(uint16_t)> OnListening;
   /// Session defaults a request's "options" object overrides per field.
   SessionOptions Session;
 };
 
-/// One server: a session cache plus request counters. Not itself
-/// thread-safe — requests are handled one at a time per server (the cache
-/// underneath is thread-safe, so sharing one across servers is fine).
+/// One server: a session cache plus request counters. handleLine (and
+/// therefore serveFd, on distinct descriptors) is safe to call from many
+/// threads concurrently; listenAndServe runs exactly that way.
 class Server {
 public:
   explicit Server(ServeOptions Opts = ServeOptions());
@@ -49,11 +67,14 @@ public:
   /// Handles one request line and returns the one-line JSON response
   /// (no trailing newline). Never throws; malformed input yields an
   /// error-object response. A "shutdown" request flips shuttingDown().
+  /// Thread-safe.
   std::string handleLine(const std::string &Line);
 
   /// True once a shutdown request was served; loops exit after writing
   /// its response.
-  bool shuttingDown() const { return ShuttingDown; }
+  bool shuttingDown() const {
+    return ShuttingDown.load(std::memory_order_acquire);
+  }
 
   /// The stdio loop: one request per line on \p In, one response per
   /// line on \p Out (flushed per response). Returns at EOF or shutdown.
@@ -61,22 +82,46 @@ public:
   void run(std::istream &In, std::ostream &Out);
 
   /// The same loop over a connected file descriptor (one client).
-  /// Returns false with \p Error set on a transport failure.
+  /// Requests on one descriptor are answered in order (pipelining);
+  /// distinct descriptors may be served from distinct threads in
+  /// parallel. Returns false with \p Error set on a transport failure.
   bool serveFd(int Fd, std::string *Error = nullptr);
 
-  /// Binds 127.0.0.1:\p Port and serves connections one at a time until
-  /// a shutdown request arrives. Loopback only: the protocol has no
+  /// Binds 127.0.0.1:\p Port (0 = ephemeral, reported via boundPort()
+  /// and ServeOptions::OnListening) and serves connections over a fixed
+  /// worker pool until a shutdown request arrives, then drains: requests
+  /// already being handled complete and are answered, every connection
+  /// is closed. Connections beyond the worker+queue bound are shed with
+  /// a one-line `overloaded` error. Loopback only: the protocol has no
   /// authentication, so it must not listen on routable interfaces.
   bool listenAndServe(uint16_t Port, std::string *Error = nullptr);
 
+  /// The port the TCP listener is bound to; 0 until listenAndServe has
+  /// bound its socket (poll it from the spawning thread).
+  uint16_t boundPort() const {
+    return BoundPort.load(std::memory_order_acquire);
+  }
+
+  /// Worker threads listenAndServe will use (the resolved Workers
+  /// option).
+  unsigned effectiveWorkers() const;
+
   SessionCache &cache() { return Cache; }
-  uint64_t requestsHandled() const { return Requests; }
+  uint64_t requestsHandled() const {
+    return Requests.load(std::memory_order_relaxed);
+  }
+  /// Requests currently inside handleLine, across all threads.
+  uint64_t inFlight() const {
+    return InFlight.load(std::memory_order_relaxed);
+  }
 
 private:
   ServeOptions Opts;
   SessionCache Cache;
-  uint64_t Requests = 0;
-  bool ShuttingDown = false;
+  std::atomic<uint64_t> Requests{0};
+  std::atomic<uint64_t> InFlight{0};
+  std::atomic<bool> ShuttingDown{false};
+  std::atomic<uint16_t> BoundPort{0};
 };
 
 } // namespace driver

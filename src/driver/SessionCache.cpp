@@ -95,6 +95,7 @@ SessionCache::Ref SessionCache::acquireImpl(std::string Name,
         Hit = true;
         ++St.Hits;
       } else {
+        TotalBytes -= (*It->second)->Bytes;
         Lru.erase(It->second);
         Index.erase(It);
         ++St.Evictions;
@@ -110,6 +111,7 @@ SessionCache::Ref SessionCache::acquireImpl(std::string Name,
       Index[Key] = Lru.begin();
       ++St.Misses;
       while (Lru.size() > Cap) {
+        TotalBytes -= Lru.back()->Bytes;
         Index.erase(Lru.back()->Key);
         Lru.pop_back();
         ++St.Evictions;
@@ -118,7 +120,29 @@ SessionCache::Ref SessionCache::acquireImpl(std::string Name,
   }
   // The per-entry lock is taken outside the cache lock: a worker stuck
   // computing a large design must not block unrelated acquires.
-  return Ref(std::move(E), Hit);
+  return Ref(this, std::move(E), Hit);
+}
+
+void SessionCache::noteReleased(const std::shared_ptr<Entry> &E,
+                                size_t Bytes) {
+  std::lock_guard<std::mutex> G(M);
+  auto It = Index.find(E->Key);
+  // Only resident entries participate in the byte total — E may have
+  // been evicted (or its slot re-won after a collision) while this Ref
+  // held it; its size then dies with the last keepAlive holder.
+  if (It == Index.end() || *It->second != E)
+    return;
+  TotalBytes += Bytes - E->Bytes;
+  E->Bytes = Bytes;
+  // Evict cold entries while over budget. The floor of one entry means a
+  // single design larger than the whole budget still caches — evicting
+  // it would only guarantee recomputation.
+  while (BytesBudget && TotalBytes > BytesBudget && Lru.size() > 1) {
+    TotalBytes -= Lru.back()->Bytes;
+    Index.erase(Lru.back()->Key);
+    Lru.pop_back();
+    ++St.Evictions;
+  }
 }
 
 SessionCache::Stats SessionCache::stats() const {
@@ -131,8 +155,14 @@ size_t SessionCache::size() const {
   return Lru.size();
 }
 
+size_t SessionCache::bytes() const {
+  std::lock_guard<std::mutex> G(M);
+  return TotalBytes;
+}
+
 void SessionCache::clear() {
   std::lock_guard<std::mutex> G(M);
   Lru.clear();
   Index.clear();
+  TotalBytes = 0;
 }

@@ -53,8 +53,14 @@ class SessionCache {
 public:
   static constexpr size_t DefaultCapacity = 32;
 
-  explicit SessionCache(size_t Capacity = DefaultCapacity)
-      : Cap(Capacity ? Capacity : 1) {}
+  /// \p Capacity bounds the entry count; \p BytesBudget, when non-zero,
+  /// additionally bounds the sum of measured entry sizes
+  /// (AnalysisSession::memoryBytes) — both enforce LRU eviction, and the
+  /// byte budget always keeps at least one entry so a single oversized
+  /// design still caches.
+  explicit SessionCache(size_t Capacity = DefaultCapacity,
+                        size_t BytesBudget = 0)
+      : Cap(Capacity ? Capacity : 1), BytesBudget(BytesBudget) {}
   SessionCache(const SessionCache &) = delete;
   SessionCache &operator=(const SessionCache &) = delete;
 
@@ -67,14 +73,29 @@ public:
   /// An acquired session: keeps the entry alive (even across eviction)
   /// and holds its per-entry lock, so concurrent batch workers that land
   /// on the same content serialize their lazy computations instead of
-  /// racing. Release it (let it go out of scope) promptly.
+  /// racing. Release it (let it go out of scope) promptly — releasing is
+  /// also when the entry's byte size is (re)measured and the byte budget
+  /// enforced, so sizes account for whatever artifacts the holder just
+  /// computed.
   class Ref {
   public:
     Ref(Ref &&) = default;
-    // No move-assignment: member-wise assignment would destroy the old
-    // entry (and its mutex) before Lock releases it. Bind a fresh
-    // acquire to a fresh Ref instead.
-    Ref &operator=(Ref &&) = delete;
+    /// Move-assignment releases the currently held entry first — unlock,
+    /// then report its size and drop ownership — and only then rebinds,
+    /// preserving the ordering invariant that the old entry (and its
+    /// mutex) must never be destroyed while Lock still holds it.
+    Ref &operator=(Ref &&O) noexcept {
+      if (this != &O) {
+        release();
+        C = O.C;
+        O.C = nullptr;
+        E = std::move(O.E);
+        Hit = O.Hit;
+        Lock = std::move(O.Lock);
+      }
+      return *this;
+    }
+    ~Ref() { release(); }
 
     AnalysisSession &session() const { return E->S; }
     /// True when the session already existed (a cache hit).
@@ -94,12 +115,42 @@ public:
       uint64_t Key;
       AnalysisSession S;
       std::mutex M;
+      /// Last measured session size; guarded by the *cache* mutex.
+      size_t Bytes = 0;
+      /// S.artifactEpoch() at the last measure; guarded by the *entry*
+      /// mutex M (written by the Ref that holds it). The sentinel makes
+      /// the very first release measure unconditionally.
+      unsigned MeasuredEpoch = ~0u;
     };
-    Ref(std::shared_ptr<Entry> E, bool Hit)
-        : E(std::move(E)), Hit(Hit), Lock(this->E->M) {}
+    Ref(SessionCache *C, std::shared_ptr<Entry> E, bool Hit)
+        : C(C), E(std::move(E)), Hit(Hit), Lock(this->E->M) {}
 
+    /// Measures the session (still under the entry lock), unlocks, then
+    /// reports the size to the cache — which may evict over-budget
+    /// entries, possibly including this one. Releases that computed
+    /// nothing new (the artifact epoch is unchanged) skip both the deep
+    /// measure and the cache round trip, so the pure-hit path costs no
+    /// more than the unlock.
+    void release() {
+      if (!E)
+        return;
+      unsigned Epoch = E->S.artifactEpoch();
+      bool Changed = Epoch != E->MeasuredEpoch;
+      size_t Bytes = 0;
+      if (Changed) {
+        Bytes = E->S.memoryBytes();
+        E->MeasuredEpoch = Epoch;
+      }
+      Lock = std::unique_lock<std::mutex>();
+      if (C && Changed)
+        C->noteReleased(E, Bytes);
+      E.reset();
+      C = nullptr;
+    }
+
+    SessionCache *C = nullptr;
     std::shared_ptr<Entry> E;
-    bool Hit;
+    bool Hit = false;
     std::unique_lock<std::mutex> Lock;
   };
 
@@ -118,6 +169,12 @@ public:
   Stats stats() const;
   size_t size() const;
   size_t capacity() const { return Cap; }
+  /// Sum of the measured sizes of resident entries. An entry's size is
+  /// measured when its Ref is released, so entries currently being
+  /// computed for the first time count as 0 until released.
+  size_t bytes() const;
+  /// The configured byte budget; 0 = unlimited.
+  size_t bytesBudget() const { return BytesBudget; }
   void clear();
 
 private:
@@ -128,7 +185,15 @@ private:
   Ref acquireImpl(std::string Name, std::string_view Source,
                   std::string *Owned, const SessionOptions &Opts);
 
+  /// Records \p E's freshly measured size and evicts LRU entries while
+  /// the byte budget is exceeded (keeping at least one entry). Called by
+  /// Ref::release with the entry lock already dropped.
+  void noteReleased(const std::shared_ptr<Entry> &E, size_t Bytes);
+
   size_t Cap;
+  size_t BytesBudget;
+  /// Sum of Entry::Bytes over resident (indexed) entries; guarded by M.
+  size_t TotalBytes = 0;
   mutable std::mutex M;
   /// Front = most recently used.
   std::list<std::shared_ptr<Entry>> Lru;

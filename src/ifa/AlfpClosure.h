@@ -26,6 +26,11 @@ struct AlfpClosureResult {
   ResourceMatrix RMgl;
   size_t DerivedTuples = 0;
   size_t Applications = 0;
+
+  /// Heap footprint in bytes (cache byte-budget accounting).
+  size_t memoryBytes() const {
+    return Error.capacity() + RMgl.memoryBytes();
+  }
 };
 
 /// Re-derives \p Native.RMgl through the ALFP engine. \p Opts must be the

@@ -91,6 +91,22 @@ struct IFAResult {
 
   /// Restriction of Graph to the ◦/• interface nodes (paper Figure 4(b)).
   Digraph interfaceGraph() const;
+
+  /// Heap footprint in bytes across matrices, RD† tables, the flow graph
+  /// and the underlying RD results (cache byte-budget accounting).
+  size_t memoryBytes() const {
+    size_t Dagger = (RDDagger.capacity() + RDDaggerPhi.capacity()) *
+                    sizeof(PairSet);
+    for (const PairSet &S : RDDagger)
+      Dagger += S.memoryBytes();
+    for (const PairSet &S : RDDaggerPhi)
+      Dagger += S.memoryBytes();
+    return RMlo.memoryBytes() + RMgl.memoryBytes() + Dagger +
+           Graph.memoryBytes() +
+           OutgoingLabels.size() *
+               (sizeof(std::pair<Resource, LabelId>) + 4 * sizeof(void *)) +
+           Active.memoryBytes() + RD.memoryBytes();
+  }
 };
 
 /// Runs the full pipeline: local dependencies, reaching definitions,

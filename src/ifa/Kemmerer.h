@@ -27,6 +27,12 @@ struct KemmererResult {
   ResourceMatrix RMlo;
   Digraph LocalGraph; ///< edges before closure
   Digraph Graph;      ///< transitive closure — the method's result
+
+  /// Heap footprint in bytes (cache byte-budget accounting).
+  size_t memoryBytes() const {
+    return RMlo.memoryBytes() + LocalGraph.memoryBytes() +
+           Graph.memoryBytes();
+  }
 };
 
 /// Runs Kemmerer's method on \p Program.

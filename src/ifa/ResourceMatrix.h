@@ -115,6 +115,14 @@ public:
   /// Debug rendering, one "name@label:access" per line, sorted.
   void print(std::ostream &OS, const ElaboratedProgram &Program) const;
 
+  /// Heap footprint in bytes (cache byte-budget accounting); measures
+  /// current allocations without flushing.
+  size_t memoryBytes() const {
+    return (Entries.capacity() + Pending.capacity()) * sizeof(RMEntry) +
+           PendingKeys.bucket_count() * sizeof(void *) +
+           PendingKeys.size() * (sizeof(uint64_t) + 2 * sizeof(void *));
+  }
+
 private:
   /// Packs an entry into one word for the pending-membership probe.
   static uint64_t keyOf(const RMEntry &E) {

@@ -48,6 +48,14 @@ struct ActiveSignalsResult {
 
   /// Number of worklist iterations used (for the complexity experiments).
   size_t Iterations = 0;
+
+  /// Heap footprint in bytes; the four tables share their per-process
+  /// domains and matrices, counted once (cache byte-budget accounting).
+  size_t memoryBytes() const {
+    std::unordered_set<const void *> Seen;
+    return MayEntry.memoryBytes(Seen) + MayExit.memoryBytes(Seen) +
+           MustEntry.memoryBytes(Seen) + MustExit.memoryBytes(Seen);
+  }
 };
 
 /// Runs both analyses for every process of \p Program, as a bit-vector

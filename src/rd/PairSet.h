@@ -173,6 +173,9 @@ public:
 
   bool operator==(const PairSet &O) const { return Pairs == O.Pairs; }
 
+  /// Heap footprint in bytes (cache byte-budget accounting).
+  size_t memoryBytes() const { return Pairs.capacity() * sizeof(DefPair); }
+
   std::vector<DefPair>::const_iterator begin() const {
     return Pairs.begin();
   }

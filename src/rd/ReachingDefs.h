@@ -77,6 +77,13 @@ struct ReachingDefsResult {
   /// Definitions reaching the end of process \p P: the union of exits of
   /// its final labels (used by the program-end outgoing extension).
   PairSet atProcessEnd(const ProcessCFG &P) const;
+
+  /// Heap footprint in bytes; Entry and Exit share their per-process
+  /// domains and matrices, counted once (cache byte-budget accounting).
+  size_t memoryBytes() const {
+    std::unordered_set<const void *> Seen;
+    return Entry.memoryBytes(Seen) + Exit.memoryBytes(Seen);
+  }
 };
 
 /// Runs RDcf for the whole program, given the Table 4 results \p Active.

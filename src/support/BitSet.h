@@ -166,6 +166,9 @@ public:
   }
   bool operator!=(const BitSet &O) const { return !(*this == O); }
 
+  /// Heap footprint in bytes (cache byte-budget accounting).
+  size_t memoryBytes() const { return Words.capacity() * sizeof(uint64_t); }
+
 private:
   size_t NumBitsVal = 0;
   std::vector<uint64_t> Words;
@@ -280,6 +283,9 @@ public:
       }
     }
   }
+
+  /// Heap footprint in bytes (cache byte-budget accounting).
+  size_t memoryBytes() const { return Words.capacity() * sizeof(uint64_t); }
 
 private:
   size_t Rows = 0, Bits = 0, WPR = 0;

@@ -131,6 +131,24 @@ void Digraph::ensureEdgeOrder() const {
   EdgeOrderValid = true;
 }
 
+size_t Digraph::memoryBytes() const {
+  // intern() sizes every block at max(name, 4096) and only tracks the
+  // open block's capacity (ArenaCap), so closed blocks are counted at
+  // the 4096 floor — exact except for individual names beyond 4K.
+  size_t Arena = (ArenaBlocks.empty()
+                      ? 0
+                      : (ArenaBlocks.size() - 1) * size_t(4096)) +
+                 ArenaCap;
+  size_t Map = Ids.bucket_count() * sizeof(void *) +
+               Ids.size() * (sizeof(std::pair<std::string_view, NodeId>) +
+                             2 * sizeof(void *));
+  return Arena + Names.capacity() * sizeof(std::string_view) + Map +
+         (Edges.capacity() + Pending.capacity()) *
+             sizeof(std::pair<NodeId, NodeId>) +
+         (RankOrder.capacity() + RankOf.capacity()) * sizeof(NodeId) +
+         EdgeOrder.capacity() * sizeof(uint32_t);
+}
+
 void Digraph::reserveNodes(size_t N) {
   Names.reserve(N);
   Ids.reserve(N);

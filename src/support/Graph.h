@@ -96,6 +96,11 @@ public:
     return Edges.size();
   }
 
+  /// Heap footprint in bytes: name arena, node/edge vectors, id map and
+  /// the cached sorted views (cache byte-budget accounting). Does not
+  /// flush or build anything — it measures what is allocated right now.
+  size_t memoryBytes() const;
+
   /// Node names in insertion order.
   const std::vector<std::string_view> &nodes() const { return Names; }
   /// Node names sorted lexicographically (a per-call copy; prefer

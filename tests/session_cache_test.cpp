@@ -194,6 +194,106 @@ TEST(SessionCache, ClearForgetsEntriesButKeepsStats) {
   EXPECT_EQ(Cache.stats().Misses, 2u);
 }
 
+TEST(SessionCache, RefMoveAssignmentReleasesTheOldEntry) {
+  // Rebinding a Ref must release the previously held entry (entry lock
+  // dropped, bytes reported) before taking over the new one — a Ref
+  // that leaked its old lock would deadlock the next acquire of that
+  // entry from another thread.
+  SessionCache Cache(4);
+  SessionOptions Opts;
+  SessionCache::Ref R = Cache.acquire("mux", MuxSource, Opts);
+  ASSERT_NE(R.session().ifa(), nullptr);
+  const AnalysisSession *Mux = &R.session();
+
+  R = Cache.acquire("reg", RegSource, Opts);
+  EXPECT_NE(&R.session(), Mux);
+  EXPECT_EQ(R.session().name(), "reg");
+
+  // The mux entry's lock must be free again: re-acquiring it from
+  // another thread completes (would deadlock if move-assignment leaked
+  // the old lock).
+  std::thread T([&Cache, &Opts, Mux] {
+    SessionCache::Ref Again = Cache.acquire("mux", MuxSource, Opts);
+    EXPECT_TRUE(Again.hit());
+    EXPECT_EQ(&Again.session(), Mux);
+  });
+  T.join();
+
+  // Releasing the mux Ref reported its measured bytes to the cache.
+  EXPECT_GT(Cache.bytes(), 0u);
+
+  // Self-move must not lose the entry (clang warns on the direct
+  // spelling, so go through a pointer).
+  SessionCache::Ref &Alias = R;
+  R = std::move(Alias);
+  EXPECT_EQ(R.session().name(), "reg");
+}
+
+TEST(SessionCache, ByteBudgetEvictsByMeasuredBytes) {
+  // A fleet of generated designs through a byte-budgeted cache: total
+  // measured bytes must stay under the budget once Refs are released,
+  // with the cold entries evicted (not merely counted).
+  SessionOptions Opts;
+
+  // Size one released session to pick a budget that holds only a few.
+  size_t OneSession;
+  {
+    SessionCache Probe(2);
+    {
+      SessionCache::Ref R = Probe.acquire("probe", MuxSource, Opts);
+      ASSERT_NE(R.session().ifa(), nullptr);
+      OneSession = R.session().memoryBytes();
+    }
+    ASSERT_GT(OneSession, 0u);
+    EXPECT_EQ(Probe.bytes(), OneSession);
+  }
+
+  size_t Budget = 3 * OneSession + OneSession / 2;
+  SessionCache Cache(64, Budget); // entry capacity is not the binding limit
+  EXPECT_EQ(Cache.bytesBudget(), Budget);
+  for (int I = 0; I < 12; ++I) {
+    std::string Source = std::string(MuxSource) + "-- v" + std::to_string(I) +
+                         "\n";
+    SessionCache::Ref R = Cache.acquire("v" + std::to_string(I), Source, Opts);
+    ASSERT_NE(R.session().ifa(), nullptr);
+    EXPECT_FALSE(R.hit());
+  }
+  EXPECT_LE(Cache.bytes(), Budget);
+  EXPECT_GE(Cache.size(), 1u);
+  EXPECT_LT(Cache.size(), 12u);
+  EXPECT_GT(Cache.stats().Evictions, 0u);
+  EXPECT_EQ(Cache.stats().Misses, 12u);
+
+  // The survivors are the most recently used; the warmest entry is
+  // still a hit.
+  EXPECT_TRUE(Cache.acquire("v11", std::string(MuxSource) + "-- v11\n", Opts)
+                  .hit());
+}
+
+TEST(SessionCache, ByteBudgetKeepsOneOversizedEntry) {
+  // A single design larger than the whole budget still caches: the
+  // floor is one entry, so repeat requests stay warm instead of
+  // thrashing.
+  SessionCache Cache(8, /*BytesBudget=*/1);
+  SessionOptions Opts;
+  { Cache.acquire("mux", MuxSource, Opts); }
+  EXPECT_EQ(Cache.size(), 1u);
+  EXPECT_GT(Cache.bytes(), 1u);
+  EXPECT_TRUE(Cache.acquire("mux", MuxSource, Opts).hit());
+}
+
+TEST(SessionCache, MemoryBytesGrowsWithArtifacts) {
+  // The deep measure must actually see the analysis artifacts: a
+  // session that ran the IFA pipeline weighs more than one that only
+  // parsed, which weighs more than the bare source.
+  AnalysisSession Parsed = AnalysisSession::fromSource("mux", MuxSource);
+  size_t AfterParse = Parsed.memoryBytes();
+  EXPECT_GT(AfterParse, sizeof(MuxSource));
+  ASSERT_NE(Parsed.ifa(), nullptr);
+  EXPECT_GT(Parsed.memoryBytes(), AfterParse)
+      << "IFA artifacts must be counted";
+}
+
 TEST(Batch, CacheDeduplicatesIdenticalInputs) {
   SessionCache Cache(8);
   std::vector<BatchInput> Inputs = {

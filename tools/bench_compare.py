@@ -13,6 +13,12 @@ fresh file). A benchmark regresses when
 
     fresh_real_time > tolerance * baseline_real_time
 
+Tracked user counters ride along under the same tolerance: a throughput
+counter (items_per_second) regresses when it *drops* below
+baseline / tolerance, and latency-quantile counters (p50_us, p99_us —
+the serve load benchmark) regress when they *grow* beyond
+tolerance * baseline. Counters present on only one side are ignored.
+
 Aggregate rows (`*_BigO`, `*_RMS`, mean/median/stddev) are skipped;
 benchmarks present on only one side are reported but never fail the
 check, so adding or retiring benchmarks does not break CI.
@@ -40,9 +46,19 @@ import sys
 
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
+# User counters compared alongside real_time, with the direction that
+# counts as a regression: "higher" is better for throughput, "lower" for
+# latency quantiles.
+_TRACKED_COUNTERS = {
+    "items_per_second": "higher",
+    "p50_us": "lower",
+    "p99_us": "lower",
+}
+
 
 def load_benchmarks(path):
-    """Returns {name: real_time_ns} for the comparable rows of one run."""
+    """Returns {name: (real_time_ns, {counter: value})} for the
+    comparable rows of one run."""
     try:
         with open(path, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
@@ -58,7 +74,12 @@ def load_benchmarks(path):
             continue
         if "real_time" not in row:
             continue
-        out[name] = row["real_time"] * _UNIT_NS.get(row.get("time_unit", "ns"), 1.0)
+        counters = {c: row[c] for c in _TRACKED_COUNTERS
+                    if isinstance(row.get(c), (int, float))}
+        out[name] = (
+            row["real_time"] * _UNIT_NS.get(row.get("time_unit", "ns"), 1.0),
+            counters,
+        )
     return out
 
 
@@ -67,6 +88,12 @@ def human(ns):
         if ns >= div:
             return f"{ns / div:.2f}{unit}"
     return f"{ns:.0f}ns"
+
+
+def human_counter(counter, value):
+    if counter == "items_per_second":
+        return f"{value:,.0f}/s"
+    return f"{value:.4g}"
 
 
 def compare(fresh_path, baseline_path, tolerance):
@@ -82,15 +109,33 @@ def compare(fresh_path, baseline_path, tolerance):
         if name not in base:
             print(f"  {name:44s} only in fresh run (new)")
             continue
-        ratio = fresh[name] / base[name] if base[name] else float("inf")
+        fresh_ns, fresh_counters = fresh[name]
+        base_ns, base_counters = base[name]
+        ratio = fresh_ns / base_ns if base_ns else float("inf")
         status = "ok"
         if ratio > tolerance:
             status = "REGRESSED"
             regressions.append((name, ratio))
         elif ratio < 1.0 / tolerance:
             status = "faster"
-        print(f"  {name:44s} {human(base[name]):>10s} -> "
-              f"{human(fresh[name]):>10s}  x{ratio:5.2f}  {status}")
+        print(f"  {name:44s} {human(base_ns):>10s} -> "
+              f"{human(fresh_ns):>10s}  x{ratio:5.2f}  {status}")
+        for counter, direction in _TRACKED_COUNTERS.items():
+            if counter not in fresh_counters or counter not in base_counters:
+                continue
+            b, f = base_counters[counter], fresh_counters[counter]
+            # Normalize so >1 always means worse, whatever the direction.
+            worse = (b / f if direction == "higher" else f / b) \
+                if b and f else float("inf")
+            cstatus = "ok"
+            if worse > tolerance:
+                cstatus = "REGRESSED"
+                regressions.append((f"{name}[{counter}]", worse))
+            elif worse < 1.0 / tolerance:
+                cstatus = "better"
+            print(f"    {counter:42s} {human_counter(counter, b):>10s} -> "
+                  f"{human_counter(counter, f):>10s}  x{worse:5.2f}  "
+                  f"{cstatus}")
     return regressions
 
 

@@ -34,6 +34,17 @@ echo "$serve_out" | grep -q '"schema":"vifc.v1"' \
   || { echo "serve smoke failed:"; echo "$serve_out"; exit 1; }
 echo "serve smoke passed"
 
+# Concurrent serve smoke: N TCP clients against a spawned server with a
+# worker pool — request/response pairing, stats balance, clean shutdown
+# (tools/serve_load_smoke.py).
+if command -v python3 >/dev/null; then
+  python3 tools/serve_load_smoke.py --vifc "$BUILD_DIR/vifc" \
+    --clients 4 --requests 8 --workers 4
+  echo "concurrent serve smoke passed"
+else
+  echo "python3 not found; skipping concurrent serve smoke"
+fi
+
 # Wire-format drift check: every emitted JSON field must be documented in
 # docs/SCHEMA.md (tools/schema_check.py).
 if command -v python3 >/dev/null; then

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Concurrent-serve smoke: N TCP clients against a spawned `vifc serve`.
+
+Spawns `vifc serve --listen 0 --workers W`, discovers the ephemeral port
+from the `vifc serve: listening on 127.0.0.1:PORT` stderr line, then runs
+N client threads issuing K request/response cycles each with unique ids.
+Asserts every response pairs with its request (id echo, status ok), that
+the final `stats` balances (hits + misses == analysis requests), and that
+a `shutdown` request ends the process with exit status 0.
+
+Run by tools/ci.sh; standalone:
+
+    python3 tools/serve_load_smoke.py --vifc build/vifc
+"""
+
+import argparse
+import json
+import re
+import socket
+import subprocess
+import sys
+import threading
+
+MUX_SOURCE = (
+    "entity mux is port(d0 : in std_logic; d1 : in std_logic;"
+    " sel : in std_logic; q : out std_logic); end mux;"
+    " architecture rtl of mux is begin p : process begin"
+    " if sel = '1' then q <= d1; else q <= d0; end if;"
+    " wait on d0, d1, sel; end process p; end rtl;"
+)
+
+LISTENING_RE = re.compile(r"listening on 127\.0\.0\.1:(\d+)")
+
+
+def request_line(rid, command, **members):
+    doc = {"schema": "vifc.v1", "id": rid, "command": command}
+    doc.update(members)
+    return (json.dumps(doc) + "\n").encode()
+
+
+def run_client(port, cid, requests, failures):
+    try:
+        with socket.create_connection(("127.0.0.1", port), timeout=60) as s:
+            f = s.makefile("rwb")
+            for r in range(requests):
+                rid = cid * 1000 + r
+                f.write(request_line(rid, "flows", source=MUX_SOURCE))
+                f.flush()
+                line = f.readline()
+                doc = json.loads(line)
+                if doc.get("id") != rid:
+                    raise RuntimeError(
+                        f"response id {doc.get('id')!r} for request {rid}"
+                    )
+                if doc.get("status") != "ok":
+                    raise RuntimeError(f"status {doc.get('status')!r}: {doc}")
+    except Exception as e:  # noqa: BLE001 - report, don't unwind the smoke
+        failures.append(f"client {cid}: {e}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--vifc", default="build/vifc", help="vifc binary")
+    ap.add_argument("--clients", type=int, default=4)
+    ap.add_argument("--requests", type=int, default=8)
+    ap.add_argument("--workers", type=int, default=4)
+    args = ap.parse_args()
+
+    proc = subprocess.Popen(
+        [args.vifc, "serve", "--listen", "0", "--workers", str(args.workers)],
+        stdin=subprocess.DEVNULL,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+    try:
+        port = None
+        for raw in proc.stderr:
+            m = LISTENING_RE.search(raw.decode(errors="replace"))
+            if m:
+                port = int(m.group(1))
+                break
+        if port is None:
+            print("serve_load_smoke: no listening line on stderr",
+                  file=sys.stderr)
+            return 1
+
+        failures = []
+        threads = [
+            threading.Thread(
+                target=run_client, args=(port, c, args.requests, failures)
+            )
+            for c in range(args.clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for f in failures:
+            print(f"serve_load_smoke: {f}", file=sys.stderr)
+        if failures:
+            return 1
+
+        # One more connection: stats must balance, shutdown must stick.
+        expected = args.clients * args.requests
+        with socket.create_connection(("127.0.0.1", port), timeout=60) as s:
+            f = s.makefile("rwb")
+            f.write(request_line("stats", "stats"))
+            f.flush()
+            stats = json.loads(f.readline())
+            cache = stats.get("cache", {})
+            hits, misses = cache.get("hits"), cache.get("misses")
+            if hits + misses != expected:
+                print(
+                    f"serve_load_smoke: hits({hits}) + misses({misses}) "
+                    f"!= analysis requests ({expected})",
+                    file=sys.stderr,
+                )
+                return 1
+            if stats.get("requests") != expected + 1:
+                print(
+                    f"serve_load_smoke: requests {stats.get('requests')} "
+                    f"!= {expected + 1}",
+                    file=sys.stderr,
+                )
+                return 1
+            if stats.get("inFlight", 0) < 1:
+                print("serve_load_smoke: inFlight < 1", file=sys.stderr)
+                return 1
+            f.write(request_line("bye", "shutdown"))
+            f.flush()
+            bye = json.loads(f.readline())
+            if bye.get("command") != "shutdown":
+                print(f"serve_load_smoke: bad shutdown response: {bye}",
+                      file=sys.stderr)
+                return 1
+
+        rc = proc.wait(timeout=60)
+        if rc != 0:
+            print(f"serve_load_smoke: server exit status {rc}",
+                  file=sys.stderr)
+            return 1
+        print(
+            f"serve_load_smoke: {args.clients} clients x {args.requests} "
+            f"requests ok (hits={hits}, misses={misses})"
+        )
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

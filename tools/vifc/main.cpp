@@ -92,8 +92,14 @@ void printUsage(std::ostream &OS) {
         "                 single FILE; 0 = auto (default: up to 8)\n"
         "  --cache N      (serve) session-cache capacity in entries "
         "(default 32)\n"
+        "  --cache-bytes B (serve) session-cache byte budget, optional\n"
+        "                 k/m/g suffix (e.g. 256m); 0 = unlimited "
+        "(default)\n"
+        "  --workers N    (serve --listen) TCP worker threads; 0 = auto\n"
+        "                 (default: up to 8)\n"
         "  --listen PORT  (serve) accept TCP connections on 127.0.0.1:PORT\n"
-        "                 instead of reading stdin\n"
+        "                 instead of reading stdin; 0 picks an ephemeral\n"
+        "                 port (printed on stderr once bound)\n"
         "  --help, -h     print this help and exit 0\n"
         "Several FILEs run as a batch; --json also works on one FILE.\n";
 }
@@ -119,6 +125,10 @@ struct Options {
   unsigned Jobs = 0;
   bool JobsGiven = false;
   unsigned CacheCapacity = driver::SessionCache::DefaultCapacity;
+  /// --cache-bytes: session-cache byte budget; 0 = unlimited.
+  unsigned long long CacheBytes = 0;
+  /// --workers: TCP worker threads for serve --listen; 0 = auto.
+  unsigned Workers = 0;
   unsigned ListenPort = 0;
   bool ListenGiven = false;
   std::string VcdPath;
@@ -167,6 +177,8 @@ const FlagSpec FlagSpecs[] = {
     {"--format", "check flows rm report"},
     {"--jobs", "check flows rm report"},
     {"--cache", "serve"},
+    {"--cache-bytes", "serve"},
+    {"--workers", "serve"},
     {"--listen", "serve"},
 };
 
@@ -371,11 +383,17 @@ int cmdDatalog(const Options &Opt) {
 int cmdServe(const Options &Opt) {
   driver::ServeOptions SO;
   SO.CacheCapacity = Opt.CacheCapacity;
+  SO.CacheBytes = static_cast<size_t>(Opt.CacheBytes);
+  SO.Workers = Opt.Workers;
   SO.Session = Opt.session();
+  // Printed once the socket is bound — with --listen 0 the ephemeral
+  // port is only known then (tools/serve_load_smoke.py parses this
+  // line).
+  SO.OnListening = [](uint16_t Port) {
+    std::cerr << "vifc serve: listening on 127.0.0.1:" << Port << '\n';
+  };
   driver::Server Server(SO);
   if (Opt.ListenGiven) {
-    std::cerr << "vifc serve: listening on 127.0.0.1:" << Opt.ListenPort
-              << '\n';
     std::string Error;
     if (!Server.listenAndServe(static_cast<uint16_t>(Opt.ListenPort),
                                &Error)) {
@@ -427,6 +445,40 @@ int cmdBatch(const Options &Opt, driver::BatchMode Mode) {
   bool Bad = !R.allOk() ||
              (Mode == driver::BatchMode::Report && R.NumViolations != 0);
   return Bad ? 1 : 0;
+}
+
+/// Parses a byte-size option value: a non-negative integer with an
+/// optional k/m/g (binary, case-insensitive) suffix, e.g. "64m".
+bool parseByteSize(const std::string &Flag, const std::string &Value,
+                   unsigned long long &Out) {
+  std::string Digits = Value;
+  unsigned long long Scale = 1;
+  if (!Digits.empty()) {
+    switch (Digits.back()) {
+    case 'k': case 'K': Scale = 1ull << 10; break;
+    case 'm': case 'M': Scale = 1ull << 20; break;
+    case 'g': case 'G': Scale = 1ull << 30; break;
+    default: break;
+    }
+    if (Scale != 1)
+      Digits.pop_back();
+  }
+  if (Digits.empty() ||
+      Digits.find_first_not_of("0123456789") != std::string::npos) {
+    std::cerr << "error: option '" << Flag
+              << "' expects BYTES with an optional k/m/g suffix, got '"
+              << Value << "'\n";
+    return false;
+  }
+  errno = 0;
+  unsigned long long V = std::strtoull(Digits.c_str(), nullptr, 10);
+  if (errno == ERANGE || V > ~0ull / Scale) {
+    std::cerr << "error: option '" << Flag << "' value '" << Value
+              << "' is out of range\n";
+    return false;
+  }
+  Out = V * Scale;
+  return true;
 }
 
 /// Parses a non-negative integer option value; reports and fails on
@@ -546,11 +598,18 @@ int main(int Argc, char **Argv) {
         std::cerr << "error: option '--cache' expects at least 1 entry\n";
         return usage();
       }
+    } else if (A == "--cache-bytes") {
+      if (!nextValue(A, Value) || !parseByteSize(A, Value, Opt.CacheBytes))
+        return usage();
+    } else if (A == "--workers") {
+      if (!nextValue(A, Value) || !parseCount(A, Value, Opt.Workers))
+        return usage();
     } else if (A == "--listen") {
       if (!nextValue(A, Value) || !parseCount(A, Value, Opt.ListenPort))
         return usage();
-      if (Opt.ListenPort == 0 || Opt.ListenPort > 65535) {
-        std::cerr << "error: option '--listen' expects a port in 1..65535\n";
+      if (Opt.ListenPort > 65535) {
+        std::cerr << "error: option '--listen' expects a port in 0..65535 "
+                     "(0 picks an ephemeral port)\n";
         return usage();
       }
       Opt.ListenGiven = true;
