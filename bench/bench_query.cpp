@@ -1,0 +1,111 @@
+//===- bench/bench_query.cpp - Flow-query engine point queries ------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+// What the reachability index buys: a warm point query against a cached
+// session must be an O(1) bit probe (the ROADMAP acceptance number is
+// <= 10 us at 1024 chain nodes, far under it in practice), witness
+// extraction a BFS bounded by the path length, and the index build a
+// one-time cost amortized across every query the session answers. The
+// chain family gives the longest witness per node count — the worst case
+// for extraction, the best case for seeing index wins over a DFS per
+// query.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/AnalysisSession.h"
+#include "query/FlowQueryEngine.h"
+#include "workloads/Synthetic.h"
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+using namespace vif;
+
+namespace {
+
+/// A warm session over an N-statement chain x_0 -> x_1 -> ... -> x_N,
+/// its query engine already built.
+driver::AnalysisSession chainSession(unsigned N) {
+  driver::SessionOptions Opts;
+  Opts.Statements = true;
+  driver::AnalysisSession S = driver::AnalysisSession::fromSource(
+      "chain", workloads::chainStatements(N), Opts);
+  S.queryEngine();
+  return S;
+}
+
+/// Warm point probe: reaches() across the whole chain (x_0 to x_N, the
+/// longest dependency) on an already-built index.
+void BM_Query_Reaches(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  driver::AnalysisSession S = chainSession(N);
+  const query::FlowQueryEngine *Q = S.queryEngine();
+  std::string From = "x_0", To = "x_" + std::to_string(N);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Q->reaches(From, To));
+  State.SetComplexityN(N);
+}
+BENCHMARK(BM_Query_Reaches)->RangeMultiplier(4)->Range(64, 1024)->Complexity();
+
+/// Witness extraction for the full-length chain path: BFS over the CSR
+/// restricted to the closure, path length N.
+void BM_Query_Witness(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  driver::AnalysisSession S = chainSession(N);
+  const query::FlowQueryEngine *Q = S.queryEngine();
+  std::string From = "x_0", To = "x_" + std::to_string(N);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Q->witnessPath(From, To));
+  State.SetComplexityN(N);
+}
+BENCHMARK(BM_Query_Witness)->RangeMultiplier(4)->Range(64, 1024)->Complexity();
+
+/// The sorted forward set from the chain head — N hits, N string copies.
+void BM_Query_ReachableFrom(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  driver::AnalysisSession S = chainSession(N);
+  const query::FlowQueryEngine *Q = S.queryEngine();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Q->reachableFrom("x_0"));
+  State.SetComplexityN(N);
+}
+BENCHMARK(BM_Query_ReachableFrom)
+    ->RangeMultiplier(4)
+    ->Range(64, 1024)
+    ->Complexity();
+
+/// One-time index build (Warshall closure + CSR) over the session's flow
+/// graph — the cost the session cache amortizes across all later probes.
+void BM_Query_Build(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  driver::AnalysisSession S = chainSession(N);
+  const Digraph &G = S.ifa()->Graph;
+  for (auto _ : State) {
+    query::FlowQueryEngine Fresh(G);
+    benchmark::DoNotOptimize(Fresh.memoryBytes());
+  }
+  State.SetComplexityN(N);
+}
+BENCHMARK(BM_Query_Build)->RangeMultiplier(4)->Range(64, 1024)->Complexity();
+
+/// The per-query DFS the index replaces, at the same probe: what a
+/// reaches() would cost without the engine.
+void BM_Query_DfsBaseline(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  driver::AnalysisSession S = chainSession(N);
+  const Digraph &G = S.ifa()->Graph;
+  std::string From = "x_0", To = "x_" + std::to_string(N);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(G.reachable(From, To));
+  State.SetComplexityN(N);
+}
+BENCHMARK(BM_Query_DfsBaseline)
+    ->RangeMultiplier(4)
+    ->Range(64, 1024)
+    ->Complexity();
+
+} // namespace
+
+BENCHMARK_MAIN();

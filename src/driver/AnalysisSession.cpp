@@ -190,6 +190,19 @@ const AlfpClosureResult *AnalysisSession::alfp() {
   return AlfpState == State::Ok ? &*Alfp : nullptr;
 }
 
+const query::FlowQueryEngine *AnalysisSession::queryEngine() {
+  if (QueryState == State::NotComputed) {
+    ++ArtifactEpoch;
+    QueryState = State::Failed;
+    if (const IFAResult *R = ifa()) {
+      StageTimer T(Times.QueryMs);
+      Query.emplace(R->Graph);
+      QueryState = State::Ok;
+    }
+  }
+  return QueryState == State::Ok ? &*Query : nullptr;
+}
+
 size_t AnalysisSession::memoryBytes() const {
   size_t Bytes = sizeof(AnalysisSession) + Src.capacity() + Name.capacity();
   // The parse/elaborate/CFG tier holds trees proportional to the source:
@@ -204,5 +217,7 @@ size_t AnalysisSession::memoryBytes() const {
     Bytes += Kemm->memoryBytes();
   if (Alfp)
     Bytes += Alfp->memoryBytes();
+  if (Query)
+    Bytes += Query->memoryBytes();
   return Bytes;
 }

@@ -24,6 +24,7 @@
 #include "ifa/InformationFlow.h"
 #include "ifa/Kemmerer.h"
 #include "parse/Parser.h"
+#include "query/FlowQueryEngine.h"
 #include "sema/Elaborator.h"
 
 #include <optional>
@@ -42,10 +43,11 @@ struct StageTimings {
   double IfaMs = 0;
   double KemmererMs = 0;
   double AlfpMs = 0;
+  double QueryMs = 0;
 
   double totalMs() const {
     return ReadMs + ParseMs + ElaborateMs + CfgMs + IfaMs + KemmererMs +
-           AlfpMs;
+           AlfpMs + QueryMs;
   }
 };
 
@@ -106,6 +108,11 @@ public:
   /// The ALFP re-derivation of ifa()'s closure. Non-null whenever the
   /// solver ran; check Solved for its verdict.
   const AlfpClosureResult *alfp();
+  /// The point-query engine over ifa()'s flow graph: one reachability
+  /// closure + CSR index, built once and cached like every other artifact
+  /// (memoryBytes() counts it against the cache budget). The engine
+  /// borrows ifa()->Graph, which lives as long as the session.
+  const query::FlowQueryEngine *queryEngine();
 
   /// Deep size of everything this session currently holds, in bytes:
   /// the source text plus the measured footprints of every computed
@@ -147,6 +154,7 @@ private:
   State IfaState = State::NotComputed;
   State KemmererState = State::NotComputed;
   State AlfpState = State::NotComputed;
+  State QueryState = State::NotComputed;
 
   std::string Src;
   std::optional<DesignFile> DesignAst;
@@ -156,6 +164,7 @@ private:
   std::optional<IFAResult> Ifa;
   std::optional<KemmererResult> Kemm;
   std::optional<AlfpClosureResult> Alfp;
+  std::optional<query::FlowQueryEngine> Query;
 };
 
 } // namespace driver

@@ -30,6 +30,8 @@ const char *vif::driver::batchModeName(BatchMode M) {
     return "rm";
   case BatchMode::Report:
     return "report";
+  case BatchMode::Query:
+    return "query";
   }
   return "?";
 }
@@ -130,6 +132,18 @@ DesignResult resultFromSession(AnalysisSession &S, const std::string &Name,
           RepOpts.Violations = &D.Violations;
           D.ReportText = auditReport(*P, *R, RepOpts);
         }
+        D.Ok = true;
+      }
+      break;
+    case BatchMode::Query:
+      if (const query::FlowQueryEngine *Q = S.queryEngine()) {
+        D.NumNodes = Q->numNodes();
+        D.NumEdges = Q->numEdges();
+        D.Reaches = Q->reaches(Opts.QueryFrom, Opts.QueryTo);
+        if (D.Reaches)
+          D.Witness = *Q->witnessPath(Opts.QueryFrom, Opts.QueryTo);
+        D.Forward = Q->reachableFrom(Opts.QueryFrom);
+        D.Backward = Q->whatReaches(Opts.QueryTo);
         D.Ok = true;
       }
       break;
@@ -252,6 +266,26 @@ void vif::driver::printBatchText(std::ostream &OS, const BatchResult &R,
     case BatchMode::Report:
       OS << D.ReportText;
       break;
+    case BatchMode::Query: {
+      OS << "reaches(" << Opts.QueryFrom << ", " << Opts.QueryTo
+         << "): " << (D.Reaches ? "yes" : "no") << '\n';
+      if (D.Reaches) {
+        OS << "witness:";
+        for (const query::WitnessStep &Step : D.Witness)
+          OS << (&Step == D.Witness.data() ? " " : " -> ") << Step.Node;
+        OS << '\n';
+      }
+      auto PrintSet = [&OS](const char *Label,
+                            const std::vector<std::string> &Set) {
+        OS << Label << " (" << Set.size() << "):";
+        for (const std::string &Node : Set)
+          OS << ' ' << Node;
+        OS << '\n';
+      };
+      PrintSet("reachable-from", D.Forward);
+      PrintSet("what-reaches", D.Backward);
+      break;
+    }
     }
   }
   OS << "--\n"

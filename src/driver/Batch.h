@@ -20,6 +20,7 @@
 
 #include "driver/AnalysisSession.h"
 #include "ifa/Policy.h"
+#include "query/FlowQueryEngine.h"
 #include "support/Graph.h"
 
 #include <iosfwd>
@@ -45,7 +46,7 @@ struct BatchInput {
 };
 
 /// What each design's session computes and reports.
-enum class BatchMode : uint8_t { Check, Flows, Matrices, Report };
+enum class BatchMode : uint8_t { Check, Flows, Matrices, Report, Query };
 
 const char *batchModeName(BatchMode M);
 
@@ -60,6 +61,9 @@ struct BatchOptions {
   SessionOptions Session;
   /// Evaluated in Report mode; violations count into the batch summary.
   FlowPolicy Policy;
+  /// Query mode: the (source, sink) point query every design answers.
+  std::string QueryFrom;
+  std::string QueryTo;
   /// Worker threads; 0 picks min(#designs, #cores, 8).
   unsigned Jobs = 0;
   /// Capture the rendered matrix/report texts per design. printBatchText
@@ -114,6 +118,13 @@ struct DesignResult {
   /// Report mode: the audit report and the policy verdicts.
   std::string ReportText;
   std::vector<PolicyViolation> Violations;
+
+  /// Query mode: the point-query answer. All strings are copied out of
+  /// the session (no borrow), so query results outlive it freely.
+  bool Reaches = false;
+  std::vector<query::WitnessStep> Witness;
+  std::vector<std::string> Forward;
+  std::vector<std::string> Backward;
 };
 
 struct BatchResult {

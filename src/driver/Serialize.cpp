@@ -68,6 +68,36 @@ void vif::driver::writeDesignBody(JsonWriter &J, const DesignResult &D,
     }
     J.endArray();
   }
+  if (D.Ok && Opts.Mode == BatchMode::Query) {
+    J.key("query");
+    J.beginObject();
+    J.member("from", Opts.QueryFrom);
+    J.member("to", Opts.QueryTo);
+    J.member("reaches", D.Reaches);
+    if (D.Reaches) {
+      J.key("witness");
+      J.beginArray();
+      for (const query::WitnessStep &Step : D.Witness) {
+        J.beginObject();
+        J.member("node", Step.Node);
+        J.member("resource", Step.Resource);
+        J.member("kind", query::nodeMarkName(Step.Mark));
+        J.endObject();
+      }
+      J.endArray();
+    }
+    J.key("reachableFrom");
+    J.beginArray();
+    for (const std::string &Node : D.Forward)
+      J.value(Node);
+    J.endArray();
+    J.key("whatReaches");
+    J.beginArray();
+    for (const std::string &Node : D.Backward)
+      J.value(Node);
+    J.endArray();
+    J.endObject();
+  }
   J.key("timings");
   J.beginObject();
   J.member("readMs", D.Timings.ReadMs);
@@ -77,6 +107,7 @@ void vif::driver::writeDesignBody(JsonWriter &J, const DesignResult &D,
   J.member("ifaMs", D.Timings.IfaMs);
   J.member("kemmererMs", D.Timings.KemmererMs);
   J.member("alfpMs", D.Timings.AlfpMs);
+  J.member("queryMs", D.Timings.QueryMs);
   J.member("totalMs", D.Timings.totalMs());
   J.endObject();
 }

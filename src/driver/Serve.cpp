@@ -48,6 +48,11 @@ struct ServeRequest {
   FlowMethod Method = FlowMethod::Native;
   SessionOptions Session;
   FlowPolicy Policy;
+  /// Query mode: the "from" / "to" option pair (both required).
+  std::string From;
+  std::string To;
+  bool HasFrom = false;
+  bool HasTo = false;
   /// "format": "v1b" — answer with one binary frame (driver/V1b.h)
   /// instead of the JSON document. Errors are always JSON.
   bool V1b = false;
@@ -62,6 +67,8 @@ bool isAnalysisCommand(const std::string &C, BatchMode &Mode) {
     Mode = BatchMode::Matrices;
   else if (C == "report")
     Mode = BatchMode::Report;
+  else if (C == "query")
+    Mode = BatchMode::Query;
   else
     return false;
   return true;
@@ -109,6 +116,18 @@ std::string parseRequestOptions(const JsonValue &Options, ServeRequest &R) {
         R.Method = FlowMethod::Kemmerer;
       else
         return "unknown method \"" + M + "\"";
+    } else if (Key == "from" || Key == "to") {
+      if (R.Mode != BatchMode::Query)
+        return "option \"" + Key + "\" only applies to \"query\"";
+      if (!Value.isString())
+        return "option \"" + Key + "\" must be a string";
+      if (Key == "from") {
+        R.From = Value.asString();
+        R.HasFrom = true;
+      } else {
+        R.To = Value.asString();
+        R.HasTo = true;
+      }
     } else if (Key == "forbid") {
       if (R.Mode != BatchMode::Report)
         return "option \"forbid\" only applies to \"report\"";
@@ -194,7 +213,10 @@ std::string parseRequest(const JsonValue &Doc, ServeRequest &R) {
   if (!R.Name.empty() && !R.HasSource)
     return "\"name\" only labels an inline \"source\"";
   if (Options)
-    return parseRequestOptions(*Options, R);
+    if (std::string Msg = parseRequestOptions(*Options, R); !Msg.empty())
+      return Msg;
+  if (R.Mode == BatchMode::Query && (!R.HasFrom || !R.HasTo))
+    return "\"query\" requires options \"from\" and \"to\"";
   return "";
 }
 
@@ -348,6 +370,8 @@ std::string Server::handleLine(const std::string &Line) {
   B.Method = R.Method;
   B.Session = R.Session;
   B.Policy = std::move(R.Policy);
+  B.QueryFrom = std::move(R.From);
+  B.QueryTo = std::move(R.To);
   B.CaptureRenderedText = false;
   B.Cache = &Cache;
 

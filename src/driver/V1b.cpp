@@ -80,6 +80,8 @@ uint8_t commandCode(BatchMode M) {
     return 2;
   case BatchMode::Report:
     return 3;
+  case BatchMode::Query:
+    return 4;
   }
   return 0xff;
 }
@@ -106,6 +108,8 @@ const char *commandName(uint8_t Code) {
     return "rm";
   case 3:
     return "report";
+  case 4:
+    return "query";
   }
   return nullptr;
 }
@@ -250,6 +254,28 @@ void vif::driver::writeV1bDesign(std::string &Out, const DesignResult &D,
     }
     F.section("VIOL", std::move(Viol));
   }
+  if (D.Ok && Opts.Mode == BatchMode::Query) {
+    // Query result: from, to, reaches flag, witness steps (node string +
+    // resource string + mark code 0 plain / 1 incoming / 2 outgoing),
+    // then the forward and backward reachable-name sets.
+    std::string Qres;
+    putStr(Qres, Opts.QueryFrom);
+    putStr(Qres, Opts.QueryTo);
+    putU8(Qres, D.Reaches ? 1 : 0);
+    putU32(Qres, static_cast<uint32_t>(D.Witness.size()));
+    for (const query::WitnessStep &Step : D.Witness) {
+      putStr(Qres, Step.Node);
+      putStr(Qres, Step.Resource);
+      putU8(Qres, static_cast<uint8_t>(Step.Mark));
+    }
+    putU32(Qres, static_cast<uint32_t>(D.Forward.size()));
+    for (const std::string &Node : D.Forward)
+      putStr(Qres, Node);
+    putU32(Qres, static_cast<uint32_t>(D.Backward.size()));
+    for (const std::string &Node : D.Backward)
+      putStr(Qres, Node);
+    F.section("QRES", std::move(Qres));
+  }
   F.finish(Out);
 }
 
@@ -284,9 +310,9 @@ bool vif::driver::decodeV1bToJson(std::string_view Frame,
   uint32_t SectionCount = C.u32();
 
   // Collect the section payloads by tag; unknown tags are skipped.
-  std::string_view Meta, IdTok, Diag, NodeSec, EdgeSec, Mtrx, Viol;
+  std::string_view Meta, IdTok, Diag, NodeSec, EdgeSec, Mtrx, Viol, Qres;
   bool HasMeta = false, HasNode = false, HasEdge = false, HasMtrx = false,
-       HasViol = false;
+       HasViol = false, HasQres = false;
   for (uint32_t I = 0; I < SectionCount; ++I) {
     std::string_view Tag;
     if (!C.take(4, Tag))
@@ -314,6 +340,9 @@ bool vif::driver::decodeV1bToJson(std::string_view Frame,
     } else if (Tag == "VIOL") {
       Viol = Payload;
       HasViol = true;
+    } else if (Tag == "QRES") {
+      Qres = Payload;
+      HasQres = true;
     }
   }
   if (!C.atEnd())
@@ -436,6 +465,50 @@ bool vif::driver::decodeV1bToJson(std::string_view Frame,
     J.endArray();
     if (!V.atEnd())
       return fail(Error, "malformed VIOL section");
+  }
+  if (Ok && HasQres) {
+    Cursor Q(Qres);
+    std::string_view From = Q.str(), To = Q.str();
+    bool Reaches = Q.u8() != 0;
+    J.key("query");
+    J.beginObject();
+    J.member("from", From);
+    J.member("to", To);
+    J.member("reaches", Reaches);
+    uint32_t WitnessCount = Q.u32();
+    if (Reaches) {
+      J.key("witness");
+      J.beginArray();
+    }
+    for (uint32_t I = 0; I < WitnessCount; ++I) {
+      std::string_view Node = Q.str(), Resource = Q.str();
+      uint8_t Mark = Q.u8();
+      if (Q.Failed || Mark > 2 || !Reaches)
+        return fail(Error, "malformed QRES section");
+      J.beginObject();
+      J.member("node", Node);
+      J.member("resource", Resource);
+      J.member("kind",
+               query::nodeMarkName(static_cast<query::NodeMark>(Mark)));
+      J.endObject();
+    }
+    if (Reaches)
+      J.endArray();
+    for (const char *Key : {"reachableFrom", "whatReaches"}) {
+      uint32_t Count = Q.u32();
+      J.key(Key);
+      J.beginArray();
+      for (uint32_t I = 0; I < Count; ++I) {
+        std::string_view Node = Q.str();
+        if (Q.Failed)
+          return fail(Error, "malformed QRES section");
+        J.value(Node);
+      }
+      J.endArray();
+    }
+    J.endObject();
+    if (!Q.atEnd())
+      return fail(Error, "malformed QRES section");
   }
   J.endObject();
   JsonOut = OS.str();

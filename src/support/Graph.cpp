@@ -39,6 +39,54 @@ Digraph::Digraph(const Digraph &Other) {
   Edges = Other.Edges;
 }
 
+Digraph::Digraph(Digraph &&Other) noexcept
+    : ArenaBlocks(std::move(Other.ArenaBlocks)), ArenaUsed(Other.ArenaUsed),
+      ArenaCap(Other.ArenaCap), Names(std::move(Other.Names)),
+      Ids(std::move(Other.Ids)), Edges(std::move(Other.Edges)),
+      Pending(std::move(Other.Pending)), RankOrder(std::move(Other.RankOrder)),
+      RankOf(std::move(Other.RankOf)), EdgeOrder(std::move(Other.EdgeOrder)) {
+  // The atomic flags are copied by value; the mutex is NOT moved — each
+  // graph keeps its own (a moved-from graph must still be lockable).
+  EdgesDirty.store(Other.EdgesDirty.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  RankValid.store(Other.RankValid.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  EdgeOrderValid.store(Other.EdgeOrderValid.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  Other.ArenaUsed = 0;
+  Other.ArenaCap = 0;
+  Other.EdgesDirty.store(false, std::memory_order_relaxed);
+  Other.RankValid.store(false, std::memory_order_relaxed);
+  Other.EdgeOrderValid.store(false, std::memory_order_relaxed);
+}
+
+Digraph &Digraph::operator=(Digraph &&Other) noexcept {
+  if (this != &Other) {
+    ArenaBlocks = std::move(Other.ArenaBlocks);
+    ArenaUsed = Other.ArenaUsed;
+    ArenaCap = Other.ArenaCap;
+    Names = std::move(Other.Names);
+    Ids = std::move(Other.Ids);
+    Edges = std::move(Other.Edges);
+    Pending = std::move(Other.Pending);
+    RankOrder = std::move(Other.RankOrder);
+    RankOf = std::move(Other.RankOf);
+    EdgeOrder = std::move(Other.EdgeOrder);
+    EdgesDirty.store(Other.EdgesDirty.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    RankValid.store(Other.RankValid.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    EdgeOrderValid.store(Other.EdgeOrderValid.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    Other.ArenaUsed = 0;
+    Other.ArenaCap = 0;
+    Other.EdgesDirty.store(false, std::memory_order_relaxed);
+    Other.RankValid.store(false, std::memory_order_relaxed);
+    Other.EdgeOrderValid.store(false, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 Digraph &Digraph::operator=(const Digraph &Other) {
   if (this != &Other) {
     Digraph Copy(Other);
@@ -55,7 +103,9 @@ Digraph::NodeId Digraph::addNode(std::string_view Name) {
   std::string_view Stable = intern(Name);
   Names.push_back(Stable);
   Ids.emplace(Stable, Id);
-  RankValid = false; // relative ranks survive, so EdgeOrder stays valid
+  // Relative ranks survive, so EdgeOrder stays valid. Mutation is
+  // single-threaded by contract, so relaxed stores suffice here.
+  RankValid.store(false, std::memory_order_relaxed);
   return Id;
 }
 
@@ -66,7 +116,8 @@ void Digraph::addEdge(std::string_view From, std::string_view To) {
 void Digraph::addEdge(NodeId From, NodeId To) {
   assert(From < Names.size() && To < Names.size() && "edge endpoint unknown");
   Pending.push_back({From, To});
-  EdgeOrderValid = false;
+  EdgesDirty.store(true, std::memory_order_relaxed);
+  EdgeOrderValid.store(false, std::memory_order_relaxed);
 }
 
 void Digraph::addEdges(std::vector<std::pair<NodeId, NodeId>> EdgeList) {
@@ -81,11 +132,21 @@ void Digraph::addEdges(std::vector<std::pair<NodeId, NodeId>> EdgeList) {
     Pending = std::move(EdgeList);
   else
     Pending.insert(Pending.end(), EdgeList.begin(), EdgeList.end());
-  EdgeOrderValid = false;
+  EdgesDirty.store(true, std::memory_order_relaxed);
+  EdgeOrderValid.store(false, std::memory_order_relaxed);
 }
 
+// Each lazy view is built with double-checked locking: the acquire load on
+// the fast path pairs with the release store after the build, so a reader
+// that sees the flag set also sees the finished vectors. Concurrent const
+// readers (two query threads over one cached session graph) serialize only
+// on first use; after that the fast path is a single atomic load.
+
 void Digraph::flushEdges() const {
-  if (Pending.empty())
+  if (!EdgesDirty.load(std::memory_order_acquire))
+    return;
+  std::lock_guard<std::mutex> Lock(*ViewMutex);
+  if (!EdgesDirty.load(std::memory_order_relaxed))
     return;
   std::sort(Pending.begin(), Pending.end());
   Pending.erase(std::unique(Pending.begin(), Pending.end()), Pending.end());
@@ -99,11 +160,15 @@ void Digraph::flushEdges() const {
     Edges.swap(Merged);
     Pending.clear();
   }
-  EdgeOrderValid = false;
+  EdgeOrderValid.store(false, std::memory_order_relaxed);
+  EdgesDirty.store(false, std::memory_order_release);
 }
 
 void Digraph::ensureRank() const {
-  if (RankValid)
+  if (RankValid.load(std::memory_order_acquire))
+    return;
+  std::lock_guard<std::mutex> Lock(*ViewMutex);
+  if (RankValid.load(std::memory_order_relaxed))
     return;
   RankOrder.resize(Names.size());
   std::iota(RankOrder.begin(), RankOrder.end(), NodeId(0));
@@ -112,11 +177,14 @@ void Digraph::ensureRank() const {
   RankOf.resize(Names.size());
   for (size_t Rank = 0; Rank < RankOrder.size(); ++Rank)
     RankOf[RankOrder[Rank]] = static_cast<NodeId>(Rank);
-  RankValid = true;
+  RankValid.store(true, std::memory_order_release);
 }
 
 void Digraph::ensureEdgeOrder() const {
-  if (EdgeOrderValid)
+  if (EdgeOrderValid.load(std::memory_order_acquire))
+    return;
+  std::lock_guard<std::mutex> Lock(*ViewMutex);
+  if (EdgeOrderValid.load(std::memory_order_relaxed))
     return;
   EdgeOrder.resize(Edges.size());
   std::iota(EdgeOrder.begin(), EdgeOrder.end(), uint32_t(0));
@@ -128,7 +196,7 @@ void Digraph::ensureEdgeOrder() const {
                 return FA < FB;
               return RankOf[EA.second] < RankOf[EB.second];
             });
-  EdgeOrderValid = true;
+  EdgeOrderValid.store(true, std::memory_order_release);
 }
 
 size_t Digraph::memoryBytes() const {
@@ -146,7 +214,7 @@ size_t Digraph::memoryBytes() const {
          (Edges.capacity() + Pending.capacity()) *
              sizeof(std::pair<NodeId, NodeId>) +
          (RankOrder.capacity() + RankOf.capacity()) * sizeof(NodeId) +
-         EdgeOrder.capacity() * sizeof(uint32_t);
+         EdgeOrder.capacity() * sizeof(uint32_t) + sizeof(std::mutex);
 }
 
 void Digraph::reserveNodes(size_t N) {
@@ -237,40 +305,46 @@ bool Digraph::reachable(std::string_view From, std::string_view To) const {
   return false;
 }
 
-Digraph Digraph::transitiveClosure() const {
+void Digraph::reachabilityClosure(BitMatrix &Out) const {
   flushEdges();
-  Digraph Result;
-  Result.reserveNodes(Names.size());
-  for (std::string_view Name : Names)
-    Result.addNode(Name);
-  // Warshall closure over packed bit rows: one flat uint64 buffer holds
-  // the N x N reachability matrix, and the inner J loop collapses to a
-  // word-parallel row union M[I] |= M[K] guarded by M[I][K] — a 64x
-  // constant cut over the bool-matrix formulation ("the traditional
-  // method of Kemmerer" is the remaining cubic family; see DESIGN.md).
+  // Warshall closure over packed bit rows: the BitMatrix holds the N x N
+  // reachability matrix, and the inner J loop collapses to a word-parallel
+  // row union M[I] |= M[K] guarded by M[I][K] — a 64x constant cut over
+  // the bool-matrix formulation ("the traditional method of Kemmerer" is
+  // the remaining cubic family; see DESIGN.md). BitMatrix pads each row
+  // to a multiple of 4 words so the unrolled union kernel (bits::orWords)
+  // runs tail-free; padding bits stay zero.
   size_t N = Names.size();
-  // Words per row, padded to a multiple of 4 so the unrolled union
-  // kernel (bits::orWords) runs tail-free; padding bits stay zero.
-  size_t W = ((N + 63) / 64 + 3) & ~size_t(3);
-  std::vector<uint64_t> M(N * W, 0);
+  Out.reset(N, N);
+  size_t W = Out.wordsPerRow();
   for (const auto &[From, To] : Edges)
-    M[static_cast<size_t>(From) * W + (To >> 6)] |= uint64_t(1)
-                                                    << (To & 63);
+    Out.set(From, To);
   for (size_t K = 0; K < N; ++K) {
-    const uint64_t *RowK = M.data() + K * W;
+    const uint64_t *RowK = Out.row(K);
     for (size_t I = 0; I < N; ++I) {
       if (I == K)
         continue; // RowI |= RowI is a no-op (and would alias)
-      uint64_t *RowI = M.data() + I * W;
+      uint64_t *RowI = Out.row(I);
       if (!((RowI[K >> 6] >> (K & 63)) & 1))
         continue;
       bits::orWords(RowI, RowK, W);
     }
   }
+}
+
+Digraph Digraph::transitiveClosure() const {
+  Digraph Result;
+  Result.reserveNodes(Names.size());
+  for (std::string_view Name : Names)
+    Result.addNode(Name);
+  BitMatrix M;
+  reachabilityClosure(M);
   // Row-major set-bit order is exactly the sorted edge order, so the
   // result's edge vector is materialized directly, already flushed.
+  size_t N = Names.size();
+  size_t W = M.wordsPerRow();
   for (size_t I = 0; I < N; ++I) {
-    const uint64_t *RowI = M.data() + I * W;
+    const uint64_t *RowI = M.row(I);
     for (size_t WI = 0; WI < W; ++WI) {
       uint64_t Word = RowI[WI];
       while (Word) {

@@ -19,11 +19,13 @@
 #ifndef VIF_SUPPORT_GRAPH_H
 #define VIF_SUPPORT_GRAPH_H
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -31,6 +33,8 @@
 #include <vector>
 
 namespace vif {
+
+class BitMatrix;
 
 /// A directed graph whose nodes are identified by stable string names.
 ///
@@ -48,18 +52,20 @@ namespace vif {
 /// lexicographic node-rank permutation and an edge permutation sorted by
 /// (rank[from], rank[to]) are computed once and reused, so emitting a
 /// result costs an integer sort the first time and nothing after. The lazy
-/// merge mutates on const reads — like the LazyPairSets boundary in
-/// rd/DenseDomain.h, a Digraph must not be read from multiple threads
-/// concurrently unless ensureSortedViews() was called first (per-design
-/// results never are; the SessionCache materializes the views while the
-/// per-entry lock is still held).
+/// merge mutates on const reads, but builds are internally synchronized:
+/// each view flips an atomic flag under a per-graph mutex (double-checked),
+/// so concurrent const readers — e.g. two query threads touching the same
+/// cached session graph — race only on the cheap acquire load. Mutation
+/// (addNode/addEdge) remains single-threaded by contract, as before.
+/// ensureSortedViews() is still the cheap publish point the SessionCache
+/// uses to pre-pay all three builds while the per-entry lock is held.
 class Digraph {
 public:
   using NodeId = unsigned;
 
   Digraph() = default;
-  Digraph(Digraph &&) = default;
-  Digraph &operator=(Digraph &&) = default;
+  Digraph(Digraph &&Other) noexcept;
+  Digraph &operator=(Digraph &&Other) noexcept;
   Digraph(const Digraph &Other);
   Digraph &operator=(const Digraph &Other);
 
@@ -173,6 +179,12 @@ public:
   /// True if there is a directed path (of length >= 1) From -> To.
   bool reachable(std::string_view From, std::string_view To) const;
 
+  /// Fills \p Out with the N x N reachability matrix: bit (i, j) is set iff
+  /// there is a directed path of length >= 1 from node i to node j. This is
+  /// the packed-bit-row Warshall core shared by transitiveClosure() and the
+  /// query engine's reachability index; \p Out is reset to the right shape.
+  void reachabilityClosure(BitMatrix &Out) const;
+
   /// The transitive closure over the same node set: an edge a -> b for every
   /// path a -> ... -> b of length >= 1. This is the "traditional method of
   /// Kemmerer" step (paper Section 5.2).
@@ -228,6 +240,11 @@ private:
   mutable std::vector<std::pair<NodeId, NodeId>> Edges;
   /// Edges appended since the last flush, in arrival order.
   mutable std::vector<std::pair<NodeId, NodeId>> Pending;
+  /// True while Pending holds unmerged edges. An atomic mirror of
+  /// "!Pending.empty()" so concurrent const readers can skip the flush
+  /// without touching the vector; cleared with release order after the
+  /// merge so the merged Edges are visible to whoever sees it clear.
+  mutable std::atomic<bool> EdgesDirty{false};
 
   /// Node ids in lexicographic name order and its inverse, computed once
   /// per node-set generation. Adding a node only invalidates these two
@@ -235,11 +252,15 @@ private:
   /// by relative rank — stays correct).
   mutable std::vector<NodeId> RankOrder;
   mutable std::vector<NodeId> RankOf;
-  mutable bool RankValid = false;
+  mutable std::atomic<bool> RankValid{false};
   /// Indices into Edges in (rank[from], rank[to]) order — the lexicographic
   /// edge order without touching a byte of string data.
   mutable std::vector<uint32_t> EdgeOrder;
-  mutable bool EdgeOrderValid = false;
+  mutable std::atomic<bool> EdgeOrderValid{false};
+  /// Serializes lazy view construction across concurrent const readers.
+  /// Heap-allocated so the graph stays movable; each graph keeps its own
+  /// mutex across moves (the views themselves move, the lock does not).
+  mutable std::unique_ptr<std::mutex> ViewMutex = std::make_unique<std::mutex>();
 };
 
 } // namespace vif

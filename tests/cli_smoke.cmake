@@ -49,6 +49,25 @@ if(NOT json_out MATCHES [["schema": "vifc.v1"]])
   message(FATAL_ERROR "vifc flows --json lacks the vifc.v1 schema tag:\n${json_out}")
 endif()
 
+# Point queries: text answer with a witness chain, the same through
+# --json, and a negative answer still exits 0 (only analysis failures
+# flag the exit code).
+run_vifc(query_out query --from sel --to q)
+if(NOT query_out MATCHES "reaches\\(sel, q\\): yes" OR
+   NOT query_out MATCHES "witness: sel -> q")
+  message(FATAL_ERROR "vifc query text output malformed:\n${query_out}")
+endif()
+run_vifc(queryjson_out query --from sel --to q --json)
+if(NOT queryjson_out MATCHES [["reaches": true]] OR
+   NOT queryjson_out MATCHES [["command": "query"]] OR
+   NOT queryjson_out MATCHES [["node": "sel"]])
+  message(FATAL_ERROR "vifc query --json output malformed:\n${queryjson_out}")
+endif()
+run_vifc(queryneg_out query --from q --to sel)
+if(NOT queryneg_out MATCHES "reaches\\(q, sel\\): no")
+  message(FATAL_ERROR "vifc negative query misreported:\n${queryneg_out}")
+endif()
+
 # sim and datalog also speak vifc.v1 under --json.
 run_vifc(simjson_out sim --json)
 if(NOT simjson_out MATCHES [["schema": "vifc.v1"]] OR
@@ -113,6 +132,20 @@ endif()
 run_vifc_rc(mismatch_out 2 check --dot ${INPUT})
 if(NOT mismatch_out MATCHES "does not apply")
   message(FATAL_ERROR "vifc command/flag mismatch not diagnosed:\n${mismatch_out}")
+endif()
+# query requires both endpoints; a trailing --from needs its value; and
+# --from belongs to query alone.
+run_vifc_rc(queryfrom_out 2 query --from sel ${INPUT})
+if(NOT queryfrom_out MATCHES "requires both --from and --to")
+  message(FATAL_ERROR "vifc query without --to not diagnosed:\n${queryfrom_out}")
+endif()
+run_vifc_rc(querytrail_out 2 query ${INPUT} --from)
+if(NOT querytrail_out MATCHES "requires a value")
+  message(FATAL_ERROR "vifc trailing --from not diagnosed:\n${querytrail_out}")
+endif()
+run_vifc_rc(queryflag_out 2 flows --from sel --to q ${INPUT})
+if(NOT queryflag_out MATCHES "does not apply")
+  message(FATAL_ERROR "vifc --from on flows not diagnosed:\n${queryflag_out}")
 endif()
 run_vifc_rc(servefile_out 2 serve ${INPUT})
 if(NOT servefile_out MATCHES "takes no FILE")

@@ -4,11 +4,15 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/BitSet.h"
 #include "support/Graph.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
+#include <string>
+#include <thread>
 
 using namespace vif;
 
@@ -176,6 +180,80 @@ TEST(Digraph, ClosureIdempotent) {
   Digraph C1 = G.transitiveClosure();
   Digraph C2 = C1.transitiveClosure();
   EXPECT_TRUE(C1.sameFlows(C2));
+}
+
+TEST(Digraph, ClosureOfEmptyGraph) {
+  Digraph G;
+  Digraph C = G.transitiveClosure();
+  EXPECT_EQ(C.numNodes(), 0u);
+  EXPECT_EQ(C.numEdges(), 0u);
+
+  // The bit-matrix form degrades to a 0 x 0 index without crashing.
+  BitMatrix M;
+  G.reachabilityClosure(M);
+  EXPECT_EQ(M.wordsPerRow() * 64, 0u);
+}
+
+TEST(Digraph, ClosurePreservesSelfLoops) {
+  Digraph G;
+  G.addEdge("a", "a");
+  G.addEdge("a", "b");
+  Digraph C = G.transitiveClosure();
+  EXPECT_TRUE(C.hasEdge("a", "a"));
+  EXPECT_TRUE(C.hasEdge("a", "b"));
+  // b is on no cycle: the length >= 1 closure has no (b, b) bit.
+  EXPECT_FALSE(C.hasEdge("b", "b"));
+  EXPECT_EQ(C.numEdges(), 2u);
+}
+
+TEST(Digraph, ClosureIgnoresDuplicateEdges) {
+  Digraph G;
+  G.addEdge("a", "b");
+  G.addEdge("a", "b");
+  G.addEdge("b", "c");
+  G.addEdge("a", "b");
+  Digraph C = G.transitiveClosure();
+  EXPECT_EQ(C.numEdges(), 3u);
+  EXPECT_TRUE(C.hasEdge("a", "c"));
+}
+
+TEST(Digraph, ReachabilityClosureMatchesDfs) {
+  Digraph G;
+  G.addEdge("a", "b");
+  G.addEdge("b", "c");
+  G.addEdge("c", "a");
+  G.addEdge("c", "d");
+  BitMatrix M;
+  G.reachabilityClosure(M);
+  const std::vector<std::string_view> &Names = G.nodes();
+  for (Digraph::NodeId I = 0; I < G.numNodes(); ++I)
+    for (Digraph::NodeId J = 0; J < G.numNodes(); ++J)
+      EXPECT_EQ(M.test(I, J), G.reachable(Names[I], Names[J]))
+          << Names[I] << " -> " << Names[J];
+}
+
+TEST(Digraph, ConcurrentLazyViewsAreSafe) {
+  // The sorted-edge, rank and edge-order views build lazily under a mutex;
+  // many threads materializing them on a freshly mutated graph must agree
+  // (the tsan_serve binary runs the instrumented version of this pattern).
+  Digraph G;
+  for (unsigned I = 0; I + 1 < 64; ++I)
+    G.addEdge("n" + std::to_string(I), "n" + std::to_string(I + 1));
+  size_t Expect = G.numEdges();
+  std::vector<std::thread> Threads;
+  std::atomic<size_t> Sum{0};
+  for (unsigned T = 0; T < 8; ++T)
+    Threads.emplace_back([&G, &Sum]() {
+      size_t Count = 0;
+      G.forEachSortedEdge(
+          [&Count](std::string_view, std::string_view) { ++Count; });
+      Count += G.rankedNodes().size() == G.numNodes() ? 1 : 0;
+      Sum += Count;
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  // Each thread saw all 63 edges plus one complete rank table.
+  EXPECT_EQ(Sum.load(), 8 * (Expect + 1));
 }
 
 } // namespace

@@ -1,0 +1,332 @@
+//===- tests/query_test.cpp - FlowQueryEngine vs DFS/BFS oracles ----------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+// The query engine answers reaches/reachableFrom/whatReaches from a packed
+// bit-matrix closure and extracts witness paths by BFS over a CSR copy of
+// the adjacency. These tests run it differentially against first-principles
+// walks of the same graph: every ordered node pair's reaches() against
+// Digraph::reachable (per-source DFS), every positive witness validated
+// edge by edge and pinned to the exact BFS distance, and the forward/
+// backward sets against per-node DFS sweeps — over the paper's figure
+// programs and the synthetic workload families, plain and improved.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ifa/InformationFlow.h"
+#include "parse/Parser.h"
+#include "query/FlowQueryEngine.h"
+#include "workloads/AesVhdl.h"
+#include "workloads/Synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+using namespace vif;
+using query::FlowQueryEngine;
+using query::NodeMark;
+using query::WitnessStep;
+
+namespace {
+
+ElaboratedProgram elaborate(const std::string &Source, bool IsDesign) {
+  DiagnosticEngine Diags;
+  std::optional<ElaboratedProgram> P;
+  if (IsDesign) {
+    DesignFile F = parseDesign(Source, Diags);
+    if (!Diags.hasErrors())
+      P = elaborateDesign(F, Diags);
+  } else {
+    StatementProgram Prog = parseStatementProgram(Source, Diags);
+    if (!Diags.hasErrors())
+      P = elaborateStatements(*Prog.Body, Diags, &Prog.Decls);
+  }
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  return std::move(*P);
+}
+
+/// Exact BFS distance (in edges, length >= 1) from \p Src to \p Sink, or
+/// SIZE_MAX when unreachable. Src == Sink asks for the shortest cycle.
+size_t bfsDistance(const Digraph &G, Digraph::NodeId Src,
+                   Digraph::NodeId Sink) {
+  std::vector<size_t> Dist(G.numNodes(), SIZE_MAX);
+  std::vector<Digraph::NodeId> Queue;
+  for (Digraph::NodeId S : G.successors(Src)) {
+    if (S == Sink)
+      return 1;
+    if (Dist[S] == SIZE_MAX) {
+      Dist[S] = 1;
+      Queue.push_back(S);
+    }
+  }
+  for (size_t Head = 0; Head < Queue.size(); ++Head) {
+    Digraph::NodeId Cur = Queue[Head];
+    for (Digraph::NodeId S : G.successors(Cur)) {
+      if (S == Sink)
+        return Dist[Cur] + 1;
+      if (Dist[S] == SIZE_MAX) {
+        Dist[S] = Dist[Cur] + 1;
+        Queue.push_back(S);
+      }
+    }
+  }
+  return SIZE_MAX;
+}
+
+/// Checks every engine answer over \p G against fresh DFS/BFS walks.
+void expectEngineMatchesOracle(const Digraph &G, const char *What) {
+  FlowQueryEngine Q(G);
+  EXPECT_EQ(Q.numNodes(), G.numNodes()) << What;
+  EXPECT_EQ(Q.numEdges(), G.numEdges()) << What;
+
+  size_t N = G.numNodes();
+  const std::vector<std::string_view> &Names = G.nodes();
+  for (Digraph::NodeId A = 0; A < N; ++A) {
+    for (Digraph::NodeId B = 0; B < N; ++B) {
+      SCOPED_TRACE(std::string(What) + ": " + std::string(Names[A]) +
+                   " -> " + std::string(Names[B]));
+      bool Fast = Q.reaches(Names[A], Names[B]);
+      EXPECT_EQ(Fast, G.reachable(Names[A], Names[B]));
+      std::optional<std::vector<WitnessStep>> W =
+          Q.witnessPath(Names[A], Names[B]);
+      ASSERT_EQ(W.has_value(), Fast);
+      if (!W)
+        continue;
+      // Endpoints, then every hop an actual edge, then exactly shortest.
+      ASSERT_GE(W->size(), 2u);
+      EXPECT_EQ(W->front().Node, Names[A]);
+      EXPECT_EQ(W->back().Node, Names[B]);
+      for (size_t I = 0; I + 1 < W->size(); ++I)
+        EXPECT_TRUE(G.hasEdge((*W)[I].Node, (*W)[I + 1].Node))
+            << (*W)[I].Node << " -> " << (*W)[I + 1].Node;
+      EXPECT_EQ(W->size(), bfsDistance(G, A, B) + 1);
+      // Marks and bare resource names are canonical per step.
+      for (const WitnessStep &Step : *W)
+        EXPECT_TRUE(query::makeWitnessStep(Step.Node) == Step) << Step.Node;
+    }
+  }
+
+  // Forward and backward sets against per-node DFS sweeps.
+  for (Digraph::NodeId S = 0; S < N; ++S) {
+    std::vector<std::string> Fwd, Bwd;
+    for (Digraph::NodeId T = 0; T < N; ++T) {
+      if (G.reachable(Names[S], Names[T]))
+        Fwd.push_back(std::string(Names[T]));
+      if (G.reachable(Names[T], Names[S]))
+        Bwd.push_back(std::string(Names[T]));
+    }
+    std::sort(Fwd.begin(), Fwd.end());
+    std::sort(Bwd.begin(), Bwd.end());
+    EXPECT_EQ(Q.reachableFrom(Names[S]), Fwd) << What << ": " << Names[S];
+    EXPECT_EQ(Q.whatReaches(Names[S]), Bwd) << What << ": " << Names[S];
+  }
+}
+
+/// Analyzes \p Source and runs the full differential battery on the
+/// resulting flow graph, plain and improved.
+void expectQueriesAgree(const std::string &Source, bool IsDesign,
+                        const char *What) {
+  ElaboratedProgram P = elaborate(Source, IsDesign);
+  ProgramCFG CFG = ProgramCFG::build(P);
+  for (bool Improved : {false, true}) {
+    IFAOptions Opts;
+    Opts.Improved = Improved;
+    IFAResult R = analyzeInformationFlow(P, CFG, Opts);
+    std::string Tag = std::string(What) + (Improved ? " (improved)" : "");
+    expectEngineMatchesOracle(R.Graph, Tag.c_str());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Paper figure programs
+//===----------------------------------------------------------------------===//
+
+TEST(QueryDifferential, Fig3Programs) {
+  expectQueriesAgree("c := b; b := a;", false, "fig3(a)");
+  expectQueriesAgree("b := a; c := b;", false, "fig3(b)");
+}
+
+TEST(QueryDifferential, Fig4EndOutgoing) {
+  ElaboratedProgram P = elaborate("b := a; c := b;", false);
+  ProgramCFG CFG = ProgramCFG::build(P);
+  IFAOptions EndOut;
+  EndOut.ProgramEndOutgoing = true;
+  IFAResult R = analyzeInformationFlow(P, CFG, EndOut);
+  expectEngineMatchesOracle(R.Graph, "fig4(b)");
+}
+
+TEST(QueryDifferential, Fig5ShiftRows) {
+  expectQueriesAgree(workloads::shiftRowsStatements(), false, "fig5");
+  expectQueriesAgree(workloads::shiftRowsDesign(), true, "fig5-design");
+}
+
+//===----------------------------------------------------------------------===//
+// Synthetic families
+//===----------------------------------------------------------------------===//
+
+TEST(QueryDifferential, ChainFamily) {
+  for (unsigned N : {1u, 2u, 17u, 64u})
+    expectQueriesAgree(workloads::chainStatements(N), false, "chain");
+}
+
+TEST(QueryDifferential, LadderFamily) {
+  expectQueriesAgree(workloads::tempReuseLadder(6, 4), false, "ladder");
+}
+
+TEST(QueryDifferential, PipelineAndMeshDesigns) {
+  expectQueriesAgree(workloads::pipelineDesign(5), true, "pipeline");
+  for (unsigned Procs : {2u, 3u})
+    expectQueriesAgree(workloads::syncMeshDesign(Procs, 3, 4), true, "mesh");
+}
+
+TEST(QueryDifferential, RandomDesigns) {
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed)
+    expectQueriesAgree(workloads::randomDesign(Seed, 3, 6, 3), true,
+                       "randomDesign");
+}
+
+//===----------------------------------------------------------------------===//
+// Engine unit behavior on hand-built graphs
+//===----------------------------------------------------------------------===//
+
+TEST(FlowQueryEngine, EmptyGraph) {
+  Digraph G;
+  FlowQueryEngine Q(G);
+  EXPECT_EQ(Q.numNodes(), 0u);
+  EXPECT_EQ(Q.numEdges(), 0u);
+  EXPECT_FALSE(Q.reaches("a", "b"));
+  EXPECT_FALSE(Q.witnessPath("a", "b").has_value());
+  EXPECT_TRUE(Q.reachableFrom("a").empty());
+  EXPECT_TRUE(Q.whatReaches("a").empty());
+}
+
+TEST(FlowQueryEngine, UnknownNamesAnswerNegatively) {
+  Digraph G;
+  G.addEdge(G.addNode("a"), G.addNode("b"));
+  FlowQueryEngine Q(G);
+  EXPECT_TRUE(Q.knows("a"));
+  EXPECT_FALSE(Q.knows("zz"));
+  EXPECT_FALSE(Q.reaches("zz", "b"));
+  EXPECT_FALSE(Q.reaches("a", "zz"));
+  EXPECT_FALSE(Q.witnessPath("zz", "b").has_value());
+  EXPECT_TRUE(Q.reachableFrom("zz").empty());
+  EXPECT_TRUE(Q.whatReaches("zz").empty());
+}
+
+TEST(FlowQueryEngine, SelfLoopAndCycleWitnesses) {
+  // reaches() requires a path of length >= 1; a node on no cycle does not
+  // reach itself, a self-loop yields the two-step witness [c, c], and
+  // Src == Sink on a longer cycle yields the full loop.
+  Digraph G;
+  Digraph::NodeId A = G.addNode("a");
+  Digraph::NodeId B = G.addNode("b");
+  Digraph::NodeId C = G.addNode("c");
+  G.addEdge(A, B);
+  G.addEdge(B, A);
+  G.addEdge(C, C);
+  FlowQueryEngine Q(G);
+
+  EXPECT_TRUE(Q.reaches("a", "a"));
+  auto Loop = Q.witnessPath("a", "a");
+  ASSERT_TRUE(Loop.has_value());
+  ASSERT_EQ(Loop->size(), 3u);
+  EXPECT_EQ((*Loop)[0].Node, "a");
+  EXPECT_EQ((*Loop)[1].Node, "b");
+  EXPECT_EQ((*Loop)[2].Node, "a");
+
+  auto Self = Q.witnessPath("c", "c");
+  ASSERT_TRUE(Self.has_value());
+  ASSERT_EQ(Self->size(), 2u);
+  EXPECT_EQ((*Self)[0].Node, "c");
+  EXPECT_EQ((*Self)[1].Node, "c");
+
+  // c is on no path to or from the a/b cycle.
+  EXPECT_FALSE(Q.reaches("a", "c"));
+  EXPECT_FALSE(Q.reaches("c", "a"));
+}
+
+TEST(FlowQueryEngine, DeterministicTieBreak) {
+  // Two equal-length paths a -> {m, z} -> d: BFS must pick the smaller
+  // node id, which insertion order makes "m", on every call and on a
+  // freshly built engine.
+  Digraph G;
+  Digraph::NodeId A = G.addNode("a");
+  Digraph::NodeId M = G.addNode("m");
+  Digraph::NodeId Z = G.addNode("z");
+  Digraph::NodeId D = G.addNode("d");
+  G.addEdge(A, Z);
+  G.addEdge(A, M);
+  G.addEdge(Z, D);
+  G.addEdge(M, D);
+  FlowQueryEngine Q(G);
+  auto First = Q.witnessPath("a", "d");
+  ASSERT_TRUE(First.has_value());
+  ASSERT_EQ(First->size(), 3u);
+  EXPECT_EQ((*First)[1].Node, "m");
+  EXPECT_TRUE(Q.witnessPath("a", "d") == First);
+  FlowQueryEngine Fresh(G);
+  EXPECT_TRUE(Fresh.witnessPath("a", "d") == First);
+}
+
+TEST(FlowQueryEngine, MarkResolution) {
+  WitnessStep Plain = query::makeWitnessStep("x");
+  EXPECT_EQ(Plain.Resource, "x");
+  EXPECT_EQ(Plain.Mark, NodeMark::Plain);
+
+  WitnessStep In = query::makeWitnessStep("x◦");
+  EXPECT_EQ(In.Node, "x◦");
+  EXPECT_EQ(In.Resource, "x");
+  EXPECT_EQ(In.Mark, NodeMark::Incoming);
+
+  WitnessStep Out = query::makeWitnessStep("x•");
+  EXPECT_EQ(Out.Resource, "x");
+  EXPECT_EQ(Out.Mark, NodeMark::Outgoing);
+
+  EXPECT_STREQ(query::nodeMarkName(NodeMark::Plain), "plain");
+  EXPECT_STREQ(query::nodeMarkName(NodeMark::Incoming), "incoming");
+  EXPECT_STREQ(query::nodeMarkName(NodeMark::Outgoing), "outgoing");
+}
+
+TEST(FlowQueryEngine, ImprovedGraphResolvesMarks) {
+  // The improved analysis introduces ◦/• interface nodes; a witness through
+  // them must carry resolved marks and bare resource names.
+  ElaboratedProgram P = elaborate(workloads::pipelineDesign(3), true);
+  ProgramCFG CFG = ProgramCFG::build(P);
+  IFAOptions Improved;
+  Improved.Improved = true;
+  IFAResult R = analyzeInformationFlow(P, CFG, Improved);
+  FlowQueryEngine Q(R.Graph);
+  bool SawMark = false;
+  for (std::string_view Name : R.Graph.nodes()) {
+    WitnessStep Step = query::makeWitnessStep(Name);
+    if (Step.Mark != NodeMark::Plain) {
+      SawMark = true;
+      EXPECT_LT(Step.Resource.size(), Step.Node.size());
+    }
+  }
+  EXPECT_TRUE(SawMark) << "improved pipeline graph has no interface nodes";
+}
+
+TEST(FlowQueryEngine, MemoryBytesAccountsForIndex) {
+  Digraph Small;
+  Small.addEdge(Small.addNode("a"), Small.addNode("b"));
+  FlowQueryEngine QSmall(Small);
+  EXPECT_GT(QSmall.memoryBytes(), 0u);
+
+  DiagnosticEngine Diags;
+  StatementProgram Prog =
+      parseStatementProgram(workloads::chainStatements(128), Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  std::optional<ElaboratedProgram> P =
+      elaborateStatements(*Prog.Body, Diags, &Prog.Decls);
+  ASSERT_TRUE(P.has_value());
+  ProgramCFG CFG = ProgramCFG::build(*P);
+  IFAResult R = analyzeInformationFlow(*P, CFG);
+  FlowQueryEngine QBig(R.Graph);
+  EXPECT_GT(QBig.memoryBytes(), QSmall.memoryBytes());
+}
+
+} // namespace

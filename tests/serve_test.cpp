@@ -127,6 +127,81 @@ TEST(Serve, FlowsThenCacheHit) {
   EXPECT_EQ(S.cache().size(), 1u);
 }
 
+TEST(Serve, QueryAnswersFromWarmSession) {
+  Server S;
+  JsonValue First = parseResponse(S.handleLine(muxRequest(
+      "query", 1, R"("options":{"from":"sel","to":"q"})")));
+  EXPECT_EQ(str(First, "status"), "ok") << str(First, "diagnostics");
+  EXPECT_EQ(str(First, "command"), "query");
+  EXPECT_EQ(First.find("method"), nullptr) << "query has no method member";
+  EXPECT_FALSE(First.find("cacheHit")->asBool());
+  const JsonValue *Q = First.find("query");
+  ASSERT_NE(Q, nullptr);
+  EXPECT_EQ(str(*Q, "from"), "sel");
+  EXPECT_EQ(str(*Q, "to"), "q");
+  EXPECT_TRUE(Q->find("reaches")->asBool()) << "implicit flow sel -> q";
+  const JsonValue *Witness = Q->find("witness");
+  ASSERT_NE(Witness, nullptr);
+  ASSERT_GE(Witness->elements().size(), 2u);
+  EXPECT_EQ(str(Witness->elements().front(), "node"), "sel");
+  EXPECT_EQ(str(Witness->elements().back(), "node"), "q");
+  for (const JsonValue &Step : Witness->elements()) {
+    EXPECT_FALSE(str(Step, "resource").empty());
+    EXPECT_FALSE(str(Step, "kind").empty());
+  }
+  ASSERT_NE(Q->find("reachableFrom"), nullptr);
+  ASSERT_NE(Q->find("whatReaches"), nullptr);
+  EXPECT_EQ(Q->find("whatReaches")->elements().size(), 3u)
+      << "d0, d1 and sel all reach q";
+
+  // Same source, other direction: the warm session answers (one Hit) and
+  // a negative result carries no witness array.
+  JsonValue Second = parseResponse(S.handleLine(muxRequest(
+      "query", 2, R"("options":{"from":"q","to":"sel"})")));
+  EXPECT_EQ(str(Second, "status"), "ok");
+  EXPECT_TRUE(Second.find("cacheHit")->asBool());
+  EXPECT_EQ(S.cache().stats().Hits, 1u);
+  EXPECT_EQ(S.cache().stats().Misses, 1u);
+  const JsonValue *Q2 = Second.find("query");
+  ASSERT_NE(Q2, nullptr);
+  EXPECT_FALSE(Q2->find("reaches")->asBool());
+  EXPECT_EQ(Q2->find("witness"), nullptr);
+  EXPECT_TRUE(Q2->find("reachableFrom")->elements().empty());
+
+  // Unknown node names are a negative answer, not an error.
+  JsonValue Third = parseResponse(S.handleLine(muxRequest(
+      "query", 3, R"("options":{"from":"nosuch","to":"q"})")));
+  EXPECT_EQ(str(Third, "status"), "ok");
+  EXPECT_FALSE(Third.find("query")->find("reaches")->asBool());
+}
+
+TEST(Serve, QueryOptionValidation) {
+  Server S;
+  // from/to are mandatory for query...
+  JsonValue NoOpts = parseResponse(S.handleLine(muxRequest("query", 1)));
+  EXPECT_EQ(str(*NoOpts.find("error"), "code"), "bad-request");
+  JsonValue OnlyFrom = parseResponse(S.handleLine(
+      muxRequest("query", 2, R"("options":{"from":"sel"})")));
+  EXPECT_EQ(str(*OnlyFrom.find("error"), "code"), "bad-request");
+  EXPECT_NE(str(*OnlyFrom.find("error"), "message").find("to"),
+            std::string::npos);
+  // ...must be strings...
+  JsonValue BadType = parseResponse(S.handleLine(
+      muxRequest("query", 3, R"("options":{"from":1,"to":"q"})")));
+  EXPECT_EQ(str(*BadType.find("error"), "code"), "bad-request");
+  // ...and apply to no other command.
+  JsonValue OnFlows = parseResponse(S.handleLine(
+      muxRequest("flows", 4, R"("options":{"from":"sel","to":"q"})")));
+  EXPECT_EQ(str(*OnFlows.find("error"), "code"), "bad-request");
+  EXPECT_NE(str(*OnFlows.find("error"), "message").find("query"),
+            std::string::npos);
+
+  // Validation failures leave the server serving.
+  JsonValue Ok = parseResponse(S.handleLine(muxRequest(
+      "query", 5, R"("options":{"from":"sel","to":"q"})")));
+  EXPECT_EQ(str(Ok, "status"), "ok");
+}
+
 TEST(Serve, IdEchoRoundTrips) {
   Server S;
   // Large integral ids must echo exactly, not through %.6g mangling.
@@ -644,7 +719,9 @@ const std::set<std::string> DocumentedFields = {
     "misses",      "evictions", "id",       "error",     "code",
     "message",     "requests", "deltas",    "reason",    "name",
     "value",       "relations", "arity",    "tuples",    "derived",
-    "bytes",       "bytesBudget", "inFlight",
+    "bytes",       "bytesBudget", "inFlight", "query",   "reaches",
+    "witness",     "node",     "resource",  "kind",      "reachableFrom",
+    "whatReaches", "queryMs",
 };
 
 void checkFields(const JsonValue &V, const std::string &Where) {
@@ -684,13 +761,18 @@ TEST(SchemaConformance, EveryDocumentTypeStaysWithinTheSpec) {
       {"/nonexistent/missing.vhd", std::nullopt},
   };
   for (BatchMode Mode : {BatchMode::Check, BatchMode::Flows,
-                         BatchMode::Matrices, BatchMode::Report}) {
+                         BatchMode::Matrices, BatchMode::Report,
+                         BatchMode::Query}) {
     BatchOptions Opts;
     Opts.Mode = Mode;
     Opts.Cache = &Cache;
     Opts.CaptureRenderedText = false;
     if (Mode == BatchMode::Report)
       Opts.Policy.Forbidden.push_back({"d1", "q"});
+    if (Mode == BatchMode::Query) {
+      Opts.QueryFrom = "sel";
+      Opts.QueryTo = "q";
+    }
     BatchResult R = runBatch(Inputs, Opts);
     std::ostringstream OS;
     printBatchJson(OS, R, Opts);
@@ -706,6 +788,9 @@ TEST(SchemaConformance, EveryDocumentTypeStaysWithinTheSpec) {
                     "report", 4,
                     R"("options":{"forbid":[{"from":"sel","to":"q"}]})")),
                 "serve/report");
+  checkDocument(S.handleLine(muxRequest(
+                    "query", 5, R"("options":{"from":"sel","to":"q"})")),
+                "serve/query");
   checkDocument(S.handleLine(R"({"command":"stats","id":null})"),
                 "serve/stats");
   checkDocument(S.handleLine(R"({"command":"ping"})"), "serve/ping");

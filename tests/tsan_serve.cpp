@@ -14,6 +14,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Serve.h"
+#include "query/FlowQueryEngine.h"
+#include "support/BitSet.h"
+#include "support/Graph.h"
 #include "support/Parallel.h"
 #include "workloads/Synthetic.h"
 
@@ -31,26 +34,38 @@ using namespace vif::driver;
 
 namespace {
 
-std::string flowsRequest(const std::string &Source, int Id) {
-  std::string Req = "{\"schema\":\"vifc.v1\",\"id\":" + std::to_string(Id) +
-                    ",\"command\":\"flows\",\"source\":\"";
+std::string escapeJson(const std::string &Source) {
+  std::string Out;
   for (char C : Source) {
     switch (C) {
     case '"':
-      Req += "\\\"";
+      Out += "\\\"";
       break;
     case '\\':
-      Req += "\\\\";
+      Out += "\\\\";
       break;
     case '\n':
-      Req += "\\n";
+      Out += "\\n";
       break;
     default:
-      Req += C;
+      Out += C;
     }
   }
-  Req += "\"}";
-  return Req;
+  return Out;
+}
+
+std::string flowsRequest(const std::string &Source, int Id) {
+  return "{\"schema\":\"vifc.v1\",\"id\":" + std::to_string(Id) +
+         ",\"command\":\"flows\",\"source\":\"" + escapeJson(Source) +
+         "\"}";
+}
+
+std::string queryRequest(const std::string &Source, int Id,
+                         const std::string &From, const std::string &To) {
+  return "{\"schema\":\"vifc.v1\",\"id\":" + std::to_string(Id) +
+         ",\"command\":\"query\",\"source\":\"" + escapeJson(Source) +
+         "\",\"options\":{\"from\":\"" + From + "\",\"to\":\"" + To +
+         "\"}}";
 }
 
 /// M threads calling handleLine directly against one server with a
@@ -159,6 +174,85 @@ bool hammerServeFd() {
   return true;
 }
 
+/// Query requests racing flows requests on one shared cache: the lazily
+/// built query index (AnalysisSession::queryEngine) and the graph's lazy
+/// sorted views are exercised from several threads against the same
+/// cached sessions.
+bool hammerQueryRequests() {
+  constexpr unsigned Threads = 6, Requests = 10, Designs = 3;
+  std::vector<std::string> Queries, Flows;
+  for (unsigned D = 0; D < Designs; ++D) {
+    std::string Source = workloads::pipelineDesign(3 + D);
+    Queries.push_back(queryRequest(Source, int(D), "s_0", "s_2"));
+    Flows.push_back(flowsRequest(Source, int(100 + D)));
+  }
+
+  Server S;
+  std::atomic<unsigned> Failures{0};
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&S, &Queries, &Flows, &Failures, T] {
+      for (unsigned R = 0; R < Requests; ++R) {
+        bool WantQuery = (T + R) % 2 == 0;
+        const std::string &Req = WantQuery ? Queries[(T + R) % Designs]
+                                           : Flows[(T + R) % Designs];
+        std::string Response = S.handleLine(Req);
+        if (Response.find("\"status\":\"ok\"") == std::string::npos)
+          ++Failures;
+        if (WantQuery &&
+            Response.find("\"reaches\":true") == std::string::npos)
+          ++Failures;
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+
+  if (Failures.load() != 0) {
+    std::fprintf(stderr, "tsan_serve: %u query requests failed\n",
+                 Failures.load());
+    return false;
+  }
+  return true;
+}
+
+/// Many threads materializing one shared Digraph's lazy views (sorted
+/// edges, ranks, reachability closure, a full query engine) — the borrow
+/// pattern recordGraph/FlowQueryEngine rely on under the worker pool.
+bool hammerGraphViews() {
+  Digraph G;
+  for (unsigned I = 0; I < 96; ++I)
+    G.addEdge("n" + std::to_string(I * 7 % 32),
+              "n" + std::to_string(I * 13 % 32));
+
+  constexpr unsigned Threads = 8;
+  std::atomic<unsigned> Failures{0};
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&G, &Failures] {
+      size_t Edges = 0;
+      G.forEachSortedEdge(
+          [&Edges](std::string_view, std::string_view) { ++Edges; });
+      if (Edges != G.numEdges())
+        ++Failures;
+      if (G.rankedNodes().size() != G.numNodes())
+        ++Failures;
+      BitMatrix M;
+      G.reachabilityClosure(M);
+      query::FlowQueryEngine Q(G);
+      if (Q.numEdges() != G.numEdges())
+        ++Failures;
+    });
+  for (std::thread &W : Workers)
+    W.join();
+
+  if (Failures.load() != 0) {
+    std::fprintf(stderr, "tsan_serve: %u graph view readers failed\n",
+                 Failures.load());
+    return false;
+  }
+  return true;
+}
+
 /// The WorkerPool itself under churn: enqueue from several producers
 /// while the pool drains, close() racing the last enqueues.
 bool hammerWorkerPool() {
@@ -194,6 +288,8 @@ int main() {
   // Several rounds so thread interleavings vary.
   for (int Round = 0; Round < 3 && Ok; ++Round) {
     Ok = Ok && hammerHandleLine();
+    Ok = Ok && hammerQueryRequests();
+    Ok = Ok && hammerGraphViews();
     Ok = Ok && hammerServeFd();
     Ok = Ok && hammerWorkerPool();
   }

@@ -136,6 +136,8 @@ TEST(V1b, RoundTripEveryCommand) {
       {"rm", ""},
       {"report",
        "\"options\":{\"forbid\":[{\"from\":\"sel\",\"to\":\"q\"}]}"},
+      {"query", "\"options\":{\"from\":\"sel\",\"to\":\"q\"}"},
+      {"query", "\"options\":{\"from\":\"q\",\"to\":\"sel\"}"},
   };
   for (const Case &C : Cases) {
     // One server per case so the JSON and v1b requests hit the same

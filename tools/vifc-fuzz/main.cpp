@@ -8,7 +8,7 @@
 /// vifc-fuzz: drive randomized designs (src/gen) through every retained
 /// dense/reference oracle pair and through destructive source mutation.
 ///
-///   vifc-fuzz [--mode oracle|mutate|all] [--start N] [--count N]
+///   vifc-fuzz [--mode oracle|query|mutate|all] [--start N] [--count N]
 ///             [--seed N] [--mutants N] [--minimize] [--dump DIR] [--quiet]
 ///
 /// Oracle mode, per seed: generate a valid-by-construction design, then
@@ -19,6 +19,12 @@
 /// ResourceMatrix == ReferenceResourceMatrix under shuffled replay,
 /// (7) Digraph::transitiveClosure == DFS reachability on the flow graph,
 /// (8) determinism: regeneration and reanalysis are byte/set identical.
+///
+/// Query mode, per seed: build a FlowQueryEngine over the improved flow
+/// graph and check it against first-principles graph walks — reaches()
+/// against DFS for a deterministic sample of ordered node pairs, every
+/// positive witness validated edge by edge and against the exact BFS
+/// distance, reachableFrom/whatReaches against per-node DFS sets.
 ///
 /// Mutate mode, per seed: corrupt the generated source (truncation, token
 /// splicing, byte flips — src/gen/Mutator.h) and require the frontend to
@@ -36,7 +42,10 @@
 #include "gen/Mutator.h"
 #include "ifa/InformationFlow.h"
 #include "parse/Parser.h"
+#include "query/FlowQueryEngine.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -48,7 +57,7 @@ using namespace vif;
 namespace {
 
 struct Options {
-  enum class Mode { Oracle, Mutate, All };
+  enum class Mode { Oracle, Query, Mutate, All };
   Mode M = Mode::All;
   uint64_t Start = 1;
   uint64_t Count = 50;
@@ -62,7 +71,8 @@ struct Options {
 int usage() {
   std::cerr
       << "usage: vifc-fuzz [options]\n"
-         "  --mode oracle|mutate|all  which battery to run (default all)\n"
+         "  --mode oracle|query|mutate|all\n"
+         "                            which battery to run (default all)\n"
          "  --start N                 first seed (default 1)\n"
          "  --count N                 number of seeds (default 50)\n"
          "  --seed N                  run exactly seed N (reproducer)\n"
@@ -257,6 +267,132 @@ std::string oracleFailure(const std::string &Source) {
   return "";
 }
 
+/// Exact BFS distance (in edges, length >= 1) from \p Src to \p Sink, or
+/// SIZE_MAX when unreachable. Matches FlowQueryEngine's witness semantics:
+/// Src == Sink asks for the shortest cycle through the node.
+size_t bfsDistance(const Digraph &G, Digraph::NodeId Src,
+                   Digraph::NodeId Sink) {
+  std::vector<size_t> Dist(G.numNodes(), SIZE_MAX);
+  std::vector<Digraph::NodeId> Queue;
+  for (Digraph::NodeId S : G.successors(Src)) {
+    if (S == Sink)
+      return 1;
+    if (Dist[S] == SIZE_MAX) {
+      Dist[S] = 1;
+      Queue.push_back(S);
+    }
+  }
+  for (size_t Head = 0; Head < Queue.size(); ++Head) {
+    Digraph::NodeId Cur = Queue[Head];
+    for (Digraph::NodeId S : G.successors(Cur)) {
+      if (S == Sink)
+        return Dist[Cur] + 1;
+      if (Dist[S] == SIZE_MAX) {
+        Dist[S] = Dist[Cur] + 1;
+        Queue.push_back(S);
+      }
+    }
+  }
+  return SIZE_MAX;
+}
+
+/// Query battery: a FlowQueryEngine over the improved flow graph must agree
+/// with first-principles DFS/BFS walks of the same graph. Like
+/// oracleFailure this doubles as the minimizer predicate, so the pair
+/// sample is a pure function of the source text.
+std::string queryFailure(const std::string &Source) {
+  std::string Err;
+  std::optional<ElaboratedProgram> P = frontend(Source, Err);
+  if (!P)
+    return "generator emitted an invalid design:\n" + Err;
+  ProgramCFG CFG = ProgramCFG::build(*P);
+  IFAOptions Improved;
+  Improved.Improved = true;
+  IFAResult R = analyzeInformationFlow(*P, CFG, Improved);
+  const Digraph &G = R.Graph;
+  query::FlowQueryEngine Q(G);
+
+  size_t N = G.numNodes();
+  const std::vector<std::string_view> &Names = G.nodes();
+  auto pairName = [&](Digraph::NodeId A, Digraph::NodeId B) {
+    return "(" + std::string(Names[A]) + ", " + std::string(Names[B]) + ")";
+  };
+
+  // Ordered pair sample: exhaustive on small graphs, otherwise 256 pairs
+  // drawn from a splitmix64 stream seeded by an FNV-1a hash of the source.
+  std::vector<std::pair<Digraph::NodeId, Digraph::NodeId>> Pairs;
+  if (N == 0)
+    return Q.reaches("a", "a") ? "empty graph answers reaches" : "";
+  if (N <= 24) {
+    for (Digraph::NodeId A = 0; A < N; ++A)
+      for (Digraph::NodeId B = 0; B < N; ++B)
+        Pairs.emplace_back(A, B);
+  } else {
+    uint64_t H = 0xcbf29ce484222325ull;
+    for (char C : Source) {
+      H ^= static_cast<unsigned char>(C);
+      H *= 0x100000001b3ull;
+    }
+    auto next = [&H]() {
+      H += 0x9e3779b97f4a7c15ull;
+      uint64_t Z = H;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+      return Z ^ (Z >> 31);
+    };
+    for (size_t I = 0; I < 256; ++I)
+      Pairs.emplace_back(next() % N, next() % N);
+  }
+
+  for (auto [A, B] : Pairs) {
+    std::string_view NA = Names[A], NB = Names[B];
+    bool Fast = Q.reaches(NA, NB);
+    if (Fast != G.reachable(NA, NB))
+      return "reaches" + pairName(A, B) + " disagrees with DFS";
+    std::optional<std::vector<query::WitnessStep>> W = Q.witnessPath(NA, NB);
+    if (W.has_value() != Fast)
+      return "witness presence disagrees with reaches" + pairName(A, B);
+    if (!W)
+      continue;
+    if (W->size() < 2 || W->front().Node != NA || W->back().Node != NB)
+      return "witness endpoints wrong for " + pairName(A, B);
+    for (size_t I = 0; I + 1 < W->size(); ++I)
+      if (!G.hasEdge((*W)[I].Node, (*W)[I + 1].Node))
+        return "witness uses a non-edge for " + pairName(A, B);
+    if (W->size() != bfsDistance(G, A, B) + 1)
+      return "witness is not a shortest path for " + pairName(A, B);
+    for (const query::WitnessStep &Step : *W)
+      if (!(query::makeWitnessStep(Step.Node) == Step))
+        return "witness step mark not canonical for " + pairName(A, B);
+  }
+
+  // Forward/backward sets against per-node DFS, for a prefix of node ids.
+  for (Digraph::NodeId S = 0; S < N && S < 8; ++S) {
+    std::vector<std::string> Fwd, Bwd;
+    for (Digraph::NodeId T = 0; T < N; ++T) {
+      if (G.reachable(Names[S], Names[T]))
+        Fwd.push_back(std::string(Names[T]));
+      if (G.reachable(Names[T], Names[S]))
+        Bwd.push_back(std::string(Names[T]));
+    }
+    std::sort(Fwd.begin(), Fwd.end());
+    std::sort(Bwd.begin(), Bwd.end());
+    if (Q.reachableFrom(Names[S]) != Fwd)
+      return "reachableFrom(" + std::string(Names[S]) +
+             ") disagrees with DFS";
+    if (Q.whatReaches(Names[S]) != Bwd)
+      return "whatReaches(" + std::string(Names[S]) + ") disagrees with DFS";
+  }
+
+  // Unknown names answer negatively everywhere.
+  if (Q.reaches("<no-such-node>", Names[0]) ||
+      Q.witnessPath(Names[0], "<no-such-node>") ||
+      !Q.reachableFrom("<no-such-node>").empty() ||
+      !Q.whatReaches("<no-such-node>").empty())
+    return "unknown node name did not answer negatively";
+  return "";
+}
+
 /// Mutation battery: the frontend must terminate with either success or
 /// diagnostics on arbitrary corruptions. Returns a failure description or
 /// empty. Crashes/hangs are caught by the harness (sanitizers + ctest
@@ -313,6 +449,8 @@ int main(int argc, char **argv) {
       std::string M = V;
       if (M == "oracle")
         Opts.M = Options::Mode::Oracle;
+      else if (M == "query")
+        Opts.M = Options::Mode::Query;
       else if (M == "mutate")
         Opts.M = Options::Mode::Mutate;
       else if (M == "all")
@@ -354,10 +492,14 @@ int main(int argc, char **argv) {
     }
   }
 
-  bool RunOracle = Opts.M != Options::Mode::Mutate;
-  bool RunMutate = Opts.M != Options::Mode::Oracle;
+  bool RunOracle =
+      Opts.M == Options::Mode::Oracle || Opts.M == Options::Mode::All;
+  bool RunQuery =
+      Opts.M == Options::Mode::Query || Opts.M == Options::Mode::All;
+  bool RunMutate =
+      Opts.M == Options::Mode::Mutate || Opts.M == Options::Mode::All;
   unsigned Failures = 0;
-  uint64_t OracleRuns = 0, MutantRuns = 0;
+  uint64_t OracleRuns = 0, QueryRuns = 0, MutantRuns = 0;
 
   for (uint64_t Seed = Opts.Start; Seed < Opts.Start + Opts.Count; ++Seed) {
     std::string Source = gen::generateDesign(Seed);
@@ -389,6 +531,18 @@ int main(int argc, char **argv) {
                   << " bytes, oracle battery ok\n";
       }
     }
+    if (RunQuery) {
+      ++QueryRuns;
+      std::string What = queryFailure(Source);
+      if (!What.empty()) {
+        ++Failures;
+        reportFailure(Seed, What, Source, Opts, [](const std::string &S) {
+          return !queryFailure(S).empty();
+        });
+      } else if (!Opts.Quiet) {
+        std::cout << "seed " << Seed << ": query battery ok\n";
+      }
+    }
     if (RunMutate) {
       for (unsigned K = 0; K < Opts.Mutants; ++K) {
         gen::MutateOptions MOpts;
@@ -410,7 +564,8 @@ int main(int argc, char **argv) {
     }
   }
 
-  std::cout << "vifc-fuzz: " << OracleRuns << " oracle seeds, " << MutantRuns
-            << " mutants, " << Failures << " failure(s)\n";
+  std::cout << "vifc-fuzz: " << OracleRuns << " oracle seeds, " << QueryRuns
+            << " query seeds, " << MutantRuns << " mutants, " << Failures
+            << " failure(s)\n";
   return Failures ? 1 : 0;
 }

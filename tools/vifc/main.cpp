@@ -12,6 +12,7 @@
 ///   vifc flows   [--improved] [--end-out] [--kemmerer|--alfp] [--dot] FILE...
 ///   vifc rm      FILE...                   local and global matrices
 ///   vifc report  [--forbid A,B]... FILE... covert-channel audit report
+///   vifc query   --from A --to B FILE...   point reachability + witness
 ///   vifc datalog FILE.alfp                 solve ALFP, print ?-queries
 ///   vifc serve   [--cache N] [--listen PORT]
 ///
@@ -62,6 +63,8 @@ void printUsage(std::ostream &OS) {
         "  flows   print the information-flow graph (edges, or --dot)\n"
         "  rm      print the local and global resource matrices\n"
         "  report  write a covert-channel audit report\n"
+        "  query   answer a point reachability query (--from/--to) with a\n"
+        "          shortest witness path and both reachable sets\n"
         "  datalog solve an ALFP/Datalog file and print ?-queried "
         "relations\n"
         "  serve   long-lived analysis server: line-delimited vifc.v1 JSON\n"
@@ -72,9 +75,11 @@ void printUsage(std::ostream &OS) {
         "                 (every command except datalog)\n"
         "  --improved     apply the Table 9 improvement (incoming/outgoing"
         " nodes)\n"
-        "                 (flows, rm, report, serve)\n"
+        "                 (flows, rm, report, query, serve)\n"
         "  --end-out      treat program end as an outgoing sync point\n"
-        "                 (flows, rm, report, serve)\n"
+        "                 (flows, rm, report, query, serve)\n"
+        "  --from NODE    (query) the flow source to ask about; required\n"
+        "  --to NODE      (query) the flow sink to ask about; required\n"
         "  --kemmerer     use Kemmerer's transitive-closure method (flows)\n"
         "  --alfp         compute the closure via the ALFP engine (flows)\n"
         "  --dot          emit Graphviz DOT (flows, one FILE, no --json)\n"
@@ -86,8 +91,10 @@ void printUsage(std::ostream &OS) {
         "                 except serve; docs/SCHEMA.md)\n"
         "  --format FMT   response format: 'json', or 'v1b' for binary\n"
         "                 columnar frames, one per FILE (check/flows/rm/\n"
-        "                 report; --format=v1b also works; docs/SCHEMA.md)\n"
-        "  --jobs N       worker threads (check/flows/rm/report): designs\n"
+        "                 report/query; --format=v1b also works; "
+        "docs/SCHEMA.md)\n"
+        "  --jobs N       worker threads (check/flows/rm/report/query):"
+        " designs\n"
         "                 in batch mode, per-process solver fan-out on a\n"
         "                 single FILE; 0 = auto (default: up to 8)\n"
         "  --cache N      (serve) session-cache capacity in entries "
@@ -131,6 +138,11 @@ struct Options {
   unsigned Workers = 0;
   unsigned ListenPort = 0;
   bool ListenGiven = false;
+  /// query: the --from / --to node pair (both required).
+  std::string QueryFrom;
+  std::string QueryTo;
+  bool FromGiven = false;
+  bool ToGiven = false;
   std::string VcdPath;
   std::vector<std::pair<std::string, std::string>> Forbidden;
 
@@ -164,18 +176,20 @@ struct FlagSpec {
 };
 
 const FlagSpec FlagSpecs[] = {
-    {"--statements", "check sim flows rm report serve"},
-    {"--improved", "flows rm report serve"},
-    {"--end-out", "flows rm report serve"},
+    {"--statements", "check sim flows rm report query serve"},
+    {"--improved", "flows rm report query serve"},
+    {"--end-out", "flows rm report query serve"},
     {"--kemmerer", "flows"},
     {"--alfp", "flows"},
     {"--dot", "flows"},
     {"--deltas", "sim"},
     {"--vcd", "sim"},
     {"--forbid", "report"},
-    {"--json", "check sim flows rm report datalog"},
-    {"--format", "check flows rm report"},
-    {"--jobs", "check flows rm report"},
+    {"--from", "query"},
+    {"--to", "query"},
+    {"--json", "check sim flows rm report query datalog"},
+    {"--format", "check flows rm report query"},
+    {"--jobs", "check flows rm report query"},
     {"--cache", "serve"},
     {"--cache-bytes", "serve"},
     {"--workers", "serve"},
@@ -425,6 +439,8 @@ int cmdBatch(const Options &Opt, driver::BatchMode Mode) {
     B.Session.Ifa.RD.Jobs = 1;
   for (const auto &[From, To] : Opt.Forbidden)
     B.Policy.Forbidden.push_back({From, To});
+  B.QueryFrom = Opt.QueryFrom;
+  B.QueryTo = Opt.QueryTo;
   B.Jobs = Opt.Jobs;
   B.CaptureRenderedText = !Opt.Json && !Opt.V1bOut;
   B.Cache = &Cache;
@@ -523,8 +539,8 @@ int main(int Argc, char **Argv) {
   Opt.Command = Args[0];
   // Validate the command before its flags, so `vifc frobnicate --json`
   // says "unknown command", not something misleading about --json.
-  const char *Commands[] = {"check", "sim",     "flows", "rm",
-                            "report", "datalog", "serve"};
+  const char *Commands[] = {"check",  "sim",   "flows",   "rm",
+                            "report", "query", "datalog", "serve"};
   if (std::find(std::begin(Commands), std::end(Commands), Opt.Command) ==
       std::end(Commands)) {
     std::cerr << "unknown command '" << Opt.Command << "'\n";
@@ -617,6 +633,16 @@ int main(int Argc, char **Argv) {
       if (!nextValue(A, Value))
         return usage();
       Opt.VcdPath = Value;
+    } else if (A == "--from") {
+      if (!nextValue(A, Value))
+        return usage();
+      Opt.QueryFrom = Value;
+      Opt.FromGiven = true;
+    } else if (A == "--to") {
+      if (!nextValue(A, Value))
+        return usage();
+      Opt.QueryTo = Value;
+      Opt.ToGiven = true;
     } else if (A == "--forbid") {
       if (!nextValue(A, Value))
         return usage();
@@ -649,6 +675,11 @@ int main(int Argc, char **Argv) {
   // different batch workers) would split it nondeterministically.
   if (std::count(Opt.Files.begin(), Opt.Files.end(), "-") > 1) {
     std::cerr << "error: '-' (stdin) may be given at most once\n";
+    return usage();
+  }
+
+  if (Opt.Command == "query" && (!Opt.FromGiven || !Opt.ToGiven)) {
+    std::cerr << "error: 'query' requires both --from and --to\n";
     return usage();
   }
 
@@ -685,6 +716,10 @@ int main(int Argc, char **Argv) {
   if (Opt.Command == "report")
     return Batch ? cmdBatch(Opt, driver::BatchMode::Report)
                  : cmdReport(Opt);
+  // query is new with the batch engine, so it has no historical
+  // single-file text format to preserve: every shape runs through it.
+  if (Opt.Command == "query")
+    return cmdBatch(Opt, driver::BatchMode::Query);
   // The command set was validated up front, so this is datalog.
   return cmdDatalog(Opt);
 }
