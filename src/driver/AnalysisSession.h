@@ -25,6 +25,7 @@
 #include "ifa/Kemmerer.h"
 #include "parse/Parser.h"
 #include "query/FlowQueryEngine.h"
+#include "rd/Incremental.h"
 #include "sema/Elaborator.h"
 
 #include <optional>
@@ -44,10 +45,14 @@ struct StageTimings {
   double KemmererMs = 0;
   double AlfpMs = 0;
   double QueryMs = 0;
+  /// Time spent loading/decoding and encoding/writing on-disk artifacts
+  /// (the `--store` path). Solver time it saved shows up as the *absence*
+  /// of IfaMs/QueryMs — a warm-disk run has IfaMs ~0 and only StoreMs.
+  double StoreMs = 0;
 
   double totalMs() const {
     return ReadMs + ParseMs + ElaborateMs + CfgMs + IfaMs + KemmererMs +
-           AlfpMs + QueryMs;
+           AlfpMs + QueryMs + StoreMs;
   }
 };
 
@@ -76,6 +81,26 @@ public:
 
   AnalysisSession(AnalysisSession &&) = default;
   AnalysisSession &operator=(AnalysisSession &&) = default;
+
+  /// Wires the incremental/persistence layer in: per-process Table 4/5
+  /// artifacts are reused through \p Table, whole-design artifacts (the
+  /// matrices + flow graph, the query index) through \p Store. Either may
+  /// be null; neither is owned. Call before the first analysis accessor —
+  /// artifacts already computed are never retrofitted.
+  void setArtifacts(ProcessArtifactTable *Table, ArtifactBlobStore *Store) {
+    Artifacts = Table;
+    Blobs = Store;
+  }
+
+  /// How the last ifa() run composed its Table 4/5 results (all zero when
+  /// the cold path ran: no table wired, an uncovered option mode, or a
+  /// whole-design store hit that skipped the solvers entirely).
+  const IncrementalStats &incrementalStats() const { return IncStats; }
+
+  /// True while ifa() holds a store-served partial result (matrices and
+  /// flow graph only). reachingDefs()/alfp() upgrade it in place — the
+  /// graph and matrices keep their identity, the RD tier is filled in.
+  bool ifaPartial() const { return IfaPartial; }
 
   const std::string &name() const { return Name; }
   const SessionOptions &options() const { return Opts; }
@@ -141,6 +166,15 @@ private:
   /// Runs the parse stage if needed; true when an AST is available.
   bool ensureParsed();
 
+  /// The store key for whole-design artifacts: the session cache key of
+  /// (source, options). Requires the source to be loaded.
+  uint64_t designKey();
+  /// The solver path of ifa(): incremental through Artifacts when
+  /// possible, cold otherwise; writes the design blob back on success.
+  void computeIfa(const ElaboratedProgram &P, const ProgramCFG &C);
+  /// Fills a partial ifa() result's RD tier in place (see ifaPartial()).
+  void upgradeIfa();
+
   std::string Name;
   SessionOptions Opts;
   DiagnosticEngine Diags;
@@ -155,6 +189,12 @@ private:
   State KemmererState = State::NotComputed;
   State AlfpState = State::NotComputed;
   State QueryState = State::NotComputed;
+
+  /// Borrowed wiring of the incremental layer; see setArtifacts().
+  ProcessArtifactTable *Artifacts = nullptr;
+  ArtifactBlobStore *Blobs = nullptr;
+  IncrementalStats IncStats;
+  bool IfaPartial = false;
 
   std::string Src;
   std::optional<DesignFile> DesignAst;

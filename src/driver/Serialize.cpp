@@ -6,6 +6,8 @@
 
 #include "driver/Serialize.h"
 
+#include "driver/ArtifactStore.h"
+
 #include <ostream>
 
 using namespace vif;
@@ -108,6 +110,7 @@ void vif::driver::writeDesignBody(JsonWriter &J, const DesignResult &D,
   J.member("kemmererMs", D.Timings.KemmererMs);
   J.member("alfpMs", D.Timings.AlfpMs);
   J.member("queryMs", D.Timings.QueryMs);
+  J.member("storeMs", D.Timings.StoreMs);
   J.member("totalMs", D.Timings.totalMs());
   J.endObject();
 }
@@ -123,6 +126,19 @@ void vif::driver::writeCacheObject(JsonWriter &J, const SessionCache &Cache) {
   J.member("evictions", St.Evictions);
   J.member("bytes", Cache.bytes());
   J.member("bytesBudget", Cache.bytesBudget());
+  J.endObject();
+}
+
+void vif::driver::writeStoreObject(JsonWriter &J,
+                                   const ArtifactStore &Store) {
+  ArtifactStore::Counters C = Store.counters();
+  J.key("store");
+  J.beginObject();
+  J.member("hits", C.Hits);
+  J.member("misses", C.Misses);
+  J.member("writes", C.Writes);
+  J.member("bytesRead", C.BytesRead);
+  J.member("bytesWritten", C.BytesWritten);
   J.endObject();
 }
 

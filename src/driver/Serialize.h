@@ -52,6 +52,12 @@ void writeDesignBody(JsonWriter &J, const DesignResult &D,
 /// The "cache" statistics object (serve responses, stats documents).
 void writeCacheObject(JsonWriter &J, const SessionCache &Cache);
 
+class ArtifactStore;
+
+/// The "store" statistics object — on-disk artifact hits/misses/writes
+/// and byte traffic (serve stats documents when `--store` is configured).
+void writeStoreObject(JsonWriter &J, const ArtifactStore &Store);
+
 /// One complete batch document (the `--json` output of check/flows/rm/
 /// report): schema, command, designs array, summary.
 void writeBatchDocument(std::ostream &OS, const BatchResult &R,

@@ -9,6 +9,7 @@
 #include "driver/Batch.h"
 #include "driver/Serialize.h"
 #include "driver/V1b.h"
+#include "support/Hash.h"
 #include "support/Json.h"
 #include "support/JsonParse.h"
 #include "support/Parallel.h"
@@ -43,6 +44,10 @@ struct ServeRequest {
   std::string Path;
   bool HasSource = false;
   std::string Source;
+  /// Source-by-reference: the content hash of a source some earlier
+  /// request sent inline (the server echoes it as "contentKey").
+  bool HasContentKey = false;
+  std::string ContentKey;
   std::string Name;
   BatchMode Mode = BatchMode::Check;
   FlowMethod Method = FlowMethod::Native;
@@ -172,6 +177,11 @@ std::string parseRequest(const JsonValue &Doc, ServeRequest &R) {
         return "\"source\" must be a string";
       R.HasSource = true;
       R.Source = Value.asString();
+    } else if (Key == "contentKey") {
+      if (!Value.isString())
+        return "\"contentKey\" must be a string";
+      R.HasContentKey = true;
+      R.ContentKey = Value.asString();
     } else if (Key == "name") {
       if (!Value.isString())
         return "\"name\" must be a string";
@@ -200,18 +210,19 @@ std::string parseRequest(const JsonValue &Doc, ServeRequest &R) {
     return "unknown command \"" + R.Command + "\"";
 
   if (!Analysis) {
-    if (!R.Path.empty() || R.HasSource || !R.Name.empty() || Options ||
-        HasFormat)
+    if (!R.Path.empty() || R.HasSource || R.HasContentKey ||
+        !R.Name.empty() || Options || HasFormat)
       return "\"" + R.Command + "\" takes no input or options";
     return "";
   }
 
-  if (R.HasSource == !R.Path.empty())
-    return "exactly one of \"path\" or \"source\" is required";
+  if (int(R.HasSource) + int(R.HasContentKey) + int(!R.Path.empty()) != 1)
+    return "exactly one of \"path\", \"source\" or \"contentKey\" is "
+           "required";
   if (R.Path == "-")
     return "\"path\": \"-\" is not valid here: stdin is the transport";
-  if (!R.Name.empty() && !R.HasSource)
-    return "\"name\" only labels an inline \"source\"";
+  if (!R.Name.empty() && !R.HasSource && !R.HasContentKey)
+    return "\"name\" only labels an inline \"source\" or a \"contentKey\"";
   if (Options)
     if (std::string Msg = parseRequestOptions(*Options, R); !Msg.empty())
       return Msg;
@@ -293,8 +304,59 @@ void writeLineBestEffort(int Fd, const std::string &Line) {
 
 } // namespace
 
+namespace {
+
+/// The content key of a source: 16 lowercase hex digits of its content
+/// hash (the same builder the session cache keys with, minus options —
+/// a contentKey names bytes, not an analysis).
+std::string contentKeyOf(std::string_view Source) {
+  HashBuilder H;
+  H.str(Source);
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(H.value()));
+  return Buf;
+}
+
+} // namespace
+
 Server::Server(ServeOptions Opts)
-    : Opts(Opts), Cache(Opts.CacheCapacity, Opts.CacheBytes) {}
+    : Opts(Opts), Cache(Opts.CacheCapacity, Opts.CacheBytes) {
+  if (!Opts.StoreDir.empty()) {
+    Store = std::make_unique<ArtifactStore>(Opts.StoreDir);
+    Artifacts.setBacking(Store.get());
+  }
+  Cache.setArtifacts(&Artifacts, Store.get());
+}
+
+std::shared_ptr<const std::string>
+Server::lookupContent(const std::string &Key) {
+  std::lock_guard<std::mutex> G(ContentM);
+  auto It = Content.find(Key);
+  if (It == Content.end())
+    return nullptr;
+  ContentLru.splice(ContentLru.begin(), ContentLru, It->second.second);
+  return It->second.first;
+}
+
+std::string Server::rememberContent(const std::string &Source) {
+  std::string Key = contentKeyOf(Source);
+  std::lock_guard<std::mutex> G(ContentM);
+  auto It = Content.find(Key);
+  if (It != Content.end()) {
+    ContentLru.splice(ContentLru.begin(), ContentLru, It->second.second);
+    return Key;
+  }
+  ContentLru.push_front(Key);
+  Content.emplace(Key, std::make_pair(
+                           std::make_shared<const std::string>(Source),
+                           ContentLru.begin()));
+  while (Content.size() > ContentCapacity) {
+    Content.erase(ContentLru.back());
+    ContentLru.pop_back();
+  }
+  return Key;
+}
 
 unsigned Server::effectiveWorkers() const {
   if (Opts.Workers)
@@ -361,6 +423,8 @@ std::string Server::handleLine(const std::string &Line) {
     // Counts this stats request itself, so it is always >= 1.
     J.member("inFlight", InFlight.load(std::memory_order_relaxed));
     writeCacheObject(J, Cache);
+    if (Store)
+      writeStoreObject(J, *Store);
     J.endObject();
     return OS.str();
   }
@@ -376,8 +440,20 @@ std::string Server::handleLine(const std::string &Line) {
   B.Cache = &Cache;
 
   BatchInput In;
-  if (R.HasSource) {
+  std::string ContentKey; // echoed so clients can go by-reference next
+  if (R.HasContentKey) {
+    std::shared_ptr<const std::string> Src = lookupContent(R.ContentKey);
+    if (!Src)
+      return errorResponse(Id, "unknown-content-key",
+                           "no source cached under contentKey \"" +
+                               R.ContentKey +
+                               "\"; send it inline once first");
     In.Name = R.Name.empty() ? "<request>" : R.Name;
+    In.Source = *Src;
+    ContentKey = std::move(R.ContentKey);
+  } else if (R.HasSource) {
+    In.Name = R.Name.empty() ? "<request>" : R.Name;
+    ContentKey = rememberContent(R.Source);
     In.Source = std::move(R.Source);
   } else {
     In.Name = R.Path;
@@ -400,6 +476,8 @@ std::string Server::handleLine(const std::string &Line) {
   writeSchemaTag(J);
   writeId(J, Id);
   J.member("command", R.Command);
+  if (!ContentKey.empty())
+    J.member("contentKey", ContentKey);
   if (R.Mode == BatchMode::Flows)
     J.member("method", flowMethodName(R.Method));
   writeDesignBody(J, D, B);

@@ -27,13 +27,18 @@
 #ifndef VIF_DRIVER_SERVE_H
 #define VIF_DRIVER_SERVE_H
 
+#include "driver/ArtifactStore.h"
 #include "driver/SessionCache.h"
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <list>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 namespace vif {
 namespace driver {
@@ -55,6 +60,11 @@ struct ServeOptions {
   std::function<void(uint16_t)> OnListening;
   /// Session defaults a request's "options" object overrides per field.
   SessionOptions Session;
+  /// When non-empty, the server persists analysis artifacts under this
+  /// directory (driver/ArtifactStore.h) and serves them back across
+  /// restarts; the per-process artifact table is backed by it. Empty =
+  /// in-memory incrementality only.
+  std::string StoreDir;
 };
 
 /// One server: a session cache plus request counters. handleLine (and
@@ -107,6 +117,12 @@ public:
   unsigned effectiveWorkers() const;
 
   SessionCache &cache() { return Cache; }
+  /// The on-disk artifact store; null unless ServeOptions::StoreDir was
+  /// set.
+  const ArtifactStore *artifactStore() const { return Store.get(); }
+  /// The shared per-process artifact table every session analyzes
+  /// through.
+  ProcessArtifactTable &artifactTable() { return Artifacts; }
   uint64_t requestsHandled() const {
     return Requests.load(std::memory_order_relaxed);
   }
@@ -116,8 +132,31 @@ public:
   }
 
 private:
+  /// Returns the cached source for a content key, or null (the
+  /// `unknown-content-key` error).
+  std::shared_ptr<const std::string> lookupContent(const std::string &Key);
+  /// Records an inline source under its content key (LRU-bounded) and
+  /// returns the key, which the response echoes so clients can switch to
+  /// by-reference requests.
+  std::string rememberContent(const std::string &Source);
+
   ServeOptions Opts;
   SessionCache Cache;
+  /// On-disk artifact store (ServeOptions::StoreDir) and the per-process
+  /// artifact table shared by all sessions; wired into Cache before any
+  /// request runs.
+  std::unique_ptr<ArtifactStore> Store;
+  ProcessArtifactTable Artifacts;
+  /// The content-key map behind "contentKey" requests: source bytes by
+  /// their content hash, LRU-bounded, populated by inline-source
+  /// requests.
+  static constexpr size_t ContentCapacity = 1024;
+  std::mutex ContentM;
+  std::list<std::string> ContentLru; ///< most recent first
+  std::unordered_map<std::string,
+                     std::pair<std::shared_ptr<const std::string>,
+                               std::list<std::string>::iterator>>
+      Content;
   std::atomic<uint64_t> Requests{0};
   std::atomic<uint64_t> InFlight{0};
   std::atomic<bool> ShuttingDown{false};

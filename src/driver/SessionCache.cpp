@@ -107,6 +107,7 @@ SessionCache::Ref SessionCache::acquireImpl(std::string Name,
           Key, AnalysisSession::fromSource(
                    std::move(Name),
                    Owned ? std::move(*Owned) : std::string(Source), Opts));
+      E->S.setArtifacts(ArtTable, ArtStore);
       Lru.push_front(E);
       Index[Key] = Lru.begin();
       ++St.Misses;

@@ -166,6 +166,18 @@ public:
   Ref acquireOwned(std::string Name, std::string Source,
                    const SessionOptions &Opts);
 
+  /// Every session created on a miss gets this wiring (see
+  /// AnalysisSession::setArtifacts): per-process artifacts shared across
+  /// all entries through \p Table, whole-design artifacts through
+  /// \p Store. Neither is owned; configure before the cache is shared
+  /// across threads.
+  void setArtifacts(ProcessArtifactTable *Table, ArtifactBlobStore *Store) {
+    ArtTable = Table;
+    ArtStore = Store;
+  }
+  ProcessArtifactTable *artifactTable() const { return ArtTable; }
+  ArtifactBlobStore *artifactStore() const { return ArtStore; }
+
   Stats stats() const;
   size_t size() const;
   size_t capacity() const { return Cap; }
@@ -192,6 +204,8 @@ private:
 
   size_t Cap;
   size_t BytesBudget;
+  ProcessArtifactTable *ArtTable = nullptr;
+  ArtifactBlobStore *ArtStore = nullptr;
   /// Sum of Entry::Bytes over resident (indexed) entries; guarded by M.
   size_t TotalBytes = 0;
   mutable std::mutex M;

@@ -137,15 +137,30 @@ struct CopyGraph {
 IFAResult vif::analyzeInformationFlow(const ElaboratedProgram &Program,
                                       const ProgramCFG &CFG,
                                       const IFAOptions &Opts) {
-  IFAResult R;
-  R.RMlo = computeLocalDeps(Program, CFG);
+  ResourceMatrix RMlo = computeLocalDeps(Program, CFG);
+  ActiveSignalsResult Active;
+  ReachingDefsResult RD;
   if (Opts.RD.ReferenceSolver) {
-    R.Active = analyzeActiveSignalsReference(Program, CFG);
-    R.RD = analyzeReachingDefsReference(Program, CFG, R.Active, Opts.RD);
+    Active = analyzeActiveSignalsReference(Program, CFG);
+    RD = analyzeReachingDefsReference(Program, CFG, Active, Opts.RD);
   } else {
-    R.Active = analyzeActiveSignals(Program, CFG, Opts.RD.Jobs);
-    R.RD = analyzeReachingDefs(Program, CFG, R.Active, Opts.RD);
+    Active = analyzeActiveSignals(Program, CFG, Opts.RD.Jobs);
+    RD = analyzeReachingDefs(Program, CFG, Active, Opts.RD);
   }
+  return composeInformationFlow(Program, CFG, Opts, std::move(RMlo),
+                                std::move(Active), std::move(RD));
+}
+
+IFAResult vif::composeInformationFlow(const ElaboratedProgram &Program,
+                                      const ProgramCFG &CFG,
+                                      const IFAOptions &Opts,
+                                      ResourceMatrix RMlo,
+                                      ActiveSignalsResult Active,
+                                      ReachingDefsResult RD) {
+  IFAResult R;
+  R.RMlo = std::move(RMlo);
+  R.Active = std::move(Active);
+  R.RD = std::move(RD);
 
   size_t NumLabels = CFG.numLabels();
   R.RDDagger.resize(NumLabels + 1);

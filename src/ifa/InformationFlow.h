@@ -115,6 +115,17 @@ IFAResult analyzeInformationFlow(const ElaboratedProgram &Program,
                                  const ProgramCFG &CFG,
                                  const IFAOptions &Opts = IFAOptions());
 
+/// The design-level half of the pipeline: given already-computed RMlo,
+/// active-signal and reaching-definitions results (whether solved cold or
+/// recomposed from per-process artifacts), runs Table 7, the Table 8
+/// closure and graph extraction. analyzeInformationFlow is exactly the
+/// composition of the three solvers with this function.
+IFAResult composeInformationFlow(const ElaboratedProgram &Program,
+                                 const ProgramCFG &CFG, const IFAOptions &Opts,
+                                 ResourceMatrix RMlo,
+                                 ActiveSignalsResult Active,
+                                 ReachingDefsResult RD);
+
 /// Extracts flow edges from a resource matrix: r -> m for every label with
 /// both (m, l, M0/M1) and (r, l, R0). Shared by this analysis and the
 /// Kemmerer baseline so that the two differ only in their closure. Works

@@ -59,6 +59,25 @@ FlowQueryEngine::FlowQueryEngine(const Digraph &Graph) : G(&Graph) {
   });
 }
 
+std::optional<FlowQueryEngine>
+FlowQueryEngine::fromIndex(const Digraph &G, BitMatrix Closure,
+                           std::vector<uint32_t> RowStart,
+                           std::vector<Digraph::NodeId> Succ) {
+  size_t N = G.numNodes();
+  if (Closure.numRows() != N || Closure.numBits() != N ||
+      RowStart.size() != N + 1 || RowStart.front() != 0 ||
+      RowStart.back() != Succ.size())
+    return std::nullopt;
+  for (size_t I = 0; I < N; ++I)
+    if (RowStart[I] > RowStart[I + 1])
+      return std::nullopt;
+  for (Digraph::NodeId S : Succ)
+    if (S >= N)
+      return std::nullopt;
+  return FlowQueryEngine(G, std::move(Closure), std::move(RowStart),
+                         std::move(Succ));
+}
+
 bool FlowQueryEngine::reaches(std::string_view Src,
                               std::string_view Sink) const {
   if (!G->hasNode(Src) || !G->hasNode(Sink))

@@ -69,6 +69,22 @@ class FlowQueryEngine {
 public:
   explicit FlowQueryEngine(const Digraph &G);
 
+  /// Rebuilds an engine from a previously computed index (the on-disk
+  /// "qidx" artifact): validates every shape invariant against \p G and
+  /// returns nullopt on any mismatch, in which case the caller rebuilds
+  /// from the graph. The successor lists themselves are trusted — the
+  /// store key ties the blob to the exact (source, options) pair that
+  /// produced \p G, so a shape-valid index is the one \p G would build.
+  static std::optional<FlowQueryEngine>
+  fromIndex(const Digraph &G, BitMatrix Closure,
+            std::vector<uint32_t> RowStart,
+            std::vector<Digraph::NodeId> Succ);
+
+  /// The reachability-index internals (what the artifact store persists).
+  const BitMatrix &closureMatrix() const { return Closure; }
+  const std::vector<uint32_t> &rowStart() const { return RowStart; }
+  const std::vector<Digraph::NodeId> &succList() const { return Succ; }
+
   size_t numNodes() const { return G->numNodes(); }
   size_t numEdges() const { return Succ.size(); }
 
@@ -100,6 +116,12 @@ public:
   size_t memoryBytes() const;
 
 private:
+  FlowQueryEngine(const Digraph &Graph, BitMatrix Closure,
+                  std::vector<uint32_t> RowStart,
+                  std::vector<Digraph::NodeId> Succ)
+      : G(&Graph), Closure(std::move(Closure)),
+        RowStart(std::move(RowStart)), Succ(std::move(Succ)) {}
+
   /// Borrowed, never null (a pointer so the engine stays movable).
   const Digraph *G;
   /// Bit (i, j) set iff a path of length >= 1 leads from node i to node j.

@@ -15,11 +15,8 @@
 
 using namespace vif;
 
-namespace {
-
-/// Fills the Table 4 kill/gen sets of one process into \p KG.
-void computeKillGenFor(const ProgramCFG &CFG, const ProcessCFG &P,
-                       ActiveKillGen &KG) {
+void vif::computeActiveKillGenFor(const ProgramCFG &CFG, const ProcessCFG &P,
+                                  ActiveKillGen &KG) {
 
   // All signal-assignment definitions of this process, and per signal.
   PairSet AllSignalDefs;
@@ -59,15 +56,121 @@ void computeKillGenFor(const ProgramCFG &CFG, const ProcessCFG &P,
   }
 }
 
-} // namespace
-
 ActiveKillGen vif::computeActiveKillGen(const ProgramCFG &CFG) {
   ActiveKillGen KG;
   KG.Kill.resize(CFG.numLabels() + 1);
   KG.Gen.resize(CFG.numLabels() + 1);
   for (const ProcessCFG &P : CFG.processes())
-    computeKillGenFor(CFG, P, KG);
+    computeActiveKillGenFor(CFG, P, KG);
   return KG;
+}
+
+ActiveProcessArtifact vif::solveProcessActive(const ProgramCFG &CFG,
+                                              const ProcessCFG &P,
+                                              const ActiveKillGen &KG) {
+  ActiveProcessArtifact A;
+  // The dense domain: only gen'd pairs can ever be present (⊥ = ∅ and
+  // the transfer functions add nothing else).
+  auto Dom = std::make_shared<DefPairDomain>();
+  for (LabelId L : P.Labels)
+    Dom->addAll(KG.Gen[L]);
+  Dom->finalize();
+  A.Dom = Dom;
+  size_t K = Dom->size();
+  if (K == 0)
+    return A; // no signal definitions: every set stays ∅ (the default)
+
+  const FlowIndex &FI = CFG.flowIndex(P.ProcessId);
+  size_t NL = FI.numLabels();
+  size_t W = (K + 63) / 64;
+
+  // All per-label sets live as rows of whole-table matrices: two
+  // scratch tables, four shared result tables (the result slots
+  // reference their rows; ~six allocations per process, not 6 x NL).
+  BitMatrix Kill(NL, K), Gen(NL, K);
+  for (uint32_t I = 0; I < NL; ++I) {
+    Dom->maskInto(KG.Kill[FI.label(I)], Kill.row(I));
+    Dom->maskInto(KG.Gen[FI.label(I)], Gen.row(I));
+  }
+
+  auto MayEn = std::make_shared<BitMatrix>(NL, K);
+  auto MayEx = std::make_shared<BitMatrix>(NL, K);
+  auto MustEn = std::make_shared<BitMatrix>(NL, K);
+  auto MustEx = std::make_shared<BitMatrix>(NL, K);
+
+  // Chaotic iteration from ⊥ = ∅ to the least fixpoint; both transfer
+  // functions are monotone (⋂˙ ranges over a fixed predecessor family).
+  // The worklist starts in reverse postorder so the first sweep sees
+  // predecessors first on acyclic stretches.
+  std::deque<uint32_t> Work(FI.rpo().begin(), FI.rpo().end());
+  std::vector<uint8_t> InWork(NL, 1);
+  uint32_t InitLocal = FI.localOf(P.Init);
+
+  std::vector<uint64_t> MayIn(W), MustIn(W);
+  while (!Work.empty()) {
+    uint32_t I = Work.front();
+    Work.pop_front();
+    InWork[I] = 0;
+    ++A.Iterations;
+
+    // Entry equations. The paper assumes isolated entries (the
+    // null;while wrapper guarantees them for processes); bare statement
+    // programs may re-enter their init label, so the may analysis also
+    // merges predecessor exits there. The must analysis keeps ∅ at init:
+    // the program-start path carries no active signals and dominates the
+    // ⋂˙ — and ⋂˙ over an empty predecessor family is ∅ as well.
+    FlowIndex::Range Preds = FI.preds(I);
+    BitMatrix::clear(MayIn.data(), W);
+    for (uint32_t Pred : Preds)
+      BitMatrix::orInto(MayIn.data(), MayEx->row(Pred), W);
+    BitMatrix::clear(MustIn.data(), W);
+    if (I != InitLocal && !Preds.empty()) {
+      BitMatrix::copy(MustIn.data(), MustEx->row(Preds.First[0]), W);
+      for (const uint32_t *It = Preds.First + 1; It != Preds.Last; ++It)
+        BitMatrix::andWith(MustIn.data(), MustEx->row(*It), W);
+    }
+    BitMatrix::copy(MayEn->row(I), MayIn.data(), W);
+    BitMatrix::copy(MustEn->row(I), MustIn.data(), W);
+
+    // Exit equations: (entry \ kill) ∪ gen.
+    BitMatrix::subtract(MayIn.data(), Kill.row(I), W);
+    BitMatrix::orInto(MayIn.data(), Gen.row(I), W);
+    BitMatrix::subtract(MustIn.data(), Kill.row(I), W);
+    BitMatrix::orInto(MustIn.data(), Gen.row(I), W);
+
+    if (BitMatrix::equal(MayIn.data(), MayEx->row(I), W) &&
+        BitMatrix::equal(MustIn.data(), MustEx->row(I), W))
+      continue;
+    BitMatrix::copy(MayEx->row(I), MayIn.data(), W);
+    BitMatrix::copy(MustEx->row(I), MustIn.data(), W);
+    for (uint32_t Succ : FI.succs(I))
+      if (!InWork[Succ]) {
+        Work.push_back(Succ);
+        InWork[Succ] = 1;
+      }
+  }
+
+  A.MayEntry = std::move(MayEn);
+  A.MayExit = std::move(MayEx);
+  A.MustEntry = std::move(MustEn);
+  A.MustExit = std::move(MustEx);
+  return A;
+}
+
+void vif::installProcessActive(ActiveSignalsResult &R, const ProgramCFG &CFG,
+                               const ProcessCFG &P,
+                               const ActiveProcessArtifact &A) {
+  if (!A.MayEntry)
+    return; // empty domain: the default (empty) slots are already right
+  const FlowIndex &FI = CFG.flowIndex(P.ProcessId);
+  size_t NL = FI.numLabels();
+  for (uint32_t I = 0; I < NL; ++I) {
+    LabelId L = FI.label(I);
+    R.MayEntry.setDense(L, A.Dom, A.MayEntry, I);
+    R.MayExit.setDense(L, A.Dom, A.MayExit, I);
+    R.MustEntry.setDense(L, A.Dom, A.MustEntry, I);
+    R.MustExit.setDense(L, A.Dom, A.MustExit, I);
+  }
 }
 
 ActiveSignalsResult
@@ -92,93 +195,9 @@ vif::analyzeActiveSignals(const ElaboratedProgram &Program,
   std::vector<size_t> Iterations(NumProcs, 0);
   parallelFor(Jobs, NumProcs, [&](size_t ProcIdx) {
     const ProcessCFG &P = CFG.processes()[ProcIdx];
-    // The dense domain: only gen'd pairs can ever be present (⊥ = ∅ and
-    // the transfer functions add nothing else).
-    auto Dom = std::make_shared<DefPairDomain>();
-    for (LabelId L : P.Labels)
-      Dom->addAll(KG.Gen[L]);
-    Dom->finalize();
-    size_t K = Dom->size();
-    if (K == 0)
-      return; // no signal definitions: every set stays ∅ (the default)
-
-    const FlowIndex &FI = CFG.flowIndex(P.ProcessId);
-    size_t NL = FI.numLabels();
-    size_t W = (K + 63) / 64;
-
-    // All per-label sets live as rows of whole-table matrices: two
-    // scratch tables, four shared result tables (the result slots below
-    // reference their rows; ~six allocations per process, not 6 x NL).
-    BitMatrix Kill(NL, K), Gen(NL, K);
-    for (uint32_t I = 0; I < NL; ++I) {
-      Dom->maskInto(KG.Kill[FI.label(I)], Kill.row(I));
-      Dom->maskInto(KG.Gen[FI.label(I)], Gen.row(I));
-    }
-
-    auto MayEn = std::make_shared<BitMatrix>(NL, K);
-    auto MayEx = std::make_shared<BitMatrix>(NL, K);
-    auto MustEn = std::make_shared<BitMatrix>(NL, K);
-    auto MustEx = std::make_shared<BitMatrix>(NL, K);
-
-    // Chaotic iteration from ⊥ = ∅ to the least fixpoint; both transfer
-    // functions are monotone (⋂˙ ranges over a fixed predecessor family).
-    // The worklist starts in reverse postorder so the first sweep sees
-    // predecessors first on acyclic stretches.
-    std::deque<uint32_t> Work(FI.rpo().begin(), FI.rpo().end());
-    std::vector<uint8_t> InWork(NL, 1);
-    uint32_t InitLocal = FI.localOf(P.Init);
-
-    std::vector<uint64_t> MayIn(W), MustIn(W);
-    while (!Work.empty()) {
-      uint32_t I = Work.front();
-      Work.pop_front();
-      InWork[I] = 0;
-      ++Iterations[ProcIdx];
-
-      // Entry equations. The paper assumes isolated entries (the
-      // null;while wrapper guarantees them for processes); bare statement
-      // programs may re-enter their init label, so the may analysis also
-      // merges predecessor exits there. The must analysis keeps ∅ at init:
-      // the program-start path carries no active signals and dominates the
-      // ⋂˙ — and ⋂˙ over an empty predecessor family is ∅ as well.
-      FlowIndex::Range Preds = FI.preds(I);
-      BitMatrix::clear(MayIn.data(), W);
-      for (uint32_t Pred : Preds)
-        BitMatrix::orInto(MayIn.data(), MayEx->row(Pred), W);
-      BitMatrix::clear(MustIn.data(), W);
-      if (I != InitLocal && !Preds.empty()) {
-        BitMatrix::copy(MustIn.data(), MustEx->row(Preds.First[0]), W);
-        for (const uint32_t *It = Preds.First + 1; It != Preds.Last; ++It)
-          BitMatrix::andWith(MustIn.data(), MustEx->row(*It), W);
-      }
-      BitMatrix::copy(MayEn->row(I), MayIn.data(), W);
-      BitMatrix::copy(MustEn->row(I), MustIn.data(), W);
-
-      // Exit equations: (entry \ kill) ∪ gen.
-      BitMatrix::subtract(MayIn.data(), Kill.row(I), W);
-      BitMatrix::orInto(MayIn.data(), Gen.row(I), W);
-      BitMatrix::subtract(MustIn.data(), Kill.row(I), W);
-      BitMatrix::orInto(MustIn.data(), Gen.row(I), W);
-
-      if (BitMatrix::equal(MayIn.data(), MayEx->row(I), W) &&
-          BitMatrix::equal(MustIn.data(), MustEx->row(I), W))
-        continue;
-      BitMatrix::copy(MayEx->row(I), MayIn.data(), W);
-      BitMatrix::copy(MustEx->row(I), MustIn.data(), W);
-      for (uint32_t Succ : FI.succs(I))
-        if (!InWork[Succ]) {
-          Work.push_back(Succ);
-          InWork[Succ] = 1;
-        }
-    }
-
-    for (uint32_t I = 0; I < NL; ++I) {
-      LabelId L = FI.label(I);
-      R.MayEntry.setDense(L, Dom, MayEn, I);
-      R.MayExit.setDense(L, Dom, MayEx, I);
-      R.MustEntry.setDense(L, Dom, MustEn, I);
-      R.MustExit.setDense(L, Dom, MustEx, I);
-    }
+    ActiveProcessArtifact A = solveProcessActive(CFG, P, KG);
+    Iterations[ProcIdx] = A.Iterations;
+    installProcessActive(R, CFG, P, A);
   });
   for (size_t N : Iterations)
     R.Iterations += N;

@@ -82,6 +82,36 @@ struct ActiveKillGen {
 
 ActiveKillGen computeActiveKillGen(const ProgramCFG &CFG);
 
+/// Fills the Table 4 kill/gen sets of the single process \p P into \p KG,
+/// whose vectors must already span all labels. computeActiveKillGen is
+/// this per process; the incremental layer (rd/Incremental.h) calls it for
+/// dirty processes only.
+void computeActiveKillGenFor(const ProgramCFG &CFG, const ProcessCFG &P,
+                             ActiveKillGen &KG);
+
+/// One process's dense Table 4 solution — the unit the incremental layer
+/// caches and recomposes whole-program results from. Rows are indexed by
+/// the process's FlowIndex local label order; the matrices are null when
+/// the domain is empty (every set stays ∅).
+struct ActiveProcessArtifact {
+  std::shared_ptr<const DefPairDomain> Dom;
+  std::shared_ptr<const BitMatrix> MayEntry, MayExit, MustEntry, MustExit;
+  uint64_t Iterations = 0;
+};
+
+/// Solves the Table 4 fixpoint of one process: exactly the per-process body
+/// of analyzeActiveSignals, exposed so dirty processes can be re-solved in
+/// isolation.
+ActiveProcessArtifact solveProcessActive(const ProgramCFG &CFG,
+                                         const ProcessCFG &P,
+                                         const ActiveKillGen &KG);
+
+/// Installs \p A's rows into the whole-program result tables (the label
+/// slots of \p P only; the shared matrices are referenced, not copied).
+void installProcessActive(ActiveSignalsResult &R, const ProgramCFG &CFG,
+                          const ProcessCFG &P,
+                          const ActiveProcessArtifact &A);
+
 } // namespace vif
 
 #endif // VIF_RD_ACTIVESIGNALS_H

@@ -1,0 +1,631 @@
+//===- rd/Incremental.cpp -------------------------------------------------===//
+//
+// Part of the vif project; see DESIGN.md for the paper reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rd/Incremental.h"
+
+#include "cfg/FlowIndex.h"
+#include "support/BinaryIO.h"
+#include "support/Casting.h"
+#include "support/Hash.h"
+#include "support/Parallel.h"
+
+#include <map>
+
+using namespace vif;
+
+ArtifactBlobStore::~ArtifactBlobStore() = default;
+
+//===----------------------------------------------------------------------===//
+// Slice hashing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void hashExpr(HashBuilder &H, const Expr &E) {
+  H.u64(static_cast<uint64_t>(E.kind()));
+  switch (E.kind()) {
+  case Expr::Kind::LogicLiteral:
+    H.u64(static_cast<uint64_t>(cast<LogicLiteralExpr>(&E)->value()));
+    break;
+  case Expr::Kind::VectorLiteral: {
+    const LogicVector &V = cast<VectorLiteralExpr>(&E)->value();
+    H.u64(V.size());
+    for (StdLogic B : V.bits())
+      H.u64(static_cast<uint64_t>(B));
+    break;
+  }
+  case Expr::Kind::Name: {
+    ObjectRef R = cast<NameExpr>(&E)->ref();
+    H.u64(static_cast<uint64_t>(R.K)).u64(R.Id);
+    break;
+  }
+  case Expr::Kind::Slice: {
+    const auto *S = cast<SliceExpr>(&E);
+    ObjectRef R = S->ref();
+    H.u64(static_cast<uint64_t>(R.K)).u64(R.Id);
+    H.u64(static_cast<uint64_t>(static_cast<int64_t>(S->slice().Z1)));
+    H.u64(static_cast<uint64_t>(static_cast<int64_t>(S->slice().Z2)));
+    H.boolean(S->slice().Downto);
+    break;
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(&E);
+    H.u64(static_cast<uint64_t>(U->op()));
+    hashExpr(H, U->sub());
+    break;
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(&E);
+    H.u64(static_cast<uint64_t>(B->op()));
+    hashExpr(H, B->lhs());
+    hashExpr(H, B->rhs());
+    break;
+  }
+  }
+}
+
+uint64_t hashProcessSlice(const ElaboratedProgram &Program,
+                          const ProgramCFG &CFG, const ProcessCFG &P) {
+  HashBuilder H;
+  H.str("vif-slice-v1");
+  H.boolean(Program.process(P.ProcessId).Looped);
+  H.u64(P.Init);
+  auto ids = [&H](const auto &V) {
+    H.u64(V.size());
+    for (auto X : V)
+      H.u64(X);
+  };
+  ids(P.Labels);
+  ids(P.Finals);
+  ids(P.WaitLabels);
+  ids(P.FreeVars);
+  ids(P.FreeSigs);
+  H.u64(P.Flow.size());
+  for (const auto &[From, To] : P.Flow)
+    H.u64(From).u64(To);
+  // Signal classes affect the design-level Table 9 interface handling;
+  // fold them in so artifacts never outlive a reclassification.
+  for (unsigned Sig : P.FreeSigs)
+    H.u64(static_cast<uint64_t>(Program.signal(Sig).Class));
+  // The statement slice, in label order. Source ranges are deliberately
+  // never hashed: edits elsewhere in the file shift them without
+  // changing any analysis input.
+  for (LabelId L : P.Labels) {
+    const CFGBlock &B = CFG.block(L);
+    H.u64(L).u64(static_cast<uint64_t>(B.K));
+    switch (B.K) {
+    case CFGBlock::Kind::VarAssign:
+    case CFGBlock::Kind::SignalAssign: {
+      const auto *A = cast<AssignStmtBase>(B.S);
+      ObjectRef R = A->targetRef();
+      H.u64(static_cast<uint64_t>(R.K)).u64(R.Id);
+      H.boolean(A->hasSlice());
+      if (A->hasSlice()) {
+        H.u64(static_cast<uint64_t>(static_cast<int64_t>(A->slice().Z1)));
+        H.u64(static_cast<uint64_t>(static_cast<int64_t>(A->slice().Z2)));
+        H.boolean(A->slice().Downto);
+      }
+      hashExpr(H, A->value());
+      break;
+    }
+    case CFGBlock::Kind::Wait: {
+      const auto *W = cast<WaitStmt>(B.S);
+      ids(W->onSignals());
+      H.boolean(W->hasUntil());
+      if (W->hasUntil())
+        hashExpr(H, W->until());
+      break;
+    }
+    case CFGBlock::Kind::Cond:
+      hashExpr(H, *B.Cond);
+      break;
+    case CFGBlock::Kind::Null:
+      break;
+    }
+  }
+  return H.value();
+}
+
+} // namespace
+
+std::vector<uint64_t> vif::hashProcessSlices(const ElaboratedProgram &Program,
+                                             const ProgramCFG &CFG) {
+  std::vector<uint64_t> Out(CFG.processes().size(), 0);
+  for (const ProcessCFG &P : CFG.processes())
+    Out[P.ProcessId] = hashProcessSlice(Program, CFG, P);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Artifact codecs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void encodeMatrix(ByteWriter &W, const BitMatrix &M, size_t NL, size_t WW) {
+  for (size_t I = 0; I < NL; ++I) {
+    const uint64_t *Row = M.row(I);
+    for (size_t J = 0; J < WW; ++J)
+      W.u64(Row[J]);
+  }
+}
+
+/// Reads an NL x K matrix; bits beyond K in the last payload word are
+/// masked off so garbage padding can never index outside the domain.
+std::shared_ptr<BitMatrix> decodeMatrix(ByteReader &R, uint32_t NL,
+                                        uint32_t K) {
+  auto M = std::make_shared<BitMatrix>(NL, K);
+  size_t WW = (K + 63) / 64;
+  uint64_t LastMask =
+      (K % 64) ? ((uint64_t(1) << (K % 64)) - 1) : ~uint64_t(0);
+  for (uint32_t I = 0; I < NL; ++I) {
+    uint64_t *Row = M->row(I);
+    for (size_t J = 0; J < WW; ++J)
+      Row[J] = R.u64();
+    Row[WW - 1] &= LastMask;
+  }
+  return M;
+}
+
+/// Shared header of both artifact payloads; returns false if the sizes
+/// are inconsistent with the remaining bytes (so corrupt headers are
+/// rejected before any allocation is sized from them). \p NumMatrices is
+/// the matrix count that must follow the domain.
+bool decodeHeader(ByteReader &R, uint64_t &Iterations, uint32_t &NL,
+                  uint32_t &K, std::shared_ptr<const DefPairDomain> &DomOut,
+                  size_t NumMatrices) {
+  Iterations = R.u64();
+  NL = R.u32();
+  K = R.u32();
+  if (!R.ok() || K > R.remaining() / 8)
+    return false;
+  auto Dom = std::make_shared<DefPairDomain>();
+  for (uint32_t I = 0; I < K; ++I) {
+    uint32_t Raw = R.u32();
+    LabelId L = R.u32();
+    Dom->add(DefPair{Resource::fromRaw(Raw), L});
+  }
+  Dom->finalize();
+  // Unsorted or duplicated pairs shrink under finalize — corrupt.
+  if (!R.ok() || Dom->size() != K)
+    return false;
+  if (K) {
+    uint64_t RowBytes = uint64_t((K + 63) / 64) * 8;
+    if (uint64_t(NL) > R.remaining() / RowBytes / NumMatrices)
+      return false;
+  }
+  DomOut = std::move(Dom);
+  return true;
+}
+
+} // namespace
+
+std::string vif::encodeActiveArtifact(const ActiveProcessArtifact &A) {
+  ByteWriter W;
+  W.u64(A.Iterations);
+  size_t K = A.Dom ? A.Dom->size() : 0;
+  size_t NL = A.MayEntry ? A.MayEntry->numRows() : 0;
+  W.u32(static_cast<uint32_t>(NL));
+  W.u32(static_cast<uint32_t>(K));
+  for (size_t I = 0; I < K; ++I) {
+    DefPair P = A.Dom->pair(I);
+    W.u32(P.N.raw());
+    W.u32(P.L);
+  }
+  if (K) {
+    size_t WW = (K + 63) / 64;
+    encodeMatrix(W, *A.MayEntry, NL, WW);
+    encodeMatrix(W, *A.MayExit, NL, WW);
+    encodeMatrix(W, *A.MustEntry, NL, WW);
+    encodeMatrix(W, *A.MustExit, NL, WW);
+  }
+  return W.take();
+}
+
+bool vif::decodeActiveArtifact(std::string_view Blob,
+                               ActiveProcessArtifact &A) {
+  ByteReader R(Blob);
+  ActiveProcessArtifact Out;
+  uint32_t NL = 0, K = 0;
+  if (!decodeHeader(R, Out.Iterations, NL, K, Out.Dom, 4))
+    return false;
+  if (K) {
+    Out.MayEntry = decodeMatrix(R, NL, K);
+    Out.MayExit = decodeMatrix(R, NL, K);
+    Out.MustEntry = decodeMatrix(R, NL, K);
+    Out.MustExit = decodeMatrix(R, NL, K);
+  }
+  if (!R.ok() || !R.atEnd())
+    return false;
+  A = std::move(Out);
+  return true;
+}
+
+std::string vif::encodeRdArtifact(const RdProcessArtifact &A) {
+  ByteWriter W;
+  W.u64(A.Iterations);
+  size_t K = A.Dom ? A.Dom->size() : 0;
+  size_t NL = A.Entry ? A.Entry->numRows() : 0;
+  W.u32(static_cast<uint32_t>(NL));
+  W.u32(static_cast<uint32_t>(K));
+  for (size_t I = 0; I < K; ++I) {
+    DefPair P = A.Dom->pair(I);
+    W.u32(P.N.raw());
+    W.u32(P.L);
+  }
+  if (K) {
+    size_t WW = (K + 63) / 64;
+    encodeMatrix(W, *A.Entry, NL, WW);
+    encodeMatrix(W, *A.Exit, NL, WW);
+  }
+  return W.take();
+}
+
+bool vif::decodeRdArtifact(std::string_view Blob, RdProcessArtifact &A) {
+  ByteReader R(Blob);
+  RdProcessArtifact Out;
+  uint32_t NL = 0, K = 0;
+  if (!decodeHeader(R, Out.Iterations, NL, K, Out.Dom, 2))
+    return false;
+  if (K) {
+    Out.Entry = decodeMatrix(R, NL, K);
+    Out.Exit = decodeMatrix(R, NL, K);
+  }
+  if (!R.ok() || !R.atEnd())
+    return false;
+  A = std::move(Out);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// ProcessArtifactTable
+//===----------------------------------------------------------------------===//
+
+ProcessArtifactTable::ProcessArtifactTable(size_t MaxEntries)
+    : Cap(MaxEntries ? MaxEntries : 1) {}
+
+size_t ProcessArtifactTable::size() const {
+  std::lock_guard<std::mutex> G(M);
+  return Map.size();
+}
+
+std::shared_ptr<const void> ProcessArtifactTable::find(uint64_t Key) {
+  std::lock_guard<std::mutex> G(M);
+  auto It = Map.find(Key);
+  if (It == Map.end())
+    return nullptr;
+  Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+  return It->second.Value;
+}
+
+void ProcessArtifactTable::insert(uint64_t Key,
+                                  std::shared_ptr<const void> V) {
+  std::lock_guard<std::mutex> G(M);
+  auto It = Map.find(Key);
+  if (It != Map.end()) {
+    It->second.Value = std::move(V);
+    Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+    return;
+  }
+  Lru.push_front(Key);
+  Map.emplace(Key, Entry{std::move(V), Lru.begin()});
+  while (Map.size() > Cap) {
+    Map.erase(Lru.back());
+    Lru.pop_back();
+  }
+}
+
+std::shared_ptr<const ActiveProcessArtifact>
+ProcessArtifactTable::findActive(uint64_t Key) {
+  if (auto V = find(Key)) {
+    Hits.fetch_add(1, std::memory_order_relaxed);
+    return std::static_pointer_cast<const ActiveProcessArtifact>(V);
+  }
+  if (Backing) {
+    std::string Blob;
+    if (Backing->load("actv", Key, Blob)) {
+      auto A = std::make_shared<ActiveProcessArtifact>();
+      if (decodeActiveArtifact(Blob, *A)) {
+        insert(Key, A);
+        Hits.fetch_add(1, std::memory_order_relaxed);
+        return A;
+      }
+    }
+  }
+  Misses.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void ProcessArtifactTable::insertActive(
+    uint64_t Key, std::shared_ptr<const ActiveProcessArtifact> A) {
+  if (Backing)
+    Backing->store("actv", Key, encodeActiveArtifact(*A));
+  insert(Key, std::move(A));
+}
+
+std::shared_ptr<const RdProcessArtifact>
+ProcessArtifactTable::findRd(uint64_t Key) {
+  if (auto V = find(Key)) {
+    Hits.fetch_add(1, std::memory_order_relaxed);
+    return std::static_pointer_cast<const RdProcessArtifact>(V);
+  }
+  if (Backing) {
+    std::string Blob;
+    if (Backing->load("rdpr", Key, Blob)) {
+      auto A = std::make_shared<RdProcessArtifact>();
+      if (decodeRdArtifact(Blob, *A)) {
+        insert(Key, A);
+        Hits.fetch_add(1, std::memory_order_relaxed);
+        return A;
+      }
+    }
+  }
+  Misses.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void ProcessArtifactTable::insertRd(uint64_t Key,
+                                    std::shared_ptr<const RdProcessArtifact> A) {
+  if (Backing)
+    Backing->store("rdpr", Key, encodeRdArtifact(*A));
+  insert(Key, std::move(A));
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental analysis
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Sets the signal-id bit of every definition present in row \p RowI of
+/// \p Mat (a matrix over \p A's domain) into \p Out.
+void signalBitsOfRow(const ActiveProcessArtifact &A, const BitMatrix &Mat,
+                     uint32_t RowI, BitSet &Out) {
+  const uint64_t *Row = Mat.row(RowI);
+  size_t WW = (A.Dom->size() + 63) / 64;
+  BitMatrix::forEachBit(Row, WW, [&](size_t I) {
+    DefPair P = A.Dom->pair(I);
+    if (P.N.isSignal())
+      Out.set(P.N.id());
+  });
+}
+
+/// Folds a BitSet into a hash as (count, ascending indices) — the
+/// canonical form, independent of universe padding.
+void hashBitSet(HashBuilder &H, const BitSet &S) {
+  H.u64(S.count());
+  S.forEach([&H](size_t I) { H.u64(I); });
+}
+
+/// Fills the Table 5 kill/gen slots of process \p P's labels into the
+/// shared whole-program vectors, using the factored cross-flow
+/// quantifications precomputed as bitsets (\p OthersMay / \p OthersMust
+/// are the unions over the *other* processes' wait aggregates). Produces
+/// exactly the sets computeReachingDefsKillGen builds for these labels.
+void fillRdKillGen(const ProgramCFG &CFG, const ProcessCFG &P,
+                   const ActiveProcessArtifact &Act, const BitSet &OthersMay,
+                   const BitSet &OthersMust, const ReachingDefsOptions &Opts,
+                   std::vector<PairSet> &Kill, std::vector<PairSet> &Gen) {
+  std::map<unsigned, PairSet> DefsOfVar;
+  for (LabelId L : P.Labels) {
+    const CFGBlock &B = CFG.block(L);
+    if (B.K != CFGBlock::Kind::VarAssign)
+      continue;
+    const auto *A = cast<VarAssignStmt>(B.S);
+    DefsOfVar[A->targetRef().Id].insert(
+        DefPair{Resource::variable(A->targetRef().Id), L});
+  }
+
+  size_t NumSignals = OthersMay.size();
+  const FlowIndex *FI = Act.MayEntry ? &CFG.flowIndex(P.ProcessId) : nullptr;
+  BitSet May(NumSignals), Must(NumSignals);
+  for (LabelId L : P.Labels) {
+    const CFGBlock &B = CFG.block(L);
+    switch (B.K) {
+    case CFGBlock::Kind::VarAssign: {
+      const auto *A = cast<VarAssignStmt>(B.S);
+      unsigned Var = A->targetRef().Id;
+      Gen[L].insert(DefPair{Resource::variable(Var), L});
+      if (!A->hasSlice()) {
+        Kill[L] = DefsOfVar[Var];
+        Kill[L].insert(DefPair{Resource::variable(Var), InitialLabel});
+      }
+      break;
+    }
+    case CFGBlock::Kind::Wait: {
+      May = OthersMay;
+      Must = OthersMust;
+      if (FI) {
+        uint32_t I = FI->localOf(L);
+        signalBitsOfRow(Act, *Act.MayEntry, I, May);
+        signalBitsOfRow(Act, *Act.MustEntry, I, Must);
+      }
+      May.forEach([&](size_t Sig) {
+        Gen[L].append(DefPair{Resource::signal(static_cast<unsigned>(Sig)), L});
+      });
+      if (Opts.UseMustActiveKill) {
+        // wS(ss_i): the initial "?" plus the (ascending) wait labels —
+        // appended in DefPair order per signal.
+        Must.forEach([&](size_t Sig) {
+          Resource RS = Resource::signal(static_cast<unsigned>(Sig));
+          Kill[L].append(DefPair{RS, InitialLabel});
+          for (LabelId DefL : P.WaitLabels)
+            Kill[L].append(DefPair{RS, DefL});
+        });
+      }
+      break;
+    }
+    case CFGBlock::Kind::Null:
+    case CFGBlock::Kind::SignalAssign:
+    case CFGBlock::Kind::Cond:
+      break;
+    }
+  }
+}
+
+} // namespace
+
+bool vif::analyzeIncremental(const ElaboratedProgram &Program,
+                             const ProgramCFG &CFG,
+                             const ReachingDefsOptions &Opts,
+                             ProcessArtifactTable &Table,
+                             ActiveSignalsResult &Active,
+                             ReachingDefsResult &RD,
+                             IncrementalStats *Stats) {
+  // The reference solvers and the explicit tuple enumeration are
+  // validation modes; they bypass artifact reuse entirely.
+  if (Opts.ReferenceSolver || Opts.EnumerateCrossFlowTuples)
+    return false;
+
+  size_t NumLabels = CFG.numLabels();
+  size_t NumProcs = CFG.processes().size();
+  size_t NumSignals = Program.Signals.size();
+
+  Active = ActiveSignalsResult();
+  Active.MayEntry.resize(NumLabels + 1);
+  Active.MayExit.resize(NumLabels + 1);
+  Active.MustEntry.resize(NumLabels + 1);
+  Active.MustExit.resize(NumLabels + 1);
+  RD = ReachingDefsResult();
+  RD.Entry.resize(NumLabels + 1);
+  RD.Exit.resize(NumLabels + 1);
+
+  std::vector<uint64_t> Slice = hashProcessSlices(Program, CFG);
+
+  // Phase 1: Table 4 artifacts, keyed by the slice alone (the fixpoint
+  // reads nothing outside the process). Kill/gen vectors span all labels
+  // but only dirty processes' slots are filled — disjoint writes, so the
+  // misses solve in parallel just like the cold path.
+  ActiveKillGen AKG;
+  AKG.Kill.resize(NumLabels + 1);
+  AKG.Gen.resize(NumLabels + 1);
+  std::vector<std::shared_ptr<const ActiveProcessArtifact>> Act(NumProcs);
+  std::vector<uint8_t> ActReused(NumProcs, 0);
+  parallelFor(Opts.Jobs, NumProcs, [&](size_t PI) {
+    const ProcessCFG &P = CFG.processes()[PI];
+    unsigned Pid = P.ProcessId;
+    const FlowIndex &FI = CFG.flowIndex(Pid);
+    uint64_t Key = HashBuilder().str("actv").u64(Slice[Pid]).value();
+    auto A = Table.findActive(Key);
+    if (A && A->MayEntry && A->MayEntry->numRows() != FI.numLabels())
+      A = nullptr; // shape mismatch (hash collision / stale blob): re-solve
+    if (A) {
+      ActReused[Pid] = 1;
+    } else {
+      computeActiveKillGenFor(CFG, P, AKG);
+      auto Solved = std::make_shared<ActiveProcessArtifact>(
+          solveProcessActive(CFG, P, AKG));
+      Table.insertActive(Key, Solved);
+      A = std::move(Solved);
+    }
+    installProcessActive(Active, CFG, P, *A);
+    Act[Pid] = std::move(A);
+  });
+  for (size_t I = 0; I < NumProcs; ++I)
+    Active.Iterations += Act[I]->Iterations;
+
+  // Phase 2: the factored cross-flow aggregates of Table 5's wait
+  // kill/gen (see rd/ReachingDefs.cpp), computed straight off the dense
+  // artifact rows as signal-id bitsets, then turned into per-process
+  // "others" unions with prefix/suffix sweeps — O(P * S / 64) instead of
+  // the quadratic set unions of the cold path.
+  std::vector<BitSet> MayUnion(NumProcs, BitSet(NumSignals));
+  std::vector<BitSet> MustIntersect(NumProcs, BitSet(NumSignals));
+  std::vector<BitSet> MayAtEnd(NumProcs, BitSet(NumSignals));
+  std::vector<uint8_t> HasWaits(NumProcs, 0);
+  for (const ProcessCFG &P : CFG.processes()) {
+    unsigned Pid = P.ProcessId;
+    HasWaits[Pid] = !P.WaitLabels.empty();
+    const ActiveProcessArtifact &A = *Act[Pid];
+    if (!A.MayEntry || P.WaitLabels.empty())
+      continue; // empty domain or no waits: all aggregate sets stay ∅
+    const FlowIndex &FI = CFG.flowIndex(Pid);
+    bool First = true;
+    BitSet Must(NumSignals);
+    for (LabelId L : P.WaitLabels) {
+      uint32_t I = FI.localOf(L);
+      signalBitsOfRow(A, *A.MayEntry, I, MayUnion[Pid]);
+      Must.clearAll();
+      signalBitsOfRow(A, *A.MustEntry, I, Must);
+      if (First)
+        MustIntersect[Pid] = Must;
+      else
+        MustIntersect[Pid].intersectWith(Must);
+      First = false;
+    }
+    signalBitsOfRow(A, *A.MayEntry, FI.localOf(P.WaitLabels.back()),
+                    MayAtEnd[Pid]);
+  }
+
+  auto othersUnion = [&](const std::vector<BitSet> &Per) {
+    std::vector<BitSet> Pre(NumProcs + 1, BitSet(NumSignals));
+    std::vector<BitSet> Suf(NumProcs + 1, BitSet(NumSignals));
+    for (size_t J = 0; J < NumProcs; ++J) {
+      Pre[J + 1] = Pre[J];
+      if (HasWaits[J])
+        Pre[J + 1].unionWith(Per[J]);
+    }
+    for (size_t J = NumProcs; J-- > 0;) {
+      Suf[J] = Suf[J + 1];
+      if (HasWaits[J])
+        Suf[J].unionWith(Per[J]);
+    }
+    std::vector<BitSet> Out(NumProcs, BitSet(NumSignals));
+    for (size_t I = 0; I < NumProcs; ++I) {
+      Out[I] = Pre[I];
+      Out[I].unionWith(Suf[I + 1]);
+    }
+    return Out;
+  };
+  std::vector<BitSet> OthersMay =
+      othersUnion(Opts.HsiehLevitanCrossFlow ? MayAtEnd : MayUnion);
+  std::vector<BitSet> OthersMust = othersUnion(MustIntersect);
+
+  // Phase 3: Table 5 artifacts, keyed by the slice plus everything the
+  // wait kill/gen sets read from outside the process: the "others"
+  // unions and the two options that shape them.
+  std::vector<PairSet> RdKill(NumLabels + 1), RdGen(NumLabels + 1);
+  std::vector<std::shared_ptr<const RdProcessArtifact>> Rd(NumProcs);
+  std::vector<uint8_t> RdReused(NumProcs, 0);
+  parallelFor(Opts.Jobs, NumProcs, [&](size_t PI) {
+    const ProcessCFG &P = CFG.processes()[PI];
+    unsigned Pid = P.ProcessId;
+    const FlowIndex &FI = CFG.flowIndex(Pid);
+    HashBuilder KH;
+    KH.str("rdpr").u64(Slice[Pid]);
+    hashBitSet(KH, OthersMay[Pid]);
+    hashBitSet(KH, OthersMust[Pid]);
+    KH.boolean(Opts.UseMustActiveKill).boolean(Opts.HsiehLevitanCrossFlow);
+    uint64_t Key = KH.value();
+    auto A = Table.findRd(Key);
+    if (A && A->Entry && A->Entry->numRows() != FI.numLabels())
+      A = nullptr; // shape mismatch (hash collision / stale blob): re-solve
+    if (A) {
+      RdReused[Pid] = 1;
+    } else {
+      fillRdKillGen(CFG, P, *Act[Pid], OthersMay[Pid], OthersMust[Pid], Opts,
+                    RdKill, RdGen);
+      auto Solved = std::make_shared<RdProcessArtifact>(
+          solveProcessRd(CFG, P, RdKill, RdGen));
+      Table.insertRd(Key, Solved);
+      A = std::move(Solved);
+    }
+    installProcessRd(RD, CFG, P, *A);
+    Rd[Pid] = std::move(A);
+  });
+  for (size_t I = 0; I < NumProcs; ++I)
+    RD.Iterations += Rd[I]->Iterations;
+
+  if (Stats) {
+    for (size_t I = 0; I < NumProcs; ++I) {
+      Stats->ActiveReused += ActReused[I];
+      Stats->ActiveSolved += !ActReused[I];
+      Stats->RdReused += RdReused[I];
+      Stats->RdSolved += !RdReused[I];
+    }
+  }
+  return true;
+}

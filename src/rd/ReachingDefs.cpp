@@ -239,83 +239,105 @@ vif::analyzeReachingDefs(const ElaboratedProgram &Program,
   std::vector<size_t> Iterations(NumProcs, 0);
   parallelFor(Opts.Jobs, NumProcs, [&](size_t ProcIdx) {
     const ProcessCFG &P = CFG.processes()[ProcIdx];
-    PairSet Initial;
-    for (unsigned Var : P.FreeVars)
-      Initial.insert(DefPair{Resource::variable(Var), InitialLabel});
-    for (unsigned Sig : P.FreeSigs)
-      Initial.insert(DefPair{Resource::signal(Sig), InitialLabel});
-
-    auto Dom = std::make_shared<DefPairDomain>();
-    Dom->addAll(Initial);
-    for (LabelId L : P.Labels)
-      Dom->addAll(KG.Gen[L]);
-    Dom->finalize();
-    size_t K = Dom->size();
-    if (K == 0)
-      return; // nothing is ever defined: every set stays ∅ (the default)
-
-    const FlowIndex &FI = CFG.flowIndex(P.ProcessId);
-    size_t NL = FI.numLabels();
-    size_t W = (K + 63) / 64;
-
-    // Whole-table BitMatrix rows instead of per-label BitSets; the two
-    // result tables are shared with the label slots below.
-    std::vector<uint64_t> InitialMask(W, 0);
-    Dom->maskInto(Initial, InitialMask.data());
-    BitMatrix Kill(NL, K), Gen(NL, K);
-    for (uint32_t I = 0; I < NL; ++I) {
-      Dom->maskInto(KG.Kill[FI.label(I)], Kill.row(I));
-      Dom->maskInto(KG.Gen[FI.label(I)], Gen.row(I));
-    }
-
-    auto Entry = std::make_shared<BitMatrix>(NL, K);
-    auto Exit = std::make_shared<BitMatrix>(NL, K);
-
-    std::deque<uint32_t> Work(FI.rpo().begin(), FI.rpo().end());
-    std::vector<uint8_t> InWork(NL, 1);
-    uint32_t InitLocal = FI.localOf(P.Init);
-
-    std::vector<uint64_t> In(W);
-    while (!Work.empty()) {
-      uint32_t I = Work.front();
-      Work.pop_front();
-      InWork[I] = 0;
-      ++Iterations[ProcIdx];
-
-      // The init label carries the initial {(n, ?)} definitions; if it is
-      // re-entered (possible in bare statement programs without the
-      // isolated-entry wrapper) predecessor exits are merged as well.
-      if (I == InitLocal)
-        BitMatrix::copy(In.data(), InitialMask.data(), W);
-      else
-        BitMatrix::clear(In.data(), W);
-      for (uint32_t Pred : FI.preds(I))
-        BitMatrix::orInto(In.data(), Exit->row(Pred), W);
-      BitMatrix::copy(Entry->row(I), In.data(), W);
-
-      BitMatrix::subtract(In.data(), Kill.row(I), W);
-      BitMatrix::orInto(In.data(), Gen.row(I), W);
-
-      if (BitMatrix::equal(In.data(), Exit->row(I), W))
-        continue;
-      BitMatrix::copy(Exit->row(I), In.data(), W);
-      for (uint32_t Succ : FI.succs(I))
-        if (!InWork[Succ]) {
-          Work.push_back(Succ);
-          InWork[Succ] = 1;
-        }
-    }
-
-    for (uint32_t I = 0; I < NL; ++I) {
-      LabelId L = FI.label(I);
-      R.Entry.setDense(L, Dom, Entry, I);
-      R.Exit.setDense(L, Dom, Exit, I);
-    }
+    RdProcessArtifact A = solveProcessRd(CFG, P, KG.Kill, KG.Gen);
+    Iterations[ProcIdx] = A.Iterations;
+    installProcessRd(R, CFG, P, A);
   });
   for (size_t N : Iterations)
     R.Iterations += N;
   (void)Program;
   return R;
+}
+
+RdProcessArtifact vif::solveProcessRd(const ProgramCFG &CFG,
+                                      const ProcessCFG &P,
+                                      const std::vector<PairSet> &Kill,
+                                      const std::vector<PairSet> &Gen) {
+  RdProcessArtifact A;
+  PairSet Initial;
+  for (unsigned Var : P.FreeVars)
+    Initial.insert(DefPair{Resource::variable(Var), InitialLabel});
+  for (unsigned Sig : P.FreeSigs)
+    Initial.insert(DefPair{Resource::signal(Sig), InitialLabel});
+
+  auto Dom = std::make_shared<DefPairDomain>();
+  Dom->addAll(Initial);
+  for (LabelId L : P.Labels)
+    Dom->addAll(Gen[L]);
+  Dom->finalize();
+  A.Dom = Dom;
+  size_t K = Dom->size();
+  if (K == 0)
+    return A; // nothing is ever defined: every set stays ∅ (the default)
+
+  const FlowIndex &FI = CFG.flowIndex(P.ProcessId);
+  size_t NL = FI.numLabels();
+  size_t W = (K + 63) / 64;
+
+  // Whole-table BitMatrix rows instead of per-label BitSets; the two
+  // result tables are shared with the label slots installed later.
+  std::vector<uint64_t> InitialMask(W, 0);
+  Dom->maskInto(Initial, InitialMask.data());
+  BitMatrix KillM(NL, K), GenM(NL, K);
+  for (uint32_t I = 0; I < NL; ++I) {
+    Dom->maskInto(Kill[FI.label(I)], KillM.row(I));
+    Dom->maskInto(Gen[FI.label(I)], GenM.row(I));
+  }
+
+  auto Entry = std::make_shared<BitMatrix>(NL, K);
+  auto Exit = std::make_shared<BitMatrix>(NL, K);
+
+  std::deque<uint32_t> Work(FI.rpo().begin(), FI.rpo().end());
+  std::vector<uint8_t> InWork(NL, 1);
+  uint32_t InitLocal = FI.localOf(P.Init);
+
+  std::vector<uint64_t> In(W);
+  while (!Work.empty()) {
+    uint32_t I = Work.front();
+    Work.pop_front();
+    InWork[I] = 0;
+    ++A.Iterations;
+
+    // The init label carries the initial {(n, ?)} definitions; if it is
+    // re-entered (possible in bare statement programs without the
+    // isolated-entry wrapper) predecessor exits are merged as well.
+    if (I == InitLocal)
+      BitMatrix::copy(In.data(), InitialMask.data(), W);
+    else
+      BitMatrix::clear(In.data(), W);
+    for (uint32_t Pred : FI.preds(I))
+      BitMatrix::orInto(In.data(), Exit->row(Pred), W);
+    BitMatrix::copy(Entry->row(I), In.data(), W);
+
+    BitMatrix::subtract(In.data(), KillM.row(I), W);
+    BitMatrix::orInto(In.data(), GenM.row(I), W);
+
+    if (BitMatrix::equal(In.data(), Exit->row(I), W))
+      continue;
+    BitMatrix::copy(Exit->row(I), In.data(), W);
+    for (uint32_t Succ : FI.succs(I))
+      if (!InWork[Succ]) {
+        Work.push_back(Succ);
+        InWork[Succ] = 1;
+      }
+  }
+
+  A.Entry = std::move(Entry);
+  A.Exit = std::move(Exit);
+  return A;
+}
+
+void vif::installProcessRd(ReachingDefsResult &R, const ProgramCFG &CFG,
+                           const ProcessCFG &P, const RdProcessArtifact &A) {
+  if (!A.Entry)
+    return; // empty domain: the default (empty) slots are already right
+  const FlowIndex &FI = CFG.flowIndex(P.ProcessId);
+  size_t NL = FI.numLabels();
+  for (uint32_t I = 0; I < NL; ++I) {
+    LabelId L = FI.label(I);
+    R.Entry.setDense(L, A.Dom, A.Entry, I);
+    R.Exit.setDense(L, A.Dom, A.Exit, I);
+  }
 }
 
 ReachingDefsResult

@@ -113,6 +113,29 @@ computeReachingDefsKillGen(const ProgramCFG &CFG,
                            const ActiveSignalsResult &Active,
                            const ReachingDefsOptions &Opts = {});
 
+/// One process's dense Table 5 solution — the unit the incremental layer
+/// caches and recomposes whole-program results from. Rows are indexed by
+/// the process's FlowIndex local label order; the matrices are null when
+/// the domain is empty (every set stays ∅).
+struct RdProcessArtifact {
+  std::shared_ptr<const DefPairDomain> Dom;
+  std::shared_ptr<const BitMatrix> Entry, Exit;
+  uint64_t Iterations = 0;
+};
+
+/// Solves the RDcf fixpoint of one process given the per-label kill/gen
+/// vectors (only \p P's label slots are read): exactly the per-process
+/// body of analyzeReachingDefs, exposed so dirty processes can be
+/// re-solved in isolation.
+RdProcessArtifact solveProcessRd(const ProgramCFG &CFG, const ProcessCFG &P,
+                                 const std::vector<PairSet> &Kill,
+                                 const std::vector<PairSet> &Gen);
+
+/// Installs \p A's rows into the whole-program result tables (the label
+/// slots of \p P only; the shared matrices are referenced, not copied).
+void installProcessRd(ReachingDefsResult &R, const ProgramCFG &CFG,
+                      const ProcessCFG &P, const RdProcessArtifact &A);
+
 } // namespace vif
 
 #endif // VIF_RD_REACHINGDEFS_H

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -352,6 +353,91 @@ TEST(Serve, ReportEvaluatesPolicy) {
   ASSERT_EQ(Violations->elements().size(), 1u);
   EXPECT_EQ(str(Violations->elements()[0], "from"), "d1");
   EXPECT_EQ(str(Violations->elements()[0], "to"), "q");
+}
+
+TEST(Serve, ContentKeySourceByReference) {
+  Server S;
+  // An inline-source analysis echoes the source's content key...
+  JsonValue First = parseResponse(S.handleLine(muxRequest("flows", 1)));
+  EXPECT_EQ(str(First, "status"), "ok");
+  std::string Key = str(First, "contentKey");
+  ASSERT_EQ(Key.size(), 16u) << "contentKey is 16 hex digits";
+  EXPECT_EQ(Key.find_first_not_of("0123456789abcdef"), std::string::npos);
+
+  // ...which later requests may send instead of the source bytes.
+  std::string ByRef =
+      R"({"schema":"vifc.v1","id":2,"command":"flows","contentKey":")" +
+      Key + "\"}";
+  JsonValue Second = parseResponse(S.handleLine(ByRef));
+  EXPECT_EQ(str(Second, "status"), "ok");
+  EXPECT_TRUE(Second.find("cacheHit")->asBool());
+  EXPECT_EQ(str(Second, "contentKey"), Key);
+  EXPECT_DOUBLE_EQ(Second.find("graph")->find("edges")->asNumber(),
+                   First.find("graph")->find("edges")->asNumber());
+
+  // A "name" may label the by-reference request, like inline sources.
+  std::string Named =
+      R"({"command":"rm","name":"mux.vhd","contentKey":")" + Key + "\"}";
+  JsonValue Third = parseResponse(S.handleLine(Named));
+  EXPECT_EQ(str(Third, "status"), "ok");
+  EXPECT_EQ(str(Third, "file"), "mux.vhd");
+
+  // The same content sent inline again maps to the same key.
+  JsonValue Fourth = parseResponse(S.handleLine(muxRequest("check", 4)));
+  EXPECT_EQ(str(Fourth, "contentKey"), Key);
+}
+
+TEST(Serve, UnknownContentKeyIsAnError) {
+  Server S;
+  JsonValue R = parseResponse(S.handleLine(
+      R"({"command":"flows","contentKey":"0123456789abcdef"})"));
+  EXPECT_EQ(str(R, "status"), "error");
+  EXPECT_EQ(str(*R.find("error"), "code"), "unknown-content-key");
+  EXPECT_NE(str(*R.find("error"), "message").find("0123456789abcdef"),
+            std::string::npos);
+
+  // contentKey is an analysis input: exactly one of the three input
+  // members, and meaningless on non-analysis commands.
+  JsonValue Both = parseResponse(S.handleLine(
+      R"({"command":"flows","source":"entity...","contentKey":"aa"})"));
+  EXPECT_EQ(str(*Both.find("error"), "code"), "bad-request");
+  JsonValue OnPing = parseResponse(S.handleLine(
+      R"({"command":"ping","contentKey":"aa"})"));
+  EXPECT_EQ(str(*OnPing.find("error"), "code"), "bad-request");
+}
+
+TEST(Serve, StoreBackedServerSurvivesRestart) {
+  std::string Dir = testing::TempDir() + "serve_store_test";
+  std::filesystem::remove_all(Dir);
+  ServeOptions SO;
+  SO.StoreDir = Dir;
+  {
+    Server S1(SO);
+    ASSERT_NE(S1.artifactStore(), nullptr);
+    JsonValue R = parseResponse(S1.handleLine(muxRequest("flows", 1)));
+    EXPECT_EQ(str(R, "status"), "ok");
+    EXPECT_GT(R.find("timings")->find("ifaMs")->asNumber(), 0.0);
+    EXPECT_GE(S1.artifactStore()->counters().Writes, 1u);
+
+    JsonValue Stats =
+        parseResponse(S1.handleLine(R"({"command":"stats"})"));
+    const JsonValue *Store = Stats.find("store");
+    ASSERT_NE(Store, nullptr);
+    EXPECT_GE(Store->find("writes")->asNumber(), 1.0);
+    EXPECT_GT(Store->find("bytesWritten")->asNumber(), 0.0);
+  }
+
+  // A new server over the same directory answers without re-solving:
+  // the ifa stage never runs, only store I/O time is charged.
+  Server S2(SO);
+  JsonValue Warm = parseResponse(S2.handleLine(muxRequest("flows", 2)));
+  EXPECT_EQ(str(Warm, "status"), "ok");
+  EXPECT_FALSE(Warm.find("cacheHit")->asBool());
+  EXPECT_DOUBLE_EQ(Warm.find("timings")->find("ifaMs")->asNumber(), 0.0);
+  EXPECT_GT(Warm.find("timings")->find("storeMs")->asNumber(), 0.0);
+  EXPECT_DOUBLE_EQ(Warm.find("graph")->find("edges")->asNumber(), 3.0);
+  EXPECT_GE(S2.artifactStore()->counters().Hits, 1u);
+  std::filesystem::remove_all(Dir);
 }
 
 TEST(Serve, RunLoopSkipsBlanksAndStopsOnShutdown) {
@@ -721,7 +807,8 @@ const std::set<std::string> DocumentedFields = {
     "value",       "relations", "arity",    "tuples",    "derived",
     "bytes",       "bytesBudget", "inFlight", "query",   "reaches",
     "witness",     "node",     "resource",  "kind",      "reachableFrom",
-    "whatReaches", "queryMs",
+    "whatReaches", "queryMs",  "contentKey", "store",    "writes",
+    "bytesRead",   "bytesWritten", "storeMs",
 };
 
 void checkFields(const JsonValue &V, const std::string &Where) {
@@ -799,6 +886,23 @@ TEST(SchemaConformance, EveryDocumentTypeStaysWithinTheSpec) {
   checkDocument(
       S.handleLine(R"({"command":"check","path":"/nonexistent/x.vhd"})"),
       "serve/unreadable");
+
+  // A store-configured server: the stats "store" object, a contentKey
+  // echo, and the unknown-content-key error object.
+  std::string StoreDir = testing::TempDir() + "serve_schema_store";
+  std::filesystem::remove_all(StoreDir);
+  ServeOptions SO;
+  SO.StoreDir = StoreDir;
+  Server SStore(SO);
+  checkDocument(SStore.handleLine(muxRequest("flows", 6)),
+                "serve/store-flows");
+  checkDocument(SStore.handleLine(R"({"command":"stats"})"),
+                "serve/store-stats");
+  checkDocument(
+      SStore.handleLine(
+          R"({"command":"flows","contentKey":"ffffffffffffffff"})"),
+      "serve/unknown-content-key");
+  std::filesystem::remove_all(StoreDir);
 
   // Sim document.
   SimDocument Sim;

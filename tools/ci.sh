@@ -34,6 +34,21 @@ echo "$serve_out" | grep -q '"schema":"vifc.v1"' \
   || { echo "serve smoke failed:"; echo "$serve_out"; exit 1; }
 echo "serve smoke passed"
 
+# Store smoke: two invocations sharing a --store directory. The second
+# must be a pure hit — its stderr summary reports one load served and
+# nothing solved or written — and stdout must be byte-identical.
+store_dir=$(mktemp -d)
+store_out1=$("$BUILD_DIR/vifc" flows --store "$store_dir" \
+  tests/inputs/smoke.vhd 2>"$store_dir/err1")
+store_out2=$("$BUILD_DIR/vifc" flows --store "$store_dir" \
+  tests/inputs/smoke.vhd 2>"$store_dir/err2")
+[ "$store_out1" = "$store_out2" ] \
+  && grep -q '1 hit(s), 0 miss(es), 0 write(s)' "$store_dir/err2" \
+  || { echo "store smoke failed:"; cat "$store_dir/err1" "$store_dir/err2"
+       exit 1; }
+rm -rf "$store_dir"
+echo "store smoke passed"
+
 # Concurrent serve smoke: N TCP clients against a spawned server with a
 # worker pool — request/response pairing, stats balance, clean shutdown
 # (tools/serve_load_smoke.py).
@@ -75,7 +90,7 @@ if [ -z "$SANITIZE" ] && [ "${VIFC_BENCH_COMPARE:-0}" = "1" ] &&
    [ -x "$BUILD_DIR/bench_fig5" ]; then
   mkdir -p "$BUILD_DIR/bench-json"
   for b in bench_fig5 bench_scaling bench_alfp bench_ablation \
-           bench_bitset bench_serve bench_query; do
+           bench_bitset bench_serve bench_query bench_incremental; do
     name=$(sed -e 's/bench_fig5/BENCH_closure/' -e 's/bench_/BENCH_/' <<<"$b")
     "$BUILD_DIR/$b" --benchmark_format=json --benchmark_min_time=0.1 \
       2>/dev/null > "$BUILD_DIR/bench-json/$name.json"

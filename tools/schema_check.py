@@ -31,11 +31,16 @@ SOURCES = sorted(
 FIELD_RE = re.compile(r'\b(?:member|key)\(\s*"([A-Za-z0-9_]+)"')
 VERSION_RE = re.compile(r'SchemaVersion\[\]\s*=\s*"([^"]+)"')
 
-# Binary v1b frames: every section tag the encoder emits
-# (F.section("XXXX", ...) in driver/V1b.cpp) must appear in SCHEMA.md's
-# section table, same drift rule as for JSON fields.
-V1B_CPP = ROOT / "src" / "driver" / "V1b.cpp"
+# Binary frames: every section tag an encoder emits (F.section("XXXX",
+# ...) in driver/V1b.cpp for the v1b response format, and in
+# driver/ArtifactStore.cpp for the on-disk artifact store) must appear in
+# SCHEMA.md's section tables, same drift rule as for JSON fields.
+SECTION_SOURCES = [
+    ROOT / "src" / "driver" / "V1b.cpp",
+    ROOT / "src" / "driver" / "ArtifactStore.cpp",
+]
 SECTION_RE = re.compile(r'\bsection\(\s*"([A-Z0-9]{4})"')
+ARTIFACT_VERSION_RE = re.compile(r"ArtifactStoreVersion\s*=\s*(\d+)")
 
 
 def main() -> int:
@@ -71,17 +76,36 @@ def main() -> int:
                   file=sys.stderr)
         return 1
 
-    tags = set(SECTION_RE.findall(V1B_CPP.read_text(encoding="utf-8")))
-    if not tags:
-        print("schema_check: found no v1b section tags in "
-              "src/driver/V1b.cpp — scan broken?", file=sys.stderr)
-        return 1
+    tags: set[str] = set()
+    for path in SECTION_SOURCES:
+        found = set(SECTION_RE.findall(path.read_text(encoding="utf-8")))
+        if not found:
+            print(f"schema_check: found no section tags in "
+                  f"{path.relative_to(ROOT)} — scan broken?",
+                  file=sys.stderr)
+            return 1
+        tags |= found
     undocumented_tags = {t for t in tags if t not in documented}
     if undocumented_tags:
-        print("schema_check: v1b sections emitted but not documented in "
-              "docs/SCHEMA.md:", file=sys.stderr)
+        print("schema_check: binary sections emitted but not documented "
+              "in docs/SCHEMA.md:", file=sys.stderr)
         for tag in sorted(undocumented_tags):
             print(f"  `{tag}`", file=sys.stderr)
+        return 1
+
+    store_h = (ROOT / "src" / "driver" / "ArtifactStore.h").read_text(
+        encoding="utf-8")
+    store_version = ARTIFACT_VERSION_RE.search(store_h)
+    if not store_version:
+        print("schema_check: cannot find ArtifactStoreVersion in "
+              "src/driver/ArtifactStore.h", file=sys.stderr)
+        return 1
+    store_pin = re.compile(
+        rf"artifact store.*\bversion\b.*\b{store_version.group(1)}\b",
+        re.IGNORECASE)
+    if not store_pin.search(schema_text):
+        print(f"schema_check: docs/SCHEMA.md never pins artifact store "
+              f"version {store_version.group(1)}", file=sys.stderr)
         return 1
 
     version = VERSION_RE.search(SERIALIZE_H.read_text(encoding="utf-8"))
@@ -95,8 +119,9 @@ def main() -> int:
         return 1
 
     print(f"schema_check: {len(emitted)} emitted fields and {len(tags)} "
-          f"v1b sections all documented; schema version "
-          f"{version.group(1)} consistent")
+          f"binary sections all documented; schema version "
+          f"{version.group(1)} and artifact store version "
+          f"{store_version.group(1)} consistent")
     return 0
 
 

@@ -31,6 +31,13 @@
 /// diagnose cleanly or succeed; crashes, hangs and sanitizer reports are
 /// the failures this mode exists to surface.
 ///
+/// Incremental mode, per seed: route the Table 4/5 solvers through a
+/// ProcessArtifactTable (rd/Incremental.h) — once against a cold table and
+/// once against the warmed table, which must reuse every artifact — and
+/// require the recomposed results and the full composed IFA to match the
+/// cold path set for set, label by label. The table persists across seeds,
+/// so cross-design artifact sharing is fuzzed too.
+///
 /// Any failing seed prints a one-line reproducer (`vifc-fuzz --seed N`)
 /// and, with --minimize, a greedily reduced source. Exit code: 0 clean,
 /// 1 failures found, 2 usage error.
@@ -41,8 +48,10 @@
 #include "gen/Minimizer.h"
 #include "gen/Mutator.h"
 #include "ifa/InformationFlow.h"
+#include "ifa/LocalDeps.h"
 #include "parse/Parser.h"
 #include "query/FlowQueryEngine.h"
+#include "rd/Incremental.h"
 
 #include <algorithm>
 #include <cstdint>
@@ -57,7 +66,7 @@ using namespace vif;
 namespace {
 
 struct Options {
-  enum class Mode { Oracle, Query, Mutate, All };
+  enum class Mode { Oracle, Query, Mutate, Incremental, All };
   Mode M = Mode::All;
   uint64_t Start = 1;
   uint64_t Count = 50;
@@ -71,7 +80,7 @@ struct Options {
 int usage() {
   std::cerr
       << "usage: vifc-fuzz [options]\n"
-         "  --mode oracle|query|mutate|all\n"
+         "  --mode oracle|query|mutate|incremental|all\n"
          "                            which battery to run (default all)\n"
          "  --start N                 first seed (default 1)\n"
          "  --count N                 number of seeds (default 50)\n"
@@ -415,6 +424,65 @@ std::string mutationFailure(const std::string &Mutant) {
   return "";
 }
 
+/// Incremental battery: Table 4/5 through \p Table vs the cold solvers,
+/// label by label, then the composed IFA vs analyzeInformationFlow. When
+/// \p ExpectFullReuse (the table was warmed by a previous run of the same
+/// source) additionally require that no fixpoint ran. Returns a failure
+/// description or empty.
+std::string incrementalFailure(const std::string &Source,
+                               ProcessArtifactTable &Table,
+                               bool ExpectFullReuse) {
+  std::string Err;
+  std::optional<ElaboratedProgram> P = frontend(Source, Err);
+  if (!P)
+    return "generator emitted an invalid design:\n" + Err;
+  ProgramCFG CFG = ProgramCFG::build(*P);
+
+  ReachingDefsOptions RdOpts;
+  ActiveSignalsResult ActInc;
+  ReachingDefsResult RdInc;
+  IncrementalStats Stats;
+  if (!analyzeIncremental(*P, CFG, RdOpts, Table, ActInc, RdInc, &Stats))
+    return "incremental layer declined default options";
+  size_t NumProcs = CFG.processes().size();
+  if (Stats.ActiveSolved + Stats.ActiveReused != NumProcs ||
+      Stats.RdSolved + Stats.RdReused != NumProcs)
+    return "incremental stats do not sum to the process count";
+  if (ExpectFullReuse && (Stats.ActiveSolved || Stats.RdSolved))
+    return "warm table re-solved " + std::to_string(Stats.ActiveSolved) +
+           "/" + std::to_string(Stats.RdSolved) +
+           " processes on an unchanged design";
+
+  ActiveSignalsResult ActCold = analyzeActiveSignals(*P, CFG);
+  ReachingDefsResult RdCold = analyzeReachingDefs(*P, CFG, ActCold);
+  for (LabelId L = 1; L <= CFG.numLabels(); ++L) {
+    if (!(ActInc.MayEntry[L] == ActCold.MayEntry[L]) ||
+        !(ActInc.MayExit[L] == ActCold.MayExit[L]) ||
+        !(ActInc.MustEntry[L] == ActCold.MustEntry[L]) ||
+        !(ActInc.MustExit[L] == ActCold.MustExit[L]))
+      return "incremental active signals disagree at label " +
+             std::to_string(L);
+    if (!(RdInc.Entry[L] == RdCold.Entry[L]) ||
+        !(RdInc.Exit[L] == RdCold.Exit[L]))
+      return "incremental reaching defs disagree at label " +
+             std::to_string(L);
+  }
+  if (ActInc.Iterations != ActCold.Iterations ||
+      RdInc.Iterations != RdCold.Iterations)
+    return "incremental iteration totals differ from the cold run";
+
+  IFAOptions IfaOpts;
+  IFAResult Cold = analyzeInformationFlow(*P, CFG, IfaOpts);
+  IFAResult Inc = composeInformationFlow(*P, CFG, IfaOpts,
+                                         computeLocalDeps(*P, CFG),
+                                         std::move(ActInc), std::move(RdInc));
+  if (!(Inc.RMlo == Cold.RMlo) || !(Inc.RMgl == Cold.RMgl))
+    return "composed IFA matrices differ from the cold pipeline";
+  if (Inc.Graph.sortedEdges() != Cold.Graph.sortedEdges())
+    return "composed IFA flow graph differs from the cold pipeline";
+  return "";
+}
+
 void reportFailure(uint64_t Seed, const std::string &What,
                    const std::string &Source, const Options &Opts,
                    const std::function<bool(const std::string &)> &Pred) {
@@ -453,6 +521,8 @@ int main(int argc, char **argv) {
         Opts.M = Options::Mode::Query;
       else if (M == "mutate")
         Opts.M = Options::Mode::Mutate;
+      else if (M == "incremental")
+        Opts.M = Options::Mode::Incremental;
       else if (M == "all")
         Opts.M = Options::Mode::All;
       else
@@ -498,8 +568,14 @@ int main(int argc, char **argv) {
       Opts.M == Options::Mode::Query || Opts.M == Options::Mode::All;
   bool RunMutate =
       Opts.M == Options::Mode::Mutate || Opts.M == Options::Mode::All;
+  bool RunIncremental = Opts.M == Options::Mode::Incremental ||
+                        Opts.M == Options::Mode::All;
   unsigned Failures = 0;
-  uint64_t OracleRuns = 0, QueryRuns = 0, MutantRuns = 0;
+  uint64_t OracleRuns = 0, QueryRuns = 0, MutantRuns = 0,
+           IncrementalRuns = 0;
+  // Shared across seeds so cross-design artifact reuse is fuzzed too;
+  // content-hashed keys make false sharing a reportable failure.
+  ProcessArtifactTable SharedTable;
 
   for (uint64_t Seed = Opts.Start; Seed < Opts.Start + Opts.Count; ++Seed) {
     std::string Source = gen::generateDesign(Seed);
@@ -543,6 +619,23 @@ int main(int argc, char **argv) {
         std::cout << "seed " << Seed << ": query battery ok\n";
       }
     }
+    if (RunIncremental) {
+      ++IncrementalRuns;
+      // First pass may reuse cross-seed artifacts; the second, over the
+      // table the first just warmed, must reuse everything.
+      std::string What = incrementalFailure(Source, SharedTable, false);
+      if (What.empty())
+        What = incrementalFailure(Source, SharedTable, true);
+      if (!What.empty()) {
+        ++Failures;
+        reportFailure(Seed, What, Source, Opts, [](const std::string &S) {
+          ProcessArtifactTable Fresh;
+          return !incrementalFailure(S, Fresh, false).empty();
+        });
+      } else if (!Opts.Quiet) {
+        std::cout << "seed " << Seed << ": incremental battery ok\n";
+      }
+    }
     if (RunMutate) {
       for (unsigned K = 0; K < Opts.Mutants; ++K) {
         gen::MutateOptions MOpts;
@@ -565,7 +658,7 @@ int main(int argc, char **argv) {
   }
 
   std::cout << "vifc-fuzz: " << OracleRuns << " oracle seeds, " << QueryRuns
-            << " query seeds, " << MutantRuns << " mutants, " << Failures
-            << " failure(s)\n";
+            << " query seeds, " << IncrementalRuns << " incremental seeds, "
+            << MutantRuns << " mutants, " << Failures << " failure(s)\n";
   return Failures ? 1 : 0;
 }

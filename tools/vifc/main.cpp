@@ -30,6 +30,7 @@
 
 #include "alfp/AlfpParser.h"
 #include "driver/AnalysisSession.h"
+#include "driver/ArtifactStore.h"
 #include "driver/Batch.h"
 #include "driver/Serialize.h"
 #include "driver/Serve.h"
@@ -45,6 +46,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -102,6 +104,9 @@ void printUsage(std::ostream &OS) {
         "  --cache-bytes B (serve) session-cache byte budget, optional\n"
         "                 k/m/g suffix (e.g. 256m); 0 = unlimited "
         "(default)\n"
+        "  --store DIR    persist analysis artifacts under DIR and reuse\n"
+        "                 them across runs (check/flows/rm/report/query/\n"
+        "                 serve; docs/SCHEMA.md describes the format)\n"
         "  --workers N    (serve --listen) TCP worker threads; 0 = auto\n"
         "                 (default: up to 8)\n"
         "  --listen PORT  (serve) accept TCP connections on 127.0.0.1:PORT\n"
@@ -136,6 +141,8 @@ struct Options {
   unsigned long long CacheBytes = 0;
   /// --workers: TCP worker threads for serve --listen; 0 = auto.
   unsigned Workers = 0;
+  /// --store: on-disk artifact store directory; empty = disabled.
+  std::string StoreDir;
   unsigned ListenPort = 0;
   bool ListenGiven = false;
   /// query: the --from / --to node pair (both required).
@@ -192,6 +199,7 @@ const FlagSpec FlagSpecs[] = {
     {"--jobs", "check flows rm report query"},
     {"--cache", "serve"},
     {"--cache-bytes", "serve"},
+    {"--store", "check flows rm report query serve"},
     {"--workers", "serve"},
     {"--listen", "serve"},
 };
@@ -229,14 +237,51 @@ const ElaboratedProgram *loadSingle(AnalysisSession &S) {
   return P;
 }
 
+/// The CLI-owned `--store DIR` state: the on-disk artifact store plus the
+/// per-process artifact table it backs, attached to whichever session or
+/// batch the command runs. Disabled (all no-ops) when DIR is empty.
+struct StoreContext {
+  std::unique_ptr<driver::ArtifactStore> Store;
+  ProcessArtifactTable Table;
+
+  explicit StoreContext(const std::string &Dir) {
+    if (Dir.empty())
+      return;
+    Store = std::make_unique<driver::ArtifactStore>(Dir);
+    if (!Store->usable())
+      std::cerr << "warning: cannot use artifact store directory '" << Dir
+                << "'; continuing without persistence\n";
+    Table.setBacking(Store.get());
+  }
+
+  void attach(AnalysisSession &S) {
+    if (Store)
+      S.setArtifacts(&Table, Store.get());
+  }
+
+  /// The one-line store summary printed to stderr after non-JSON runs, so
+  /// scripted callers can observe hit/miss traffic without parsing JSON.
+  void printSummary() const {
+    if (!Store)
+      return;
+    driver::ArtifactStore::Counters C = Store->counters();
+    std::cerr << "vifc: store: " << C.Hits << " hit(s), " << C.Misses
+              << " miss(es), " << C.Writes << " write(s), " << C.BytesRead
+              << " B read, " << C.BytesWritten << " B written\n";
+  }
+};
+
 int cmdCheck(const Options &Opt) {
   AnalysisSession S = AnalysisSession::fromFile(Opt.Files[0], Opt.session());
+  StoreContext SC(Opt.StoreDir);
+  SC.attach(S);
   const ElaboratedProgram *Program = loadSingle(S);
   if (!Program)
     return 1;
   std::cout << "ok: " << Program->Processes.size() << " process(es), "
             << Program->Signals.size() << " signal(s), "
             << Program->Variables.size() << " variable(s)\n";
+  SC.printSummary();
   return 0;
 }
 
@@ -285,6 +330,8 @@ int cmdSim(const Options &Opt) {
 
 int cmdFlows(const Options &Opt) {
   AnalysisSession S = AnalysisSession::fromFile(Opt.Files[0], Opt.session());
+  StoreContext SC(Opt.StoreDir);
+  SC.attach(S);
   const ElaboratedProgram *Program = loadSingle(S);
   if (!Program)
     return 1;
@@ -317,11 +364,14 @@ int cmdFlows(const Options &Opt) {
   Graph->forEachSortedEdge([](std::string_view From, std::string_view To) {
     std::cout << From << " -> " << To << '\n';
   });
+  SC.printSummary();
   return 0;
 }
 
 int cmdRM(const Options &Opt) {
   AnalysisSession S = AnalysisSession::fromFile(Opt.Files[0], Opt.session());
+  StoreContext SC(Opt.StoreDir);
+  SC.attach(S);
   const ElaboratedProgram *Program = loadSingle(S);
   if (!Program)
     return 1;
@@ -330,11 +380,14 @@ int cmdRM(const Options &Opt) {
   R->RMlo.print(std::cout, *Program);
   std::cout << "== RMgl (" << R->RMgl.size() << " entries)\n";
   R->RMgl.print(std::cout, *Program);
+  SC.printSummary();
   return 0;
 }
 
 int cmdReport(const Options &Opt) {
   AnalysisSession S = AnalysisSession::fromFile(Opt.Files[0], Opt.session());
+  StoreContext SC(Opt.StoreDir);
+  SC.attach(S);
   const ElaboratedProgram *Program = loadSingle(S);
   if (!Program)
     return 1;
@@ -346,6 +399,7 @@ int cmdReport(const Options &Opt) {
       checkFlowPolicy(R->Graph, RepOpts.Policy);
   RepOpts.Violations = &Violations;
   writeAuditReport(std::cout, *Program, *R, RepOpts);
+  SC.printSummary();
   return Violations.empty() ? 0 : 1;
 }
 
@@ -400,6 +454,7 @@ int cmdServe(const Options &Opt) {
   SO.CacheBytes = static_cast<size_t>(Opt.CacheBytes);
   SO.Workers = Opt.Workers;
   SO.Session = Opt.session();
+  SO.StoreDir = Opt.StoreDir;
   // Printed once the socket is bound — with --listen 0 the ephemeral
   // port is only known then (tools/serve_load_smoke.py parses this
   // line).
@@ -425,6 +480,9 @@ int cmdServe(const Options &Opt) {
 /// are analyzed once — and render.
 int cmdBatch(const Options &Opt, driver::BatchMode Mode) {
   driver::SessionCache Cache;
+  StoreContext SC(Opt.StoreDir);
+  if (SC.Store)
+    Cache.setArtifacts(&SC.Table, SC.Store.get());
   driver::BatchOptions B;
   B.Mode = Mode;
   B.Method = Opt.Kemmerer ? driver::FlowMethod::Kemmerer
@@ -444,6 +502,10 @@ int cmdBatch(const Options &Opt, driver::BatchMode Mode) {
   B.Jobs = Opt.Jobs;
   B.CaptureRenderedText = !Opt.Json && !Opt.V1bOut;
   B.Cache = &Cache;
+  if (SC.Store) {
+    B.Artifacts = &SC.Table;
+    B.Store = SC.Store.get();
+  }
 
   std::vector<driver::BatchInput> Inputs;
   Inputs.reserve(Opt.Files.size());
@@ -455,8 +517,10 @@ int cmdBatch(const Options &Opt, driver::BatchMode Mode) {
     driver::printBatchV1b(std::cout, R, B);
   else if (Opt.Json)
     driver::printBatchJson(std::cout, R, B);
-  else
+  else {
     driver::printBatchText(std::cout, R, B);
+    SC.printSummary();
+  }
 
   bool Bad = !R.allOk() ||
              (Mode == driver::BatchMode::Report && R.NumViolations != 0);
@@ -617,6 +681,10 @@ int main(int Argc, char **Argv) {
     } else if (A == "--cache-bytes") {
       if (!nextValue(A, Value) || !parseByteSize(A, Value, Opt.CacheBytes))
         return usage();
+    } else if (A == "--store") {
+      if (!nextValue(A, Value))
+        return usage();
+      Opt.StoreDir = Value;
     } else if (A == "--workers") {
       if (!nextValue(A, Value) || !parseCount(A, Value, Opt.Workers))
         return usage();
